@@ -1,0 +1,298 @@
+//! Criterion benchmarks regenerating the paper's figures and the
+//! characterization experiments listed in DESIGN.md / EXPERIMENTS.md.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dynar_core::context::{InstallationContext, LinkTarget, PortInitContext, PortLinkContext};
+use dynar_core::message::InstallationPackage;
+use dynar_core::pirte::Pirte;
+use dynar_core::plugin::PluginPortDirection;
+use dynar_core::swc::PluginSwcConfig;
+use dynar_core::virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};
+use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, SwcId, VirtualPortId};
+use dynar_foundation::value::Value;
+use dynar_rte::component::SwcDescriptor;
+use dynar_rte::port::{PortDirection, PortSpec};
+use dynar_rte::rte::Rte;
+use dynar_server::baseline::ReflashBaseline;
+use dynar_server::server::TrustedServer;
+use dynar_sim::scenario::remote_car::{remote_control_app, RemoteCarScenario};
+use dynar_vm::assembler::assemble;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// F3 — the Figure 3 signal chain: phone command to actuator, end to end.
+fn fig3_signal_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_signal_chain");
+    let mut scenario = RemoteCarScenario::build().expect("scenario builds");
+    scenario.install_app().expect("installation completes");
+    group.bench_function("drive_10_ticks", |b| {
+        b.iter(|| scenario.drive(10).expect("drive"));
+    });
+    group.finish();
+}
+
+/// E1 — deployment: dynamic plug-in installation planning vs. the classical
+/// full-ECU re-flash baseline.
+fn e1_deployment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_deployment");
+    let server = scenario_server_with_apps(0);
+    let vehicle = dynar_foundation::ids::VehicleId::new("VIN-MODEL-CAR-1");
+    group.bench_function("plan_remote_control_app", |b| {
+        b.iter(|| {
+            server
+                .plan_deployment(&vehicle, &AppId::new("remote-control"))
+                .expect("plan succeeds")
+        });
+    });
+    group.bench_function("baseline_reflash_model", |b| {
+        let baseline = ReflashBaseline::default();
+        b.iter(|| baseline.deployment_ticks(2));
+    });
+    group.finish();
+}
+
+fn bench_hw() -> dynar_server::model::HwConf {
+    dynar_server::model::HwConf::new()
+        .with_ecu(EcuId::new(1), 512)
+        .with_ecu(EcuId::new(2), 512)
+}
+
+fn bench_system() -> dynar_server::model::SystemSwConf {
+    use dynar_server::model::{PluginSwcDecl, SystemSwConf, VirtualPortDecl, VirtualPortKindDecl};
+    SystemSwConf::new("model-car")
+        .with_swc(PluginSwcDecl {
+            ecu: EcuId::new(1),
+            swc_name: "ecm-swc".into(),
+            is_ecm: true,
+            virtual_ports: vec![VirtualPortDecl {
+                id: VirtualPortId::new(0),
+                name: "PluginData".into(),
+                kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+            }],
+        })
+        .with_swc(PluginSwcDecl {
+            ecu: EcuId::new(2),
+            swc_name: "plugin-swc-2".into(),
+            is_ecm: false,
+            virtual_ports: vec![
+                VirtualPortDecl {
+                    id: VirtualPortId::new(3),
+                    name: "PluginDataIn".into(),
+                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                },
+                VirtualPortDecl {
+                    id: VirtualPortId::new(4),
+                    name: "WheelsReq".into(),
+                    kind: VirtualPortKindDecl::TypeIII,
+                },
+                VirtualPortDecl {
+                    id: VirtualPortId::new(5),
+                    name: "SpeedReq".into(),
+                    kind: VirtualPortKindDecl::TypeIII,
+                },
+                VirtualPortDecl {
+                    id: VirtualPortId::new(6),
+                    name: "SpeedProv".into(),
+                    kind: VirtualPortKindDecl::TypeIII,
+                },
+            ],
+        })
+}
+
+/// E2 — PIRTE mediation overhead: plug-in port → virtual port → SW-C port
+/// versus a direct RTE local route.
+fn e2_mediation_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_mediation_overhead");
+
+    // Baseline: a direct RTE route between two built-in SW-Cs.
+    let mut rte = Rte::new();
+    let producer = SwcId::new(EcuId::new(0), 0);
+    let consumer = SwcId::new(EcuId::new(0), 1);
+    rte.register_component(
+        producer,
+        &SwcDescriptor::new("producer")
+            .with_port(PortSpec::sender_receiver("out", PortDirection::Provided)),
+    )
+    .unwrap();
+    rte.register_component(
+        consumer,
+        &SwcDescriptor::new("consumer")
+            .with_port(PortSpec::sender_receiver("in", PortDirection::Required)),
+    )
+    .unwrap();
+    let out = rte.port_id(producer, "out").unwrap();
+    let inp = rte.port_id(consumer, "in").unwrap();
+    rte.connect(out, inp).unwrap();
+    group.bench_function("direct_rte_route", |b| {
+        b.iter(|| {
+            rte.write_port(out, Value::F64(3.5)).unwrap();
+            rte.take_port(inp).unwrap()
+        });
+    });
+
+    // PIRTE-mediated: value enters a type III virtual port, a plug-in
+    // forwards it, and it leaves through another type III virtual port.
+    let config = PluginSwcConfig::new("plugin-swc")
+        .with_virtual_port(VirtualPortSpec::new(
+            VirtualPortId::new(0),
+            "In",
+            PortKind::TypeIII,
+            PortDataDirection::ToPlugins,
+            "swc_in",
+        ))
+        .with_virtual_port(VirtualPortSpec::new(
+            VirtualPortId::new(1),
+            "Out",
+            PortKind::TypeIII,
+            PortDataDirection::ToSystem,
+            "swc_out",
+        ));
+    let mut pirte = Pirte::new(EcuId::new(1), config);
+    let binary = assemble(
+        "fwd",
+        "loop:\n take_port 0\n write_port 1\n yield\n jump loop",
+    )
+    .unwrap()
+    .to_bytes();
+    let context = InstallationContext::new(
+        PortInitContext::new()
+            .with_port("in", PluginPortId::new(0), PluginPortDirection::Required)
+            .with_port("out", PluginPortId::new(1), PluginPortDirection::Provided),
+        PortLinkContext::new()
+            .with_link(PluginPortId::new(0), LinkTarget::VirtualPort(VirtualPortId::new(0)))
+            .with_link(PluginPortId::new(1), LinkTarget::VirtualPort(VirtualPortId::new(1))),
+    );
+    pirte
+        .install(InstallationPackage::new(
+            PluginId::new("fwd"),
+            AppId::new("bench"),
+            binary,
+            context,
+        ))
+        .unwrap();
+    group.bench_function("pirte_mediated_route", |b| {
+        b.iter(|| {
+            pirte.dispatch_swc_input("swc_in", Value::F64(3.5)).unwrap();
+            pirte.run_plugins();
+            pirte.drain_outbox()
+        });
+    });
+    group.finish();
+}
+
+/// E3 — trusted-server scalability: compatibility check plus context
+/// generation as the installed catalogue grows.
+fn e3_server_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_server_scalability");
+    for apps in [1usize, 16, 64] {
+        let server = scenario_server_with_apps(apps);
+        let vehicle = dynar_foundation::ids::VehicleId::new("VIN-MODEL-CAR-1");
+        group.bench_with_input(BenchmarkId::new("plan_with_catalogue", apps), &apps, |b, _| {
+            b.iter(|| {
+                server
+                    .plan_deployment(&vehicle, &AppId::new("remote-control"))
+                    .expect("plan succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn scenario_server_with_apps(extra_apps: usize) -> TrustedServer {
+    let mut server = TrustedServer::new();
+    let user = dynar_foundation::ids::UserId::new("alice");
+    let vehicle = dynar_foundation::ids::VehicleId::new("VIN-MODEL-CAR-1");
+    server.create_user(user.clone()).unwrap();
+    server
+        .register_vehicle(vehicle.clone(), bench_hw(), bench_system())
+        .unwrap();
+    server.bind_vehicle(&user, &vehicle).unwrap();
+    server.upload_app(remote_control_app().unwrap()).unwrap();
+    for index in 0..extra_apps {
+        let mut app = remote_control_app().unwrap();
+        app.id = AppId::new(format!("filler-{index}"));
+        server.upload_app(app).unwrap();
+    }
+    server
+}
+
+/// E6 — ablation: any number of plug-in ports multiplexed over one type II
+/// SW-C port pair (the paper's design) vs. the routing work growing with the
+/// number of ports.
+fn e6_port_multiplexing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_port_multiplexing");
+    for ports in [1u32, 16, 64] {
+        let mut pirte = multiplexing_pirte(ports);
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_type_ii", ports),
+            &ports,
+            |b, &ports| {
+                let mut next = 0u32;
+                b.iter(|| {
+                    let recipient = next % ports;
+                    next = next.wrapping_add(1);
+                    pirte
+                        .dispatch_swc_input(
+                            "s_in",
+                            Value::List(vec![Value::I64(i64::from(recipient)), Value::I64(7)]),
+                        )
+                        .unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn multiplexing_pirte(ports: u32) -> Pirte {
+    let config = PluginSwcConfig::new("mux").with_virtual_port(VirtualPortSpec::new(
+        VirtualPortId::new(0),
+        "In",
+        PortKind::TypeII,
+        PortDataDirection::ToPlugins,
+        "s_in",
+    ));
+    let mut pirte = Pirte::new(EcuId::new(1), config);
+    let binary = assemble("sink", "yield\nhalt").unwrap().to_bytes();
+    let mut pic = PortInitContext::new();
+    for port in 0..ports {
+        pic = pic.with_port(
+            format!("p{port}"),
+            PluginPortId::new(port),
+            PluginPortDirection::Required,
+        );
+    }
+    let context = InstallationContext::new(pic, PortLinkContext::new());
+    pirte
+        .install(InstallationPackage::new(
+            PluginId::new("sink"),
+            AppId::new("bench"),
+            binary,
+            context,
+        ))
+        .unwrap();
+    pirte
+}
+
+fn benches(c: &mut Criterion) {
+    fig3_signal_chain(c);
+    e1_deployment(c);
+    e2_mediation_overhead(c);
+    e3_server_scalability(c);
+    e6_port_multiplexing(c);
+}
+
+criterion_group! {
+    name = paper;
+    config = quick();
+    targets = benches
+}
+criterion_main!(paper);

@@ -1,0 +1,6 @@
+//! Benchmark support crate.
+//!
+//! The actual benchmarks live in `benches/paper.rs`; this library only
+//! re-exports the workload builders they share with the integration tests.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,44 @@
+//! A CAN-like in-vehicle network simulation.
+//!
+//! AUTOSAR's virtual function bus hides the physical topology from software
+//! components; when two communicating SW-Cs end up on different ECUs, the RTE
+//! maps their signals onto network frames (paper §2).  This crate provides the
+//! network those frames travel on: a broadcast bus with identifier-based
+//! arbitration (lowest identifier wins, as on CAN), per-tick bandwidth limits,
+//! configurable propagation latency and an optional probabilistic error model
+//! used by the fault-injection experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use dynar_bus::frame::{CanId, Frame};
+//! use dynar_bus::network::{Bus, BusConfig};
+//! use dynar_foundation::ids::EcuId;
+//! use dynar_foundation::time::Tick;
+//!
+//! # fn main() -> Result<(), dynar_foundation::error::DynarError> {
+//! let mut bus = Bus::new(BusConfig::default());
+//! let ecu1 = EcuId::new(1);
+//! let ecu2 = EcuId::new(2);
+//! bus.attach(ecu1);
+//! bus.attach(ecu2);
+//! bus.subscribe(ecu2, CanId::new(0x120)?);
+//!
+//! bus.send(ecu1, Frame::new(CanId::new(0x120)?, vec![1, 2, 3])?, Tick::ZERO)?;
+//! bus.step(Tick::new(1));
+//! bus.step(Tick::new(2));
+//! let delivered = bus.receive(ecu2);
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].payload(), &[1, 2, 3]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod network;
+
+pub use frame::{CanId, Frame};
+pub use network::{Bus, BusConfig, BusStats};

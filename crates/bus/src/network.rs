@@ -1,0 +1,417 @@
+//! The broadcast bus: attachment, subscription, arbitration and delivery.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::ids::EcuId;
+use dynar_foundation::time::Tick;
+
+use crate::frame::{CanId, Frame};
+
+/// Static configuration of one bus segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Number of frames that can complete transmission per tick.
+    pub frames_per_tick: usize,
+    /// Propagation plus queuing latency added to every frame, in ticks.
+    pub latency_ticks: u64,
+    /// Probability in `[0, 1]` that a transmitted frame is corrupted and
+    /// dropped (no automatic retransmission is modelled).
+    pub drop_probability: f64,
+    /// Seed of the error-model random number generator, so simulations are
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            frames_per_tick: 16,
+            latency_ticks: 1,
+            drop_probability: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Counters describing bus traffic so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Frames accepted for transmission.
+    pub sent: u64,
+    /// Frame deliveries into receiver mailboxes (one frame delivered to two
+    /// subscribers counts twice).
+    pub delivered: u64,
+    /// Frames dropped by the error model.
+    pub dropped: u64,
+    /// Frames that finished transmission without any subscriber.
+    pub unrouted: u64,
+    /// Largest queueing + transmission delay observed, in ticks.
+    pub worst_latency: u64,
+    /// Total payload bytes accepted for transmission.
+    pub payload_bytes: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PendingFrame {
+    frame: Frame,
+    sender: EcuId,
+    enqueued_at: Tick,
+    deliver_at: Tick,
+}
+
+/// A broadcast bus segment connecting a set of ECUs.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    config: BusConfig,
+    nodes: HashSet<EcuId>,
+    subscriptions: HashMap<EcuId, HashSet<CanId>>,
+    /// Frames accepted but not yet transmitted, ordered by identifier for
+    /// CAN-style arbitration and by enqueue time within one identifier.
+    arbitration_queue: BTreeMap<(CanId, u64), PendingFrame>,
+    arbitration_seq: u64,
+    /// Frames transmitted and awaiting their delivery time.
+    in_flight: Vec<PendingFrame>,
+    mailboxes: HashMap<EcuId, VecDeque<Frame>>,
+    stats: BusStats,
+    rng: StdRng,
+}
+
+impl Bus {
+    /// Creates a bus with the given configuration.
+    pub fn new(config: BusConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Bus {
+            config,
+            nodes: HashSet::new(),
+            subscriptions: HashMap::new(),
+            arbitration_queue: BTreeMap::new(),
+            arbitration_seq: 0,
+            in_flight: Vec::new(),
+            mailboxes: HashMap::new(),
+            stats: BusStats::default(),
+            rng,
+        }
+    }
+
+    /// The configuration the bus was created with.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Attaches an ECU to the bus, creating its receive mailbox.
+    pub fn attach(&mut self, ecu: EcuId) {
+        self.nodes.insert(ecu);
+        self.mailboxes.entry(ecu).or_default();
+        self.subscriptions.entry(ecu).or_default();
+    }
+
+    /// Returns `true` if the ECU is attached.
+    pub fn is_attached(&self, ecu: EcuId) -> bool {
+        self.nodes.contains(&ecu)
+    }
+
+    /// Subscribes an attached ECU to frames with the given identifier
+    /// (an acceptance-filter entry).
+    pub fn subscribe(&mut self, ecu: EcuId, id: CanId) {
+        self.attach(ecu);
+        self.subscriptions.entry(ecu).or_default().insert(id);
+    }
+
+    /// Queues a frame for transmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the sender is not attached.
+    pub fn send(&mut self, sender: EcuId, frame: Frame, now: Tick) -> Result<()> {
+        if !self.nodes.contains(&sender) {
+            return Err(DynarError::not_found("bus node", sender));
+        }
+        self.stats.sent += 1;
+        self.stats.payload_bytes += frame.dlc() as u64;
+        let key = (frame.id(), self.arbitration_seq);
+        self.arbitration_seq += 1;
+        self.arbitration_queue.insert(
+            key,
+            PendingFrame {
+                frame,
+                sender,
+                enqueued_at: now,
+                deliver_at: now,
+            },
+        );
+        Ok(())
+    }
+
+    /// Advances the bus to `now`: arbitrates pending frames within the
+    /// per-tick bandwidth, applies the error model and delivers frames whose
+    /// latency has elapsed into subscriber mailboxes.
+    pub fn step(&mut self, now: Tick) {
+        // Arbitration: lowest identifier first, FIFO within an identifier.
+        for _ in 0..self.config.frames_per_tick {
+            let Some((&key, _)) = self.arbitration_queue.iter().next() else {
+                break;
+            };
+            let mut pending = self
+                .arbitration_queue
+                .remove(&key)
+                .expect("key taken from iterator");
+            if self.config.drop_probability > 0.0
+                && self.rng.gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
+            {
+                self.stats.dropped += 1;
+                continue;
+            }
+            pending.deliver_at = now.advance(self.config.latency_ticks);
+            self.in_flight.push(pending);
+        }
+
+        // Delivery of frames whose latency has elapsed.
+        let due: Vec<PendingFrame> = {
+            let (due, not_due): (Vec<_>, Vec<_>) = self
+                .in_flight
+                .drain(..)
+                .partition(|p| p.deliver_at <= now || p.deliver_at.elapsed_since(now) == 0);
+            self.in_flight = not_due;
+            due
+        };
+        for pending in due {
+            let latency = now.elapsed_since(pending.enqueued_at);
+            if latency > self.stats.worst_latency {
+                self.stats.worst_latency = latency;
+            }
+            let mut any = false;
+            for (&ecu, filters) in &self.subscriptions {
+                if ecu != pending.sender && filters.contains(&pending.frame.id()) {
+                    self.mailboxes
+                        .entry(ecu)
+                        .or_default()
+                        .push_back(pending.frame.clone());
+                    self.stats.delivered += 1;
+                    any = true;
+                }
+            }
+            if !any {
+                self.stats.unrouted += 1;
+            }
+        }
+    }
+
+    /// Drains and returns every frame delivered to `ecu` so far.
+    pub fn receive(&mut self, ecu: EcuId) -> Vec<Frame> {
+        self.mailboxes
+            .get_mut(&ecu)
+            .map(|mb| mb.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of frames waiting in `ecu`'s mailbox.
+    pub fn pending_for(&self, ecu: EcuId) -> usize {
+        self.mailboxes.get(&ecu).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Number of frames still queued or in flight on the bus.
+    pub fn backlog(&self) -> usize {
+        self.arbitration_queue.len() + self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_bus(config: BusConfig) -> (Bus, EcuId, EcuId) {
+        let mut bus = Bus::new(config);
+        let a = EcuId::new(1);
+        let b = EcuId::new(2);
+        bus.attach(a);
+        bus.attach(b);
+        (bus, a, b)
+    }
+
+    #[test]
+    fn frames_reach_subscribers_only() {
+        let (mut bus, a, b) = two_node_bus(BusConfig::default());
+        let c = EcuId::new(3);
+        bus.attach(c);
+        bus.subscribe(b, CanId::new(0x10).unwrap());
+        bus.send(a, Frame::new(CanId::new(0x10).unwrap(), vec![1]).unwrap(), Tick::ZERO)
+            .unwrap();
+        bus.step(Tick::new(1));
+        bus.step(Tick::new(2));
+        assert_eq!(bus.receive(b).len(), 1);
+        assert!(bus.receive(c).is_empty());
+        assert!(bus.receive(a).is_empty(), "sender does not loop back");
+    }
+
+    #[test]
+    fn unattached_sender_is_rejected() {
+        let mut bus = Bus::new(BusConfig::default());
+        let err = bus
+            .send(
+                EcuId::new(9),
+                Frame::new(CanId::new(1).unwrap(), vec![]).unwrap(),
+                Tick::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DynarError::NotFound { .. }));
+    }
+
+    #[test]
+    fn arbitration_prefers_lower_identifiers() {
+        let config = BusConfig {
+            frames_per_tick: 1,
+            latency_ticks: 0,
+            ..BusConfig::default()
+        };
+        let (mut bus, a, b) = two_node_bus(config);
+        bus.subscribe(b, CanId::new(0x300).unwrap());
+        bus.subscribe(b, CanId::new(0x100).unwrap());
+        bus.send(a, Frame::new(CanId::new(0x300).unwrap(), vec![3]).unwrap(), Tick::ZERO)
+            .unwrap();
+        bus.send(a, Frame::new(CanId::new(0x100).unwrap(), vec![1]).unwrap(), Tick::ZERO)
+            .unwrap();
+
+        bus.step(Tick::new(1));
+        let first = bus.receive(b);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].id().raw(), 0x100, "lower id wins arbitration");
+
+        bus.step(Tick::new(2));
+        let second = bus.receive(b);
+        assert_eq!(second[0].id().raw(), 0x300);
+    }
+
+    #[test]
+    fn fifo_within_one_identifier() {
+        let config = BusConfig {
+            frames_per_tick: 1,
+            latency_ticks: 0,
+            ..BusConfig::default()
+        };
+        let (mut bus, a, b) = two_node_bus(config);
+        let id = CanId::new(0x42).unwrap();
+        bus.subscribe(b, id);
+        bus.send(a, Frame::new(id, vec![1]).unwrap(), Tick::ZERO).unwrap();
+        bus.send(a, Frame::new(id, vec![2]).unwrap(), Tick::ZERO).unwrap();
+        bus.step(Tick::new(1));
+        bus.step(Tick::new(2));
+        let frames = bus.receive(b);
+        assert_eq!(frames[0].payload(), &[1]);
+        assert_eq!(frames[1].payload(), &[2]);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let config = BusConfig {
+            latency_ticks: 5,
+            ..BusConfig::default()
+        };
+        let (mut bus, a, b) = two_node_bus(config);
+        let id = CanId::new(0x1).unwrap();
+        bus.subscribe(b, id);
+        bus.send(a, Frame::new(id, vec![7]).unwrap(), Tick::ZERO).unwrap();
+        bus.step(Tick::new(1));
+        assert_eq!(bus.pending_for(b), 0, "still in flight");
+        for t in 2..=6 {
+            bus.step(Tick::new(t));
+        }
+        assert_eq!(bus.pending_for(b), 1);
+        assert!(bus.stats().worst_latency >= 5);
+    }
+
+    #[test]
+    fn drop_probability_loses_frames() {
+        let config = BusConfig {
+            drop_probability: 1.0,
+            ..BusConfig::default()
+        };
+        let (mut bus, a, b) = two_node_bus(config);
+        let id = CanId::new(0x1).unwrap();
+        bus.subscribe(b, id);
+        for _ in 0..10 {
+            bus.send(a, Frame::new(id, vec![0]).unwrap(), Tick::ZERO).unwrap();
+        }
+        for t in 1..5 {
+            bus.step(Tick::new(t));
+        }
+        assert_eq!(bus.stats().dropped, 10);
+        assert_eq!(bus.receive(b).len(), 0);
+    }
+
+    #[test]
+    fn unrouted_frames_are_counted() {
+        let (mut bus, a, _b) = two_node_bus(BusConfig::default());
+        bus.send(a, Frame::new(CanId::new(0x9).unwrap(), vec![]).unwrap(), Tick::ZERO)
+            .unwrap();
+        bus.step(Tick::new(1));
+        bus.step(Tick::new(2));
+        assert_eq!(bus.stats().unrouted, 1);
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        let config = BusConfig {
+            frames_per_tick: 2,
+            latency_ticks: 0,
+            ..BusConfig::default()
+        };
+        let (mut bus, a, b) = two_node_bus(config);
+        let id = CanId::new(0x5).unwrap();
+        bus.subscribe(b, id);
+        for _ in 0..10 {
+            bus.send(a, Frame::new(id, vec![0]).unwrap(), Tick::ZERO).unwrap();
+        }
+        bus.step(Tick::new(1));
+        assert_eq!(bus.receive(b).len(), 2);
+        assert_eq!(bus.backlog(), 8);
+    }
+
+    #[test]
+    fn stats_track_payload_and_deliveries() {
+        let (mut bus, a, b) = two_node_bus(BusConfig::default());
+        let c = EcuId::new(3);
+        let id = CanId::new(0x20).unwrap();
+        bus.subscribe(b, id);
+        bus.subscribe(c, id);
+        bus.send(a, Frame::new(id, vec![0; 8]).unwrap(), Tick::ZERO).unwrap();
+        bus.step(Tick::new(1));
+        bus.step(Tick::new(2));
+        let stats = bus.stats();
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.payload_bytes, 8);
+        assert_eq!(stats.delivered, 2, "one copy per subscriber");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_drop_patterns() {
+        let config = BusConfig {
+            drop_probability: 0.5,
+            seed: 7,
+            latency_ticks: 0,
+            ..BusConfig::default()
+        };
+        let run = |config: BusConfig| {
+            let (mut bus, a, b) = two_node_bus(config);
+            let id = CanId::new(0x30).unwrap();
+            bus.subscribe(b, id);
+            for i in 0..50u64 {
+                bus.send(a, Frame::new(id, vec![i as u8]).unwrap(), Tick::new(i)).unwrap();
+                bus.step(Tick::new(i));
+            }
+            bus.stats().dropped
+        };
+        assert_eq!(run(config.clone()), run(config));
+    }
+}

@@ -1,0 +1,92 @@
+//! The dynamic component model for AUTOSAR — the paper's primary contribution.
+//!
+//! Classical AUTOSAR configures every software component, port and connection
+//! at design time; nothing can be added to a running vehicle without
+//! re-flashing the ECU.  The dynamic component model of the paper (§3) keeps
+//! that static world untouched and adds, *on top of it*:
+//!
+//! * **plug-in SW-Cs** ([`swc::PluginSwc`]) — ordinary AUTOSAR software
+//!   components that embed a virtual machine and a Plug-in Runtime
+//!   Environment, sandboxing downloaded plug-ins behind standard SW-C ports;
+//! * the **PIRTE** ([`pirte::Pirte`]) — a middleware with a static part (the
+//!   mapping between SW-C ports and *virtual ports*, the API exposed to
+//!   plug-ins) and a dynamic part (installation, port configuration and
+//!   scheduling of plug-ins);
+//! * **special-purpose port types** ([`virtual_port::PortKind`]) — type I
+//!   ports towards the external communication manager, type II ports between
+//!   plug-in SW-Cs, and type III ports towards the built-in software;
+//! * the **context model** ([`context`]) — the Port Initialization Context,
+//!   Port Linking Context and External Connection Context shipped with every
+//!   installation package, which tell the PIRTE how to wire a plug-in into a
+//!   particular vehicle;
+//! * **life-cycle management** ([`lifecycle`]) and the management
+//!   [`message`]s exchanged with the external communication manager and the
+//!   trusted server.
+//!
+//! # Example
+//!
+//! Install a tiny plug-in into a stand-alone PIRTE and let it forward a value
+//! from one of its ports to a virtual port of the hosting SW-C:
+//!
+//! ```
+//! use dynar_core::context::{InstallationContext, PortInitContext, PortLinkContext, LinkTarget};
+//! use dynar_core::message::InstallationPackage;
+//! use dynar_core::pirte::Pirte;
+//! use dynar_core::plugin::PluginPortDirection;
+//! use dynar_core::virtual_port::{PortKind, VirtualPortSpec, PortDataDirection};
+//! use dynar_core::swc::PluginSwcConfig;
+//! use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, VirtualPortId};
+//! use dynar_foundation::value::Value;
+//! use dynar_vm::assembler::assemble;
+//!
+//! # fn main() -> Result<(), dynar_foundation::error::DynarError> {
+//! // The OEM-provided static API: one type III virtual port bound to SW-C port "speed_req".
+//! let config = PluginSwcConfig::new("plugin-swc")
+//!     .with_virtual_port(VirtualPortSpec::new(
+//!         VirtualPortId::new(0),
+//!         "SpeedReq",
+//!         PortKind::TypeIII,
+//!         PortDataDirection::ToSystem,
+//!         "speed_req",
+//!     ));
+//! let mut pirte = Pirte::new(EcuId::new(1), config);
+//!
+//! // A plug-in that writes 42 to its port 0 and halts.
+//! let binary = assemble("demo", "push_int 42\nwrite_port 0\nhalt")?.to_bytes();
+//! let package = InstallationPackage::new(
+//!     PluginId::new("demo"),
+//!     AppId::new("demo-app"),
+//!     binary,
+//!     InstallationContext::new(
+//!         PortInitContext::new().with_port("out", PluginPortId::new(0), PluginPortDirection::Provided),
+//!         PortLinkContext::new().with_link(PluginPortId::new(0), LinkTarget::VirtualPort(VirtualPortId::new(0))),
+//!     ),
+//! );
+//! pirte.install(package)?;
+//! pirte.run_plugins();
+//!
+//! // The value surfaced on the SW-C port bound to the virtual port.
+//! let outbox = pirte.drain_outbox();
+//! assert_eq!(outbox, vec![("speed_req".to_string(), Value::I64(42))]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod lifecycle;
+pub mod message;
+pub mod pirte;
+pub mod plugin;
+pub mod swc;
+pub mod virtual_port;
+
+pub use context::{ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext};
+pub use lifecycle::PluginState;
+pub use message::{Ack, AckStatus, InstallationPackage, ManagementMessage};
+pub use pirte::{Pirte, PirteStats};
+pub use plugin::{Plugin, PluginPortDirection};
+pub use swc::{PluginSwc, PluginSwcConfig, SharedPirte};
+pub use virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};

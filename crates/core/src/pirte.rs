@@ -1,0 +1,1002 @@
+//! The Plug-in Runtime Environment (PIRTE).
+//!
+//! The PIRTE is the middleware inside every plug-in SW-C (§3.1.2).  Its
+//! *static part* maps SW-C ports to virtual ports — the API the OEM exposes to
+//! plug-ins.  Its *dynamic part* installs and manages plug-ins, configures
+//! their port connections from the shipped PIC/PLC/ECC contexts, schedules
+//! their virtual machines under best-effort budgets and translates every
+//! signal that crosses the plug-in boundary.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::ids::{EcuId, PluginId, PluginPortId, VirtualPortId};
+use dynar_foundation::log::{EventLog, Severity};
+use dynar_foundation::time::Tick;
+use dynar_foundation::value::Value;
+use dynar_vm::interpreter::{PortHost, VmStatus};
+
+use crate::context::LinkTarget;
+use crate::lifecycle::{LifecycleRequest, PluginState};
+use crate::message::{Ack, AckStatus, InstallationPackage, ManagementMessage};
+use crate::plugin::{Plugin, PluginPort, PluginPortDirection, VmOutcome};
+use crate::swc::PluginSwcConfig;
+use crate::virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};
+
+/// Counters describing one PIRTE instance's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PirteStats {
+    /// Successful plug-in installations.
+    pub installs: u64,
+    /// Successful plug-in uninstallations.
+    pub uninstalls: u64,
+    /// Installation or management operations that were rejected.
+    pub rejected_operations: u64,
+    /// Values delivered into plug-in ports.
+    pub signals_in: u64,
+    /// Values written by plug-ins through virtual ports.
+    pub signals_out: u64,
+    /// Execution slots granted to plug-ins.
+    pub slots_granted: u64,
+    /// Total VM instructions executed across all plug-ins.
+    pub instructions_executed: u64,
+    /// Plug-ins that faulted.
+    pub plugin_faults: u64,
+}
+
+/// The Plug-in Runtime Environment of one plug-in SW-C.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Pirte {
+    ecu: EcuId,
+    config: PluginSwcConfig,
+    virtual_ports: HashMap<VirtualPortId, VirtualPortSpec>,
+    swc_port_to_virtual: HashMap<String, VirtualPortId>,
+    plugins: Vec<Plugin>,
+    plugin_index: HashMap<PluginId, usize>,
+    used_port_ids: HashSet<PluginPortId>,
+    /// Values to be written on SW-C ports by the hosting component behaviour.
+    outbox: Vec<(String, Value)>,
+    /// Values written by plug-ins on direct-linked (PLC `{Px-}`) ports,
+    /// consumed by the embedding SW-C (the ECM uses this for outbound
+    /// external data).
+    direct_outputs: Vec<(PluginId, PluginPortId, Value)>,
+    log: EventLog,
+    stats: PirteStats,
+    now: Tick,
+}
+
+impl Pirte {
+    /// Creates a PIRTE from the OEM-provided static configuration.
+    pub fn new(ecu: EcuId, config: PluginSwcConfig) -> Self {
+        let mut virtual_ports = HashMap::new();
+        let mut swc_port_to_virtual = HashMap::new();
+        for spec in config.virtual_ports() {
+            swc_port_to_virtual.insert(spec.swc_port().to_owned(), spec.id());
+            virtual_ports.insert(spec.id(), spec.clone());
+        }
+        Pirte {
+            ecu,
+            config,
+            virtual_ports,
+            swc_port_to_virtual,
+            plugins: Vec::new(),
+            plugin_index: HashMap::new(),
+            used_port_ids: HashSet::new(),
+            outbox: Vec::new(),
+            direct_outputs: Vec::new(),
+            log: EventLog::new(),
+            stats: PirteStats::default(),
+            now: Tick::ZERO,
+        }
+    }
+
+    /// The ECU this PIRTE runs on.
+    pub fn ecu(&self) -> EcuId {
+        self.ecu
+    }
+
+    /// The static configuration of the hosting plug-in SW-C.
+    pub fn config(&self) -> &PluginSwcConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PirteStats {
+        self.stats
+    }
+
+    /// The PIRTE's event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Informs the PIRTE of the current simulated time (used only for log
+    /// timestamps).
+    pub fn set_now(&mut self, now: Tick) {
+        self.now = now;
+    }
+
+    /// The virtual-port declaration with the given id.
+    pub fn virtual_port(&self, id: VirtualPortId) -> Option<&VirtualPortSpec> {
+        self.virtual_ports.get(&id)
+    }
+
+    /// Identifiers and states of every installed plug-in.
+    pub fn plugin_states(&self) -> Vec<(PluginId, PluginState)> {
+        self.plugins
+            .iter()
+            .map(|p| (p.id().clone(), p.state()))
+            .collect()
+    }
+
+    /// Read access to an installed plug-in.
+    pub fn plugin(&self, id: &PluginId) -> Option<&Plugin> {
+        self.plugin_index.get(id).map(|&i| &self.plugins[i])
+    }
+
+    /// Number of installed plug-ins.
+    pub fn plugin_count(&self) -> usize {
+        self.plugins.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic part: installation and life-cycle management
+    // ------------------------------------------------------------------
+
+    /// Installs a plug-in from an installation package and starts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Duplicate`] if the plug-in or one of its port ids
+    /// is already present, [`DynarError::NotFound`] if the PLC references a
+    /// virtual port the static configuration does not declare, and propagates
+    /// binary/context validation errors.
+    pub fn install(&mut self, package: InstallationPackage) -> Result<()> {
+        if self.plugin_index.contains_key(&package.plugin) {
+            self.stats.rejected_operations += 1;
+            return Err(DynarError::duplicate("plug-in", &package.plugin));
+        }
+        for init in package.context.pic.ports() {
+            if self.used_port_ids.contains(&init.id) {
+                self.stats.rejected_operations += 1;
+                return Err(DynarError::duplicate("plug-in port id", init.id));
+            }
+        }
+        for link in package.context.plc.links() {
+            let referenced = match link.target {
+                LinkTarget::VirtualPort(v) => Some(v),
+                LinkTarget::RemotePluginPort { via, .. } => Some(via),
+                LinkTarget::Direct => None,
+            };
+            if let Some(v) = referenced {
+                if !self.virtual_ports.contains_key(&v) {
+                    self.stats.rejected_operations += 1;
+                    return Err(DynarError::not_found("virtual port", v));
+                }
+            }
+        }
+
+        let mut plugin = Plugin::instantiate(
+            package.plugin.clone(),
+            package.app.clone(),
+            &package.binary,
+            &package.context,
+            self.config.plugin_budget(),
+        )?;
+        plugin.request(LifecycleRequest::Start)?;
+
+        for init in package.context.pic.ports() {
+            self.used_port_ids.insert(init.id);
+        }
+        self.plugin_index
+            .insert(package.plugin.clone(), self.plugins.len());
+        self.plugins.push(plugin);
+        self.stats.installs += 1;
+        self.log.record(
+            self.now,
+            Severity::Info,
+            "pirte",
+            format!("installed and started plug-in {}", package.plugin.name()),
+        );
+        Ok(())
+    }
+
+    /// Uninstalls a plug-in, stopping it first if necessary and freeing its
+    /// port ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the plug-in is not installed.
+    pub fn uninstall(&mut self, id: &PluginId) -> Result<()> {
+        let index = *self
+            .plugin_index
+            .get(id)
+            .ok_or_else(|| DynarError::not_found("plug-in", id))?;
+        if self.plugins[index].state() == PluginState::Running {
+            self.plugins[index].request(LifecycleRequest::Stop)?;
+        }
+        let removed = self.plugins.remove(index);
+        for port in removed.ports() {
+            self.used_port_ids.remove(&port.id);
+        }
+        self.plugin_index.remove(id);
+        for value in self.plugin_index.values_mut() {
+            if *value > index {
+                *value -= 1;
+            }
+        }
+        self.stats.uninstalls += 1;
+        self.log.record(
+            self.now,
+            Severity::Info,
+            "pirte",
+            format!("uninstalled plug-in {}", id.name()),
+        );
+        Ok(())
+    }
+
+    /// Stops a running plug-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown plug-ins and
+    /// [`DynarError::LifecycleViolation`] for illegal transitions.
+    pub fn stop(&mut self, id: &PluginId) -> Result<()> {
+        self.plugin_mut(id)?.request(LifecycleRequest::Stop)?;
+        Ok(())
+    }
+
+    /// Starts a stopped (or restarts a failed/finished) plug-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown plug-ins and
+    /// [`DynarError::LifecycleViolation`] for illegal transitions.
+    pub fn start(&mut self, id: &PluginId) -> Result<()> {
+        let plugin = self.plugin_mut(id)?;
+        match plugin.state() {
+            PluginState::Failed | PluginState::Finished => {
+                plugin.request(LifecycleRequest::Restart)?;
+            }
+            _ => {
+                plugin.request(LifecycleRequest::Start)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles one management message, returning the acknowledgements (and
+    /// other responses) to send back towards the server.
+    pub fn handle_management(&mut self, message: ManagementMessage) -> Vec<ManagementMessage> {
+        let ecu = self.ecu;
+        let ack = |plugin: &PluginId, app: &str, status: AckStatus| {
+            ManagementMessage::Ack(Ack {
+                plugin: plugin.clone(),
+                app: dynar_foundation::ids::AppId::new(app),
+                ecu,
+                status,
+            })
+        };
+        match message {
+            ManagementMessage::Install(package) => {
+                let plugin = package.plugin.clone();
+                let app = package.app.name().to_owned();
+                let status = match self.install(package) {
+                    Ok(()) => AckStatus::Installed,
+                    Err(err) => AckStatus::Failed(err.to_string()),
+                };
+                vec![ack(&plugin, &app, status)]
+            }
+            ManagementMessage::Uninstall { plugin } => {
+                let app = self
+                    .plugin(&plugin)
+                    .map(|p| p.app().name().to_owned())
+                    .unwrap_or_default();
+                let status = match self.uninstall(&plugin) {
+                    Ok(()) => AckStatus::Uninstalled,
+                    Err(err) => AckStatus::Failed(err.to_string()),
+                };
+                vec![ack(&plugin, &app, status)]
+            }
+            ManagementMessage::Stop { plugin } => {
+                let app = self
+                    .plugin(&plugin)
+                    .map(|p| p.app().name().to_owned())
+                    .unwrap_or_default();
+                let status = match self.stop(&plugin) {
+                    Ok(()) => AckStatus::Stopped,
+                    Err(err) => AckStatus::Failed(err.to_string()),
+                };
+                vec![ack(&plugin, &app, status)]
+            }
+            ManagementMessage::Start { plugin } => {
+                let app = self
+                    .plugin(&plugin)
+                    .map(|p| p.app().name().to_owned())
+                    .unwrap_or_default();
+                let status = match self.start(&plugin) {
+                    Ok(()) => AckStatus::Started,
+                    Err(err) => AckStatus::Failed(err.to_string()),
+                };
+                vec![ack(&plugin, &app, status)]
+            }
+            ManagementMessage::ExternalData { port, payload } => {
+                if let Err(err) = self.deliver_to_port(port, payload) {
+                    self.log.record(
+                        self.now,
+                        Severity::Warning,
+                        "pirte",
+                        format!("dropped external data for {port}: {err}"),
+                    );
+                }
+                Vec::new()
+            }
+            other => {
+                self.log.record(
+                    self.now,
+                    Severity::Warning,
+                    "pirte",
+                    format!("ignoring unexpected management message type {}", other.type_id()),
+                );
+                Vec::new()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Signal routing
+    // ------------------------------------------------------------------
+
+    /// Dispatches a value that arrived on one of the hosting SW-C's required
+    /// ports, according to the port's type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the SW-C port is not mapped to a
+    /// virtual port, and [`DynarError::ProtocolViolation`] for malformed
+    /// type I or type II payloads.
+    pub fn dispatch_swc_input(&mut self, swc_port: &str, value: Value) -> Result<()> {
+        if self.config.is_type_i_in(swc_port) {
+            let message = ManagementMessage::from_value(&value)?;
+            let responses = self.handle_management(message);
+            if let Some(out_port) = self.config.type_i_out().map(str::to_owned) {
+                for response in responses {
+                    self.outbox.push((out_port.clone(), response.to_value()));
+                }
+            }
+            return Ok(());
+        }
+        let virtual_id = *self
+            .swc_port_to_virtual
+            .get(swc_port)
+            .ok_or_else(|| DynarError::not_found("virtual port for SW-C port", swc_port))?;
+        let spec = self.virtual_ports[&virtual_id].clone();
+        match spec.kind() {
+            PortKind::TypeI => {
+                let message = ManagementMessage::from_value(&value)?;
+                let responses = self.handle_management(message);
+                if let Some(out_port) = self.config.type_i_out().map(str::to_owned) {
+                    for response in responses {
+                        self.outbox.push((out_port.clone(), response.to_value()));
+                    }
+                }
+                Ok(())
+            }
+            PortKind::TypeII => {
+                let parts = value.as_list().ok_or_else(|| {
+                    DynarError::ProtocolViolation("type II payload is not a list".into())
+                })?;
+                let [recipient, payload] = parts else {
+                    return Err(DynarError::ProtocolViolation(
+                        "type II payload must carry a recipient id and a value".into(),
+                    ));
+                };
+                let recipient = PluginPortId::new(recipient.expect_i64()? as u32);
+                self.deliver_to_port(recipient, spec.transform().apply(payload.clone()))
+            }
+            PortKind::TypeIII => {
+                let transformed = spec.transform().apply(value);
+                let mut delivered = 0;
+                for plugin in &mut self.plugins {
+                    for port in plugin
+                        .ports()
+                        .iter()
+                        .filter(|p| {
+                            p.direction == PluginPortDirection::Required
+                                && p.link == LinkTarget::VirtualPort(virtual_id)
+                        })
+                        .map(|p| p.id)
+                        .collect::<Vec<_>>()
+                    {
+                        if let Some(port) = plugin.port_mut(port) {
+                            port.push(transformed.clone());
+                            delivered += 1;
+                        }
+                    }
+                }
+                self.stats.signals_in += delivered;
+                Ok(())
+            }
+        }
+    }
+
+    /// Delivers a value directly into a plug-in port (used for external data
+    /// and by the ECM for directly linked ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if no installed plug-in owns the port
+    /// and [`DynarError::PortDirection`] if the port is not a required port.
+    pub fn deliver_to_port(&mut self, port: PluginPortId, value: Value) -> Result<()> {
+        for plugin in &mut self.plugins {
+            if let Some(slot) = plugin.port_mut(port) {
+                if slot.direction != PluginPortDirection::Required {
+                    return Err(DynarError::PortDirection {
+                        port: port.to_string(),
+                        expected: "required",
+                    });
+                }
+                slot.push(value);
+                self.stats.signals_in += 1;
+                return Ok(());
+            }
+        }
+        Err(DynarError::not_found("plug-in port", port))
+    }
+
+    /// Reads the last value a plug-in wrote on one of its ports (diagnostics
+    /// and tests).
+    pub fn read_plugin_port(&self, plugin: &PluginId, port: PluginPortId) -> Option<Value> {
+        self.plugin(plugin)
+            .and_then(|p| p.port(port))
+            .map(|p| p.last().clone())
+    }
+
+    /// Records a warning in the PIRTE log (used by the hosting SW-C when it
+    /// has to drop or reroute data).
+    pub fn log_warning(&mut self, message: impl Into<String>) {
+        self.log
+            .record(self.now, Severity::Warning, "plugin-swc", message);
+    }
+
+    /// Drains the SW-C port writes produced by plug-ins (and management
+    /// acknowledgements) since the last call.
+    pub fn drain_outbox(&mut self) -> Vec<(String, Value)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the values plug-ins wrote on directly linked ports.
+    pub fn take_direct_outputs(&mut self) -> Vec<(PluginId, PluginPortId, Value)> {
+        std::mem::take(&mut self.direct_outputs)
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// Grants every running plug-in one best-effort execution slot and
+    /// returns the number of slots granted.
+    pub fn run_plugins(&mut self) -> usize {
+        let mut slots = 0;
+        for index in 0..self.plugins.len() {
+            if !self.plugins[index].state().is_schedulable() {
+                continue;
+            }
+            slots += 1;
+            let plugin_id = self.plugins[index].id().clone();
+            let outcome = {
+                let (vm, ports) = self.plugins[index].split_for_run();
+                let mut host = PirteHost {
+                    plugin: &plugin_id,
+                    ports,
+                    virtual_ports: &self.virtual_ports,
+                    outbox: &mut self.outbox,
+                    direct_outputs: &mut self.direct_outputs,
+                    log: &mut self.log,
+                    stats: &mut self.stats,
+                    now: self.now,
+                };
+                vm.run_slot(&mut host)
+            };
+            match outcome {
+                Ok(report) => {
+                    self.stats.slots_granted += 1;
+                    self.stats.instructions_executed += report.instructions;
+                    if report.status == VmStatus::Halted {
+                        self.plugins[index].record_vm_outcome(VmOutcome::Finished);
+                    }
+                }
+                Err(err) => {
+                    self.stats.slots_granted += 1;
+                    self.stats.plugin_faults += 1;
+                    self.log.record(
+                        self.now,
+                        Severity::Error,
+                        "pirte",
+                        format!("plug-in {} faulted: {err}", plugin_id.name()),
+                    );
+                    self.plugins[index].record_vm_outcome(VmOutcome::Faulted);
+                }
+            }
+        }
+        slots
+    }
+
+    fn plugin_mut(&mut self, id: &PluginId) -> Result<&mut Plugin> {
+        let index = *self
+            .plugin_index
+            .get(id)
+            .ok_or_else(|| DynarError::not_found("plug-in", id))?;
+        Ok(&mut self.plugins[index])
+    }
+}
+
+/// The [`PortHost`] adapter that exposes a plug-in's ports (and, through its
+/// PLC links, the virtual ports) to the running VM.
+struct PirteHost<'a> {
+    plugin: &'a PluginId,
+    ports: &'a mut [PluginPort],
+    virtual_ports: &'a HashMap<VirtualPortId, VirtualPortSpec>,
+    outbox: &'a mut Vec<(String, Value)>,
+    direct_outputs: &'a mut Vec<(PluginId, PluginPortId, Value)>,
+    log: &'a mut EventLog,
+    stats: &'a mut PirteStats,
+    now: Tick,
+}
+
+impl PirteHost<'_> {
+    fn port_mut(&mut self, slot: u32) -> Result<&mut PluginPort> {
+        self.ports
+            .get_mut(slot as usize)
+            .ok_or_else(|| DynarError::not_found("plug-in port slot", slot))
+    }
+}
+
+impl PortHost for PirteHost<'_> {
+    fn read_port(&mut self, slot: u32) -> Result<Value> {
+        Ok(self.port_mut(slot)?.last().clone())
+    }
+
+    fn take_port(&mut self, slot: u32) -> Result<Value> {
+        let port = self.port_mut(slot)?;
+        if port.direction != PluginPortDirection::Required {
+            return Err(DynarError::PortDirection {
+                port: port.id.to_string(),
+                expected: "required",
+            });
+        }
+        Ok(port.take().unwrap_or_default())
+    }
+
+    fn write_port(&mut self, slot: u32, value: Value) -> Result<()> {
+        let (port_id, link) = {
+            let port = self.port_mut(slot)?;
+            if port.direction != PluginPortDirection::Provided {
+                return Err(DynarError::PortDirection {
+                    port: port.id.to_string(),
+                    expected: "provided",
+                });
+            }
+            port.record_output(value.clone());
+            (port.id, port.link)
+        };
+        self.stats.signals_out += 1;
+        match link {
+            LinkTarget::Direct => {
+                self.direct_outputs
+                    .push((self.plugin.clone(), port_id, value));
+            }
+            LinkTarget::VirtualPort(virtual_id) => {
+                let spec = self
+                    .virtual_ports
+                    .get(&virtual_id)
+                    .ok_or_else(|| DynarError::not_found("virtual port", virtual_id))?;
+                if spec.direction() != PortDataDirection::ToSystem {
+                    return Err(DynarError::PortDirection {
+                        port: spec.name().to_owned(),
+                        expected: "to-system",
+                    });
+                }
+                self.outbox
+                    .push((spec.swc_port().to_owned(), spec.transform().apply(value)));
+            }
+            LinkTarget::RemotePluginPort { via, remote } => {
+                let spec = self
+                    .virtual_ports
+                    .get(&via)
+                    .ok_or_else(|| DynarError::not_found("virtual port", via))?;
+                let wrapped = Value::List(vec![
+                    Value::I64(i64::from(remote.index())),
+                    spec.transform().apply(value),
+                ]);
+                self.outbox.push((spec.swc_port().to_owned(), wrapped));
+            }
+        }
+        Ok(())
+    }
+
+    fn pending(&mut self, slot: u32) -> Result<usize> {
+        Ok(self.port_mut(slot)?.pending())
+    }
+
+    fn log(&mut self, message: &str) {
+        self.log.record(
+            self.now,
+            Severity::Info,
+            format!("plugin:{}", self.plugin.name()),
+            message,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{
+        InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
+    };
+    use crate::swc::PluginSwcConfig;
+    use dynar_foundation::ids::AppId;
+    use dynar_vm::assembler::assemble;
+
+    fn config() -> PluginSwcConfig {
+        PluginSwcConfig::new("plugin-swc")
+            .with_type_i_ports("mgmt_in", "mgmt_out")
+            .with_virtual_port(VirtualPortSpec::new(
+                VirtualPortId::new(0),
+                "PluginData",
+                PortKind::TypeII,
+                PortDataDirection::ToSystem,
+                "s0_out",
+            ))
+            .with_virtual_port(VirtualPortSpec::new(
+                VirtualPortId::new(3),
+                "PluginDataIn",
+                PortKind::TypeII,
+                PortDataDirection::ToPlugins,
+                "s3_in",
+            ))
+            .with_virtual_port(VirtualPortSpec::new(
+                VirtualPortId::new(4),
+                "WheelsReq",
+                PortKind::TypeIII,
+                PortDataDirection::ToSystem,
+                "wheels_req",
+            ))
+            .with_virtual_port(VirtualPortSpec::new(
+                VirtualPortId::new(6),
+                "SpeedProv",
+                PortKind::TypeIII,
+                PortDataDirection::ToPlugins,
+                "speed_prov",
+            ))
+    }
+
+    fn pirte() -> Pirte {
+        Pirte::new(EcuId::new(2), config())
+    }
+
+    fn forwarder_package(name: &str) -> InstallationPackage {
+        // Reads its required port 0 and forwards to provided port 1 (linked
+        // to the type III WheelsReq virtual port), forever.
+        let binary = assemble(
+            name,
+            r#"
+        loop:
+            port_pending 0
+            push_int 0
+            gt
+            jump_if_false idle
+            take_port 0
+            write_port 1
+            jump loop
+        idle:
+            yield
+            jump loop
+            "#,
+        )
+        .unwrap()
+        .to_bytes();
+        let context = InstallationContext::new(
+            PortInitContext::new()
+                .with_port("in", PluginPortId::new(0), PluginPortDirection::Required)
+                .with_port("out", PluginPortId::new(1), PluginPortDirection::Provided),
+            PortLinkContext::new()
+                .with_link(PluginPortId::new(0), LinkTarget::VirtualPort(VirtualPortId::new(6)))
+                .with_link(PluginPortId::new(1), LinkTarget::VirtualPort(VirtualPortId::new(4))),
+        );
+        InstallationPackage::new(PluginId::new(name), AppId::new("app"), binary, context)
+    }
+
+    #[test]
+    fn install_run_and_route_type_iii() {
+        let mut pirte = pirte();
+        pirte.install(forwarder_package("fwd")).unwrap();
+        assert_eq!(pirte.plugin_count(), 1);
+        assert_eq!(
+            pirte.plugin_states(),
+            vec![(PluginId::new("fwd"), PluginState::Running)]
+        );
+
+        // A value arrives on the SW-C port behind the type III virtual port V6.
+        pirte
+            .dispatch_swc_input("speed_prov", Value::F64(7.5))
+            .unwrap();
+        pirte.run_plugins();
+        let outbox = pirte.drain_outbox();
+        assert_eq!(outbox, vec![("wheels_req".to_string(), Value::F64(7.5))]);
+        assert!(pirte.stats().signals_in >= 1);
+        assert!(pirte.stats().signals_out >= 1);
+    }
+
+    #[test]
+    fn duplicate_install_and_duplicate_port_ids_are_rejected() {
+        let mut pirte = pirte();
+        pirte.install(forwarder_package("fwd")).unwrap();
+        let err = pirte.install(forwarder_package("fwd")).unwrap_err();
+        assert!(matches!(err, DynarError::Duplicate { .. }));
+
+        // Different plug-in name, same port ids: the server is supposed to
+        // assign unique ids; the PIRTE enforces it.
+        let err = pirte.install(forwarder_package("other")).unwrap_err();
+        assert!(matches!(err, DynarError::Duplicate { .. }));
+        assert_eq!(pirte.stats().rejected_operations, 2);
+    }
+
+    #[test]
+    fn plc_referencing_unknown_virtual_port_is_rejected() {
+        let mut pirte = pirte();
+        let binary = assemble("p", "halt").unwrap().to_bytes();
+        let context = InstallationContext::new(
+            PortInitContext::new().with_port("x", PluginPortId::new(9), PluginPortDirection::Provided),
+            PortLinkContext::new().with_link(
+                PluginPortId::new(9),
+                LinkTarget::VirtualPort(VirtualPortId::new(99)),
+            ),
+        );
+        let package = InstallationPackage::new(PluginId::new("p"), AppId::new("a"), binary, context);
+        assert!(matches!(
+            pirte.install(package).unwrap_err(),
+            DynarError::NotFound { .. }
+        ));
+    }
+
+    #[test]
+    fn uninstall_frees_port_ids() {
+        let mut pirte = pirte();
+        pirte.install(forwarder_package("fwd")).unwrap();
+        pirte.uninstall(&PluginId::new("fwd")).unwrap();
+        assert_eq!(pirte.plugin_count(), 0);
+        // The same port ids can now be used again.
+        pirte.install(forwarder_package("fwd2")).unwrap();
+        assert_eq!(pirte.stats().installs, 2);
+        assert_eq!(pirte.stats().uninstalls, 1);
+        assert!(pirte.uninstall(&PluginId::new("ghost")).is_err());
+    }
+
+    #[test]
+    fn type_ii_input_unwraps_recipient_id() {
+        let mut pirte = pirte();
+        pirte.install(forwarder_package("fwd")).unwrap();
+        // Type II payloads carry [recipient plug-in port id, value].
+        pirte
+            .dispatch_swc_input(
+                "s3_in",
+                Value::List(vec![Value::I64(0), Value::Text("turn-left".into())]),
+            )
+            .unwrap();
+        pirte.run_plugins();
+        let outbox = pirte.drain_outbox();
+        assert_eq!(
+            outbox,
+            vec![("wheels_req".to_string(), Value::Text("turn-left".into()))]
+        );
+    }
+
+    #[test]
+    fn type_ii_remote_link_attaches_recipient_id() {
+        let mut pirte = pirte();
+        // A plug-in whose provided port 1 is linked to remote port P5 through
+        // the type II virtual port V0.
+        let binary = assemble("com", "take_port 0\nwrite_port 1\nyield\nhalt")
+            .unwrap()
+            .to_bytes();
+        let context = InstallationContext::new(
+            PortInitContext::new()
+                .with_port("in", PluginPortId::new(0), PluginPortDirection::Required)
+                .with_port("out", PluginPortId::new(1), PluginPortDirection::Provided),
+            PortLinkContext::new()
+                .with_link(PluginPortId::new(0), LinkTarget::Direct)
+                .with_link(
+                    PluginPortId::new(1),
+                    LinkTarget::RemotePluginPort {
+                        via: VirtualPortId::new(0),
+                        remote: PluginPortId::new(5),
+                    },
+                ),
+        );
+        pirte
+            .install(InstallationPackage::new(
+                PluginId::new("com"),
+                AppId::new("a"),
+                binary,
+                context,
+            ))
+            .unwrap();
+        pirte
+            .deliver_to_port(PluginPortId::new(0), Value::I64(30))
+            .unwrap();
+        pirte.run_plugins();
+        let outbox = pirte.drain_outbox();
+        assert_eq!(
+            outbox,
+            vec![(
+                "s0_out".to_string(),
+                Value::List(vec![Value::I64(5), Value::I64(30)])
+            )]
+        );
+    }
+
+    #[test]
+    fn direct_linked_provided_ports_surface_to_the_embedder() {
+        let mut pirte = pirte();
+        let binary = assemble("p", "push_int 9\nwrite_port 0\nhalt").unwrap().to_bytes();
+        let context = InstallationContext::new(
+            PortInitContext::new().with_port("out", PluginPortId::new(0), PluginPortDirection::Provided),
+            PortLinkContext::new().with_link(PluginPortId::new(0), LinkTarget::Direct),
+        );
+        pirte
+            .install(InstallationPackage::new(
+                PluginId::new("p"),
+                AppId::new("a"),
+                binary,
+                context,
+            ))
+            .unwrap();
+        pirte.run_plugins();
+        assert_eq!(
+            pirte.take_direct_outputs(),
+            vec![(PluginId::new("p"), PluginPortId::new(0), Value::I64(9))]
+        );
+        assert!(pirte.drain_outbox().is_empty());
+    }
+
+    #[test]
+    fn management_messages_produce_acks() {
+        let mut pirte = pirte();
+        let install = ManagementMessage::Install(forwarder_package("fwd"));
+        let responses = pirte.handle_management(install);
+        assert_eq!(responses.len(), 1);
+        match &responses[0] {
+            ManagementMessage::Ack(ack) => {
+                assert_eq!(ack.status, AckStatus::Installed);
+                assert_eq!(ack.ecu, EcuId::new(2));
+            }
+            other => panic!("expected an ack, got {other:?}"),
+        }
+
+        let responses =
+            pirte.handle_management(ManagementMessage::Uninstall { plugin: PluginId::new("ghost") });
+        match &responses[0] {
+            ManagementMessage::Ack(ack) => assert!(matches!(ack.status, AckStatus::Failed(_))),
+            other => panic!("expected an ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_i_input_is_decoded_and_acknowledged_on_the_out_port() {
+        let mut pirte = pirte();
+        let message = ManagementMessage::Install(forwarder_package("fwd")).to_value();
+        pirte.dispatch_swc_input("mgmt_in", message).unwrap();
+        let outbox = pirte.drain_outbox();
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].0, "mgmt_out");
+        let ack = ManagementMessage::from_value(&outbox[0].1).unwrap();
+        assert!(matches!(
+            ack,
+            ManagementMessage::Ack(Ack { status: AckStatus::Installed, .. })
+        ));
+    }
+
+    #[test]
+    fn stop_start_lifecycle_via_management() {
+        let mut pirte = pirte();
+        pirte.install(forwarder_package("fwd")).unwrap();
+        let id = PluginId::new("fwd");
+        pirte.handle_management(ManagementMessage::Stop { plugin: id.clone() });
+        assert_eq!(pirte.plugin(&id).unwrap().state(), PluginState::Stopped);
+        assert_eq!(pirte.run_plugins(), 0, "stopped plug-ins get no slots");
+        pirte.handle_management(ManagementMessage::Start { plugin: id.clone() });
+        assert_eq!(pirte.plugin(&id).unwrap().state(), PluginState::Running);
+        assert_eq!(pirte.run_plugins(), 1);
+    }
+
+    #[test]
+    fn faulting_plugins_are_contained() {
+        let mut pirte = pirte();
+        let binary = assemble("bad", "push_int 1\npush_int 0\ndiv\nhalt").unwrap().to_bytes();
+        let context = InstallationContext::new(PortInitContext::new(), PortLinkContext::new());
+        pirte
+            .install(InstallationPackage::new(
+                PluginId::new("bad"),
+                AppId::new("a"),
+                binary,
+                context,
+            ))
+            .unwrap();
+        pirte.install(forwarder_package("good")).unwrap();
+        pirte.run_plugins();
+        assert_eq!(
+            pirte.plugin(&PluginId::new("bad")).unwrap().state(),
+            PluginState::Failed
+        );
+        assert_eq!(
+            pirte.plugin(&PluginId::new("good")).unwrap().state(),
+            PluginState::Running,
+            "a faulting plug-in does not take the others down"
+        );
+        assert_eq!(pirte.stats().plugin_faults, 1);
+        assert!(pirte.log().count_at_least(Severity::Error) >= 1);
+    }
+
+    #[test]
+    fn halted_plugins_finish_and_stop_consuming_slots() {
+        let mut pirte = pirte();
+        let binary = assemble("oneshot", "push_int 1\npop\nhalt").unwrap().to_bytes();
+        let context = InstallationContext::new(PortInitContext::new(), PortLinkContext::new());
+        pirte
+            .install(InstallationPackage::new(
+                PluginId::new("oneshot"),
+                AppId::new("a"),
+                binary,
+                context,
+            ))
+            .unwrap();
+        assert_eq!(pirte.run_plugins(), 1);
+        assert_eq!(
+            pirte.plugin(&PluginId::new("oneshot")).unwrap().state(),
+            PluginState::Finished
+        );
+        assert_eq!(pirte.run_plugins(), 0);
+    }
+
+    #[test]
+    fn external_data_reaches_direct_ports() {
+        let mut pirte = pirte();
+        let binary = assemble("com", "yield\nhalt").unwrap().to_bytes();
+        let context = InstallationContext::new(
+            PortInitContext::new().with_port("ext", PluginPortId::new(0), PluginPortDirection::Required),
+            PortLinkContext::new().with_link(PluginPortId::new(0), LinkTarget::Direct),
+        );
+        pirte
+            .install(InstallationPackage::new(
+                PluginId::new("com"),
+                AppId::new("a"),
+                binary,
+                context,
+            ))
+            .unwrap();
+        let responses = pirte.handle_management(ManagementMessage::ExternalData {
+            port: PluginPortId::new(0),
+            payload: Value::Text("Wheels:30".into()),
+        });
+        assert!(responses.is_empty());
+        assert_eq!(
+            pirte.read_plugin_port(&PluginId::new("com"), PluginPortId::new(0)),
+            Some(Value::Text("Wheels:30".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_swc_port_is_reported() {
+        let mut pirte = pirte();
+        assert!(matches!(
+            pirte.dispatch_swc_input("ghost_port", Value::Void).unwrap_err(),
+            DynarError::NotFound { .. }
+        ));
+    }
+}

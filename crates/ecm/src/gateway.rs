@@ -1,0 +1,562 @@
+//! The ECM gateway component behaviour.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dynar_core::context::ExternalRoute;
+use dynar_core::message::ManagementMessage;
+use dynar_core::pirte::Pirte;
+use dynar_core::swc::{PluginSwc, PluginSwcConfig, SharedPirte};
+use dynar_fes::device::{decode_device_message, encode_device_message};
+use dynar_fes::transport::TransportHub;
+use dynar_foundation::error::Result;
+use dynar_foundation::ids::{EcuId, PluginPortId};
+use dynar_rte::component::{ComponentBehavior, RteContext, SwcDescriptor};
+
+/// A shared handle to the external transport hub, used by the ECM and the
+/// simulation harness.
+pub type SharedHub = Arc<Mutex<TransportHub>>;
+
+/// Static configuration of the ECM SW-C.
+#[derive(Debug, Clone)]
+pub struct EcmConfig {
+    /// The plug-in SW-C configuration of the ECM itself (the ECM hosts
+    /// plug-ins such as the COM plug-in of the demonstrator).
+    pub swc: PluginSwcConfig,
+    /// The ECM's own endpoint name on the external transport.
+    pub own_endpoint: String,
+    /// The trusted server's endpoint name, pre-defined by the OEM (§3.2).
+    pub server_endpoint: String,
+    /// SW-C port used to send management messages towards each remote ECU's
+    /// plug-in SW-C (the provided half of each type I port pair).
+    pub type_i_out: HashMap<EcuId, String>,
+    /// SW-C ports on which acknowledgements and outbound data from remote
+    /// plug-in SW-Cs arrive (the required half of each type I port pair).
+    pub type_i_in: Vec<String>,
+}
+
+impl EcmConfig {
+    /// Creates an ECM configuration with no remote plug-in SW-Cs.
+    pub fn new(
+        swc: PluginSwcConfig,
+        own_endpoint: impl Into<String>,
+        server_endpoint: impl Into<String>,
+    ) -> Self {
+        EcmConfig {
+            swc,
+            own_endpoint: own_endpoint.into(),
+            server_endpoint: server_endpoint.into(),
+            type_i_out: HashMap::new(),
+            type_i_in: Vec::new(),
+        }
+    }
+
+    /// Declares the type I SW-C port pair towards one remote plug-in SW-C.
+    #[must_use]
+    pub fn with_remote_swc(
+        mut self,
+        ecu: EcuId,
+        out_port: impl Into<String>,
+        in_port: impl Into<String>,
+    ) -> Self {
+        self.type_i_out.insert(ecu, out_port.into());
+        self.type_i_in.push(in_port.into());
+        self
+    }
+
+    /// Builds the AUTOSAR descriptor of the ECM SW-C: the plug-in SW-C ports
+    /// of its own PIRTE plus the type I port pairs towards remote SW-Cs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration-validation errors.
+    pub fn descriptor(&self) -> Result<SwcDescriptor> {
+        use dynar_rte::port::{PortDirection, PortSpec};
+        let mut descriptor = self.swc.descriptor()?;
+        for port in self.type_i_out.values() {
+            descriptor = descriptor.with_port(PortSpec::sender_receiver(port, PortDirection::Provided));
+        }
+        for port in &self.type_i_in {
+            descriptor = descriptor.with_port(PortSpec::queued(port, PortDirection::Required, 32));
+        }
+        Ok(descriptor)
+    }
+}
+
+/// The ECM component behaviour: a plug-in SW-C with an external
+/// communication module.
+#[derive(Debug)]
+pub struct EcmSwc {
+    ecu: EcuId,
+    config: EcmConfig,
+    pirte: SharedPirte,
+    hub: SharedHub,
+    pirte_inputs: Vec<String>,
+    /// External routes learned from the ECCs of installed plug-ins.
+    ecc_routes: Vec<ExternalRoute>,
+    /// Uplink messages waiting for the next runnable pass.
+    pending_uplink: Vec<ManagementMessage>,
+}
+
+impl EcmSwc {
+    /// Creates the ECM behaviour and the shared handle to its PIRTE.
+    ///
+    /// The ECM registers its own endpoint on the transport hub; the trusted
+    /// server and external devices register theirs.
+    pub fn create(ecu: EcuId, config: EcmConfig, hub: SharedHub) -> (Self, SharedPirte) {
+        hub.lock().register(&config.own_endpoint);
+        let pirte_inputs = config.swc.input_ports();
+        let pirte: SharedPirte = Arc::new(Mutex::new(Pirte::new(ecu, config.swc.clone())));
+        (
+            EcmSwc {
+                ecu,
+                config,
+                pirte: Arc::clone(&pirte),
+                hub,
+                pirte_inputs,
+                ecc_routes: Vec::new(),
+                pending_uplink: Vec::new(),
+            },
+            pirte,
+        )
+    }
+
+    /// The shared handle to the ECM's own PIRTE.
+    pub fn pirte(&self) -> SharedPirte {
+        Arc::clone(&self.pirte)
+    }
+
+    /// The external routes currently known to the ECM.
+    pub fn routes(&self) -> &[ExternalRoute] {
+        &self.ecc_routes
+    }
+
+    fn remember_ecc(&mut self, message: &ManagementMessage) {
+        if let ManagementMessage::Install(package) = message {
+            if let Some(ecc) = &package.context.ecc {
+                for route in ecc.routes() {
+                    if !self.ecc_routes.contains(route) {
+                        self.ecc_routes.push(route.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_for_message(&self, message_id: &str) -> Option<&ExternalRoute> {
+        self.ecc_routes.iter().find(|r| r.message_id == message_id)
+    }
+
+    fn route_for_port(&self, ecu: EcuId, port: PluginPortId) -> Option<&ExternalRoute> {
+        self.ecc_routes
+            .iter()
+            .find(|r| r.ecu == ecu && r.port == port)
+    }
+
+    fn send_uplink(&self, message: &ManagementMessage) {
+        let mut hub = self.hub.lock();
+        let _ = hub.send(
+            &self.config.own_endpoint,
+            &self.config.server_endpoint,
+            crate::protocol::encode_uplink(message),
+        );
+    }
+
+    fn handle_local_management(&mut self, message: ManagementMessage) {
+        let responses = self.pirte.lock().handle_management(message);
+        for response in responses {
+            self.send_uplink(&response);
+        }
+    }
+
+    fn forward_to_remote(
+        &mut self,
+        ctx: &mut RteContext<'_>,
+        target: EcuId,
+        message: &ManagementMessage,
+    ) {
+        match self.config.type_i_out.get(&target) {
+            Some(port) => {
+                if let Err(err) = ctx.write(port, message.to_value()) {
+                    self.pirte
+                        .lock()
+                        .log_warning(format!("failed to relay to {target}: {err}"));
+                }
+            }
+            None => {
+                self.pirte
+                    .lock()
+                    .log_warning(format!("no type I port towards {target}"));
+                self.send_uplink(&ManagementMessage::Ack(dynar_core::message::Ack {
+                    plugin: match message {
+                        ManagementMessage::Install(p) => p.plugin.clone(),
+                        ManagementMessage::Uninstall { plugin }
+                        | ManagementMessage::Stop { plugin }
+                        | ManagementMessage::Start { plugin } => plugin.clone(),
+                        _ => dynar_foundation::ids::PluginId::new("unknown"),
+                    },
+                    app: dynar_foundation::ids::AppId::new(""),
+                    ecu: self.ecu,
+                    status: dynar_core::message::AckStatus::Failed(format!(
+                        "ECM has no route to {target}"
+                    )),
+                }));
+            }
+        }
+    }
+
+    fn poll_external(&mut self, ctx: &mut RteContext<'_>) {
+        let messages = {
+            let mut hub = self.hub.lock();
+            hub.receive(&self.config.own_endpoint)
+        };
+        for (from, payload) in messages {
+            if from == self.config.server_endpoint {
+                match crate::protocol::decode_downlink(&payload) {
+                    Ok((target, message)) => {
+                        self.remember_ecc(&message);
+                        if target == self.ecu {
+                            self.handle_local_management(message);
+                        } else {
+                            self.forward_to_remote(ctx, target, &message);
+                        }
+                    }
+                    Err(err) => self
+                        .pirte
+                        .lock()
+                        .log_warning(format!("malformed downlink: {err}")),
+                }
+            } else {
+                // Traffic from an external device (e.g. the smart phone).
+                match decode_device_message(&payload) {
+                    Ok((message_id, value)) => {
+                        let Some(route) = self.route_for_message(&message_id).cloned() else {
+                            self.pirte
+                                .lock()
+                                .log_warning(format!("no ECC route for message id {message_id}"));
+                            continue;
+                        };
+                        let data = ManagementMessage::ExternalData {
+                            port: route.port,
+                            payload: value,
+                        };
+                        if route.ecu == self.ecu {
+                            self.handle_local_management(data);
+                        } else {
+                            self.forward_to_remote(ctx, route.ecu, &data);
+                        }
+                    }
+                    Err(err) => self
+                        .pirte
+                        .lock()
+                        .log_warning(format!("malformed device message from {from}: {err}")),
+                }
+            }
+        }
+    }
+
+    fn poll_remote_swcs(&mut self, ctx: &mut RteContext<'_>) {
+        for port in self.config.type_i_in.clone() {
+            loop {
+                let value = match ctx.receive(&port) {
+                    Ok(Some(value)) => value,
+                    Ok(None) => break,
+                    Err(err) => {
+                        self.pirte
+                            .lock()
+                            .log_warning(format!("failed to read {port}: {err}"));
+                        break;
+                    }
+                };
+                match ManagementMessage::from_value(&value) {
+                    Ok(message @ ManagementMessage::Ack(_)) => self.pending_uplink.push(message),
+                    Ok(ManagementMessage::OutboundData {
+                        message_id,
+                        payload,
+                    }) => self.send_to_device(&message_id, &payload),
+                    Ok(other) => self
+                        .pirte
+                        .lock()
+                        .log_warning(format!("unexpected uplink message type {}", other.type_id())),
+                    Err(err) => self
+                        .pirte
+                        .lock()
+                        .log_warning(format!("malformed uplink on {port}: {err}")),
+                }
+            }
+        }
+        for message in std::mem::take(&mut self.pending_uplink) {
+            self.send_uplink(&message);
+        }
+    }
+
+    fn send_to_device(&self, message_id: &str, payload: &dynar_foundation::value::Value) {
+        let Some(route) = self.route_for_message(message_id) else {
+            self.pirte
+                .lock()
+                .log_warning(format!("no ECC route for outbound message id {message_id}"));
+            return;
+        };
+        let mut hub = self.hub.lock();
+        let _ = hub.send(
+            &self.config.own_endpoint,
+            &route.endpoint,
+            encode_device_message(message_id, payload),
+        );
+    }
+
+    fn flush_local_direct_outputs(&mut self) {
+        let outputs = self.pirte.lock().take_direct_outputs();
+        for (_plugin, port, value) in outputs {
+            if let Some(route) = self.route_for_port(self.ecu, port).cloned() {
+                let mut hub = self.hub.lock();
+                let _ = hub.send(
+                    &self.config.own_endpoint,
+                    &route.endpoint,
+                    encode_device_message(&route.message_id, &value),
+                );
+            }
+        }
+    }
+}
+
+impl ComponentBehavior for EcmSwc {
+    fn on_runnable(&mut self, _runnable: &str, ctx: &mut RteContext<'_>) -> Result<()> {
+        // 1. External world: trusted server and devices.
+        self.poll_external(ctx);
+        // 2. Acks and outbound data from remote plug-in SW-Cs.
+        self.poll_remote_swcs(ctx);
+        // 3. The ECM's own plug-ins (it is a plug-in SW-C itself).
+        PluginSwc::pirte_pass(&self.pirte, &self.pirte_inputs, ctx)?;
+        // 4. Outbound external data produced by local plug-ins.
+        self.flush_local_direct_outputs();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynar_core::context::{
+        ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext,
+        PortLinkContext,
+    };
+    use dynar_core::message::{AckStatus, InstallationPackage};
+    use dynar_core::plugin::PluginPortDirection;
+    use dynar_core::virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};
+    use dynar_fes::transport::{TransportConfig, TransportHub};
+    use dynar_foundation::ids::{AppId, PluginId, VirtualPortId};
+    use dynar_foundation::time::Tick;
+    use dynar_foundation::value::Value;
+    use dynar_rte::ecu::Ecu;
+    use dynar_vm::assembler::assemble;
+
+    fn ecm_swc_config() -> PluginSwcConfig {
+        PluginSwcConfig::new("ecm-swc").with_virtual_port(VirtualPortSpec::new(
+            VirtualPortId::new(0),
+            "PluginData",
+            PortKind::TypeII,
+            PortDataDirection::ToSystem,
+            "s0_out",
+        ))
+    }
+
+    fn hub() -> SharedHub {
+        let mut hub = TransportHub::new(TransportConfig {
+            latency_ticks: 0,
+            ..TransportConfig::default()
+        });
+        hub.register("server");
+        hub.register("phone");
+        Arc::new(Mutex::new(hub))
+    }
+
+    fn com_package() -> InstallationPackage {
+        // COM receives external data on P0 (direct) and forwards it through
+        // the type II virtual port V0 to remote port P0.
+        let binary = assemble(
+            "COM",
+            r#"
+        loop:
+            port_pending 0
+            push_int 0
+            gt
+            jump_if_false idle
+            take_port 0
+            write_port 1
+            jump loop
+        idle:
+            yield
+            jump loop
+            "#,
+        )
+        .unwrap()
+        .to_bytes();
+        let context = InstallationContext::new(
+            PortInitContext::new()
+                .with_port("ext_in", PluginPortId::new(0), PluginPortDirection::Required)
+                .with_port("fwd", PluginPortId::new(1), PluginPortDirection::Provided),
+            PortLinkContext::new()
+                .with_link(PluginPortId::new(0), LinkTarget::Direct)
+                .with_link(
+                    PluginPortId::new(1),
+                    LinkTarget::RemotePluginPort {
+                        via: VirtualPortId::new(0),
+                        remote: PluginPortId::new(0),
+                    },
+                ),
+        )
+        .with_ecc(
+            ExternalConnectionContext::new().with_route(
+                "phone",
+                "Wheels",
+                EcuId::new(1),
+                PluginPortId::new(0),
+            ),
+        );
+        InstallationPackage::new(PluginId::new("COM"), AppId::new("remote-control"), binary, context)
+    }
+
+    fn build_ecu(hub: &SharedHub) -> (Ecu, SharedPirte) {
+        let mut ecu = Ecu::new(EcuId::new(1));
+        let config = EcmConfig::new(ecm_swc_config(), "vehicle-1", "server")
+            .with_remote_swc(EcuId::new(2), "to_ecu2", "from_ecu2");
+        let descriptor = config.descriptor().unwrap();
+        let (behavior, pirte) = EcmSwc::create(EcuId::new(1), config, Arc::clone(hub));
+        ecu.add_component(descriptor, Box::new(behavior)).unwrap();
+        (ecu, pirte)
+    }
+
+    #[test]
+    fn downlink_install_for_own_ecu_is_applied_and_acked() {
+        let hub = hub();
+        let (mut ecu, pirte) = build_ecu(&hub);
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+
+        assert_eq!(pirte.lock().plugin_count(), 1);
+        hub.lock().step(Tick::new(2));
+        let uplink = hub.lock().receive("server");
+        assert_eq!(uplink.len(), 1);
+        let message = crate::protocol::decode_uplink(&uplink[0].1).unwrap();
+        match message {
+            ManagementMessage::Ack(ack) => assert_eq!(ack.status, AckStatus::Installed),
+            other => panic!("expected ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downlink_for_remote_ecu_is_relayed_over_type_i_port() {
+        let hub = hub();
+        let (mut ecu, _pirte) = build_ecu(&hub);
+        let package = ManagementMessage::Install(com_package());
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(EcuId::new(2), &package),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+
+        let ecm_swc = ecu.component_by_name("ecm-swc").unwrap();
+        let relayed = ecu.rte().read_port_by_name(ecm_swc, "to_ecu2").unwrap();
+        assert_eq!(ManagementMessage::from_value(&relayed).unwrap(), package);
+    }
+
+    #[test]
+    fn downlink_for_unknown_ecu_reports_failure_to_server() {
+        let hub = hub();
+        let (mut ecu, _pirte) = build_ecu(&hub);
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(9),
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(2));
+        let uplink = hub.lock().receive("server");
+        assert_eq!(uplink.len(), 1);
+        match crate::protocol::decode_uplink(&uplink[0].1).unwrap() {
+            ManagementMessage::Ack(ack) => assert!(matches!(ack.status, AckStatus::Failed(_))),
+            other => panic!("expected ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_messages_follow_the_ecc_to_local_plugins() {
+        let hub = hub();
+        let (mut ecu, pirte) = build_ecu(&hub);
+        // Install COM locally (its ECC routes "Wheels" to P0 on this ECU).
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+
+        // The phone sends a Wheels command.
+        hub.lock()
+            .send("phone", "vehicle-1", encode_device_message("Wheels", &Value::F64(12.0)))
+            .unwrap();
+        hub.lock().step(Tick::new(2));
+        ecu.run(3).unwrap();
+
+        // COM forwarded it through the type II virtual port: the SW-C port
+        // carries [recipient id, value].
+        let ecm_swc = ecu.component_by_name("ecm-swc").unwrap();
+        let forwarded = ecu.rte().read_port_by_name(ecm_swc, "s0_out").unwrap();
+        assert_eq!(
+            forwarded,
+            Value::List(vec![Value::I64(0), Value::F64(12.0)])
+        );
+        assert!(pirte.lock().stats().signals_out >= 1);
+    }
+
+    #[test]
+    fn acks_from_remote_swcs_are_forwarded_to_the_server() {
+        let hub = hub();
+        let (mut ecu, _pirte) = build_ecu(&hub);
+        let ack = ManagementMessage::Ack(dynar_core::message::Ack {
+            plugin: PluginId::new("OP"),
+            app: AppId::new("remote-control"),
+            ecu: EcuId::new(2),
+            status: AckStatus::Installed,
+        });
+        // Simulate the remote SW-C's ack arriving on the ECM's inbound type I port.
+        let ecm_swc = ecu.component_by_name("ecm-swc").unwrap();
+        let frame = dynar_bus::frame::CanId::new(0x30).unwrap();
+        ecu.map_signal_in(frame, ecm_swc, "from_ecu2").unwrap();
+        ecu.deliver_inbound(frame, ack.to_value());
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(1));
+        let uplink = hub.lock().receive("server");
+        assert_eq!(uplink.len(), 1);
+        assert_eq!(crate::protocol::decode_uplink(&uplink[0].1).unwrap(), ack);
+    }
+}

@@ -1,0 +1,91 @@
+//! The wire protocol between the trusted server and a vehicle's ECM.
+//!
+//! Downlink messages (server → vehicle) carry the id of the recipient ECU
+//! plus a management message, exactly the addressing described in §3.1.3
+//! ("an id of the recipient plug-in SW-C").  Uplink messages (vehicle →
+//! server) are plain management messages — in practice acknowledgements.
+
+use dynar_core::message::ManagementMessage;
+use dynar_foundation::codec;
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::ids::EcuId;
+use dynar_foundation::value::Value;
+
+/// Encodes a downlink message addressed to one ECU of the vehicle.
+pub fn encode_downlink(target: EcuId, message: &ManagementMessage) -> Vec<u8> {
+    codec::encode_value(&Value::List(vec![
+        Value::I64(i64::from(target.index())),
+        message.to_value(),
+    ]))
+}
+
+/// Decodes a downlink message into its target ECU and management message.
+///
+/// # Errors
+///
+/// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+pub fn decode_downlink(bytes: &[u8]) -> Result<(EcuId, ManagementMessage)> {
+    let value = codec::decode_value(bytes)?;
+    let parts = value
+        .as_list()
+        .ok_or_else(|| DynarError::ProtocolViolation("downlink is not a list".into()))?;
+    let [target, message] = parts else {
+        return Err(DynarError::ProtocolViolation(
+            "downlink must carry a target and a message".into(),
+        ));
+    };
+    Ok((
+        EcuId::new(target.expect_i64()? as u16),
+        ManagementMessage::from_value(message)?,
+    ))
+}
+
+/// Encodes an uplink (vehicle → server) message.
+pub fn encode_uplink(message: &ManagementMessage) -> Vec<u8> {
+    message.to_bytes()
+}
+
+/// Decodes an uplink message.
+///
+/// # Errors
+///
+/// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+pub fn decode_uplink(bytes: &[u8]) -> Result<ManagementMessage> {
+    ManagementMessage::from_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynar_core::message::{Ack, AckStatus};
+    use dynar_foundation::ids::{AppId, PluginId};
+
+    #[test]
+    fn downlink_round_trip() {
+        let message = ManagementMessage::Uninstall {
+            plugin: PluginId::new("OP"),
+        };
+        let bytes = encode_downlink(EcuId::new(2), &message);
+        let (target, decoded) = decode_downlink(&bytes).unwrap();
+        assert_eq!(target, EcuId::new(2));
+        assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn uplink_round_trip() {
+        let message = ManagementMessage::Ack(Ack {
+            plugin: PluginId::new("OP"),
+            app: AppId::new("remote-control"),
+            ecu: EcuId::new(2),
+            status: AckStatus::Installed,
+        });
+        assert_eq!(decode_uplink(&encode_uplink(&message)).unwrap(), message);
+    }
+
+    #[test]
+    fn malformed_downlink_is_rejected() {
+        assert!(decode_downlink(&[1, 2, 3]).is_err());
+        assert!(decode_downlink(&codec::encode_value(&Value::I64(3))).is_err());
+        assert!(decode_downlink(&codec::encode_value(&Value::List(vec![Value::I64(1)]))).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! External devices participating in the federation.
+
+use dynar_foundation::codec;
+use dynar_foundation::error::Result;
+use dynar_foundation::value::Value;
+
+use crate::transport::TransportHub;
+
+/// The smart phone of the paper's demonstrator: it sends `Wheels` and `Speed`
+/// commands to the vehicle's ECM and collects whatever the vehicle reports
+/// back.
+///
+/// Messages on the wire are `[message id, payload]` pairs encoded with the
+/// shared value codec — the same format the ECM's External Connection
+/// Context routes on.
+#[derive(Debug, Clone)]
+pub struct SmartPhone {
+    endpoint: String,
+    vehicle_endpoint: String,
+    received: Vec<(String, Value)>,
+}
+
+impl SmartPhone {
+    /// Creates a phone bound to its own transport endpoint and the endpoint
+    /// of the vehicle it controls.
+    pub fn new(endpoint: impl Into<String>, vehicle_endpoint: impl Into<String>) -> Self {
+        SmartPhone {
+            endpoint: endpoint.into(),
+            vehicle_endpoint: vehicle_endpoint.into(),
+            received: Vec::new(),
+        }
+    }
+
+    /// The phone's transport endpoint name.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Registers the phone's endpoint on the hub.
+    pub fn attach(&self, hub: &mut TransportHub) {
+        hub.register(&self.endpoint);
+    }
+
+    /// Sends a steering command (`Wheels` message) to the vehicle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn steer(&self, hub: &mut TransportHub, angle_degrees: f64) -> Result<()> {
+        self.send(hub, "Wheels", Value::F64(angle_degrees))
+    }
+
+    /// Sends a speed command (`Speed` message) to the vehicle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn set_speed(&self, hub: &mut TransportHub, speed: f64) -> Result<()> {
+        self.send(hub, "Speed", Value::F64(speed))
+    }
+
+    /// Sends an arbitrary external message to the vehicle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send(&self, hub: &mut TransportHub, message_id: &str, payload: Value) -> Result<()> {
+        let message = Value::List(vec![Value::Text(message_id.to_owned()), payload]);
+        hub.send(
+            &self.endpoint,
+            &self.vehicle_endpoint,
+            codec::encode_value(&message),
+        )
+    }
+
+    /// Drains everything the vehicle sent back to the phone, decoding the
+    /// `[message id, payload]` envelope (malformed messages are dropped).
+    pub fn poll(&mut self, hub: &mut TransportHub) -> Vec<(String, Value)> {
+        let mut fresh = Vec::new();
+        for (_, payload) in hub.receive(&self.endpoint) {
+            if let Ok(Value::List(parts)) = codec::decode_value(&payload) {
+                if let [Value::Text(id), value] = parts.as_slice() {
+                    fresh.push((id.clone(), value.clone()));
+                }
+            }
+        }
+        self.received.extend(fresh.clone());
+        fresh
+    }
+
+    /// Every message received so far.
+    pub fn received(&self) -> &[(String, Value)] {
+        &self.received
+    }
+}
+
+/// Decodes an external device message into its `(message id, payload)` pair.
+///
+/// # Errors
+///
+/// Returns a protocol violation for malformed messages.
+pub fn decode_device_message(payload: &[u8]) -> Result<(String, Value)> {
+    use dynar_foundation::error::DynarError;
+    let value = codec::decode_value(payload)?;
+    let parts = value
+        .as_list()
+        .ok_or_else(|| DynarError::ProtocolViolation("device message is not a list".into()))?;
+    match parts {
+        [Value::Text(id), payload] => Ok((id.clone(), payload.clone())),
+        _ => Err(DynarError::ProtocolViolation(
+            "device message must be [id, payload]".into(),
+        )),
+    }
+}
+
+/// Encodes a `(message id, payload)` pair into the device wire format.
+pub fn encode_device_message(message_id: &str, payload: &Value) -> Vec<u8> {
+    codec::encode_value(&Value::List(vec![
+        Value::Text(message_id.to_owned()),
+        payload.clone(),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TransportConfig;
+    use dynar_foundation::time::Tick;
+
+    #[test]
+    fn phone_sends_wheels_and_speed_commands() {
+        let mut hub = TransportHub::new(TransportConfig::default());
+        hub.register("vehicle");
+        let phone = SmartPhone::new("phone", "vehicle");
+        phone.attach(&mut hub);
+        phone.steer(&mut hub, 15.0).unwrap();
+        phone.set_speed(&mut hub, 3.5).unwrap();
+        hub.step(Tick::new(1));
+        let messages: Vec<(String, Value)> = hub
+            .receive("vehicle")
+            .into_iter()
+            .map(|(_, p)| decode_device_message(&p).unwrap())
+            .collect();
+        assert_eq!(
+            messages,
+            vec![
+                ("Wheels".to_string(), Value::F64(15.0)),
+                ("Speed".to_string(), Value::F64(3.5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn phone_decodes_replies() {
+        let mut hub = TransportHub::new(TransportConfig::default());
+        hub.register("vehicle");
+        let mut phone = SmartPhone::new("phone", "vehicle");
+        phone.attach(&mut hub);
+        hub.send(
+            "vehicle",
+            "phone",
+            encode_device_message("Speed", &Value::F64(2.0)),
+        )
+        .unwrap();
+        // Malformed traffic is ignored.
+        hub.send("vehicle", "phone", vec![0xFF, 0x00]).unwrap();
+        hub.step(Tick::new(1));
+        let fresh = phone.poll(&mut hub);
+        assert_eq!(fresh, vec![("Speed".to_string(), Value::F64(2.0))]);
+        assert_eq!(phone.received().len(), 1);
+    }
+
+    #[test]
+    fn device_message_round_trip_and_errors() {
+        let bytes = encode_device_message("Wheels", &Value::I64(-10));
+        assert_eq!(
+            decode_device_message(&bytes).unwrap(),
+            ("Wheels".to_string(), Value::I64(-10))
+        );
+        assert!(decode_device_message(&[1, 2, 3]).is_err());
+        assert!(decode_device_message(&codec::encode_value(&Value::I64(1))).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! An OSEK-like operating system simulation.
+//!
+//! AUTOSAR's basic software runs on an operating system descended from the
+//! OSEK standard (paper §2): statically configured tasks with fixed
+//! priorities, counters and alarms for periodic activation, events for task
+//! synchronisation and resources with a priority-ceiling protocol.  This crate
+//! reproduces that execution model as a deterministic, discrete-time kernel
+//! that the `dynar-rte` crate drives: the kernel decides *which* task runs,
+//! the RTE executes the runnables mapped to it.
+//!
+//! The kernel never executes user code itself; it is a pure scheduling data
+//! structure, which keeps it trivially deterministic and easy to test.
+//!
+//! # Example
+//!
+//! ```
+//! use dynar_os::kernel::Kernel;
+//! use dynar_os::task::{TaskConfig, TaskPriority};
+//!
+//! # fn main() -> Result<(), dynar_foundation::error::DynarError> {
+//! let mut kernel = Kernel::new();
+//! let control = kernel.add_task(TaskConfig::new("control", TaskPriority::new(10)))?;
+//! let logging = kernel.add_task(TaskConfig::new("logging", TaskPriority::new(1)))?;
+//!
+//! kernel.activate(control)?;
+//! kernel.activate(logging)?;
+//!
+//! // The higher-priority control task is dispatched first.
+//! assert_eq!(kernel.schedule(), Some(control));
+//! kernel.terminate(control)?;
+//! assert_eq!(kernel.schedule(), Some(logging));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alarm;
+pub mod event;
+pub mod kernel;
+pub mod resource;
+pub mod task;
+
+pub use alarm::{Alarm, AlarmAction, AlarmId};
+pub use event::EventMask;
+pub use kernel::{Kernel, KernelStats};
+pub use resource::{Resource, ResourceId};
+pub use task::{TaskConfig, TaskId, TaskPriority, TaskState};

@@ -1,0 +1,84 @@
+//! The AUTOSAR runtime environment (RTE) and virtual function bus (VFB).
+//!
+//! The RTE is the standardized middleware between application software
+//! components (SW-Cs) and the basic software (paper §2).  SW-Cs declare
+//! *provided* and *required* ports, their internal behaviour is packaged into
+//! *runnables* mapped onto OS tasks, and the RTE routes signals between ports
+//! — locally when both SW-Cs share an ECU, over the in-vehicle network when
+//! they do not.  Application code only ever talks to its own ports, which is
+//! precisely the property the dynamic component model of the paper relies on:
+//! a plug-in SW-C looks like any other SW-C to the RTE.
+//!
+//! The crate provides:
+//!
+//! * [`port`] — port specifications, directions, interfaces and buffers;
+//! * [`component`] — SW-C descriptors, runnables, triggers and the
+//!   [`component::ComponentBehavior`] trait that application code implements;
+//! * [`rte`] — the per-ECU RTE engine: local connections, signal routing,
+//!   data-received triggering;
+//! * [`com_mapping`] — the mapping of SW-C signals onto bus frames, including
+//!   a value codec and an ISO-TP-like segmentation layer for payloads larger
+//!   than one frame;
+//! * [`ecu`] — one simulated ECU: an OSEK kernel, an RTE instance and the
+//!   task/alarm wiring that triggers runnables.
+//!
+//! # Example
+//!
+//! ```
+//! use dynar_foundation::value::Value;
+//! use dynar_rte::component::{ComponentBehavior, RteContext, SwcDescriptor, RunnableSpec, Trigger};
+//! use dynar_rte::ecu::Ecu;
+//! use dynar_rte::port::{PortDirection, PortSpec};
+//! use dynar_foundation::ids::EcuId;
+//!
+//! struct Sender;
+//! impl ComponentBehavior for Sender {
+//!     fn on_runnable(&mut self, _r: &str, ctx: &mut RteContext<'_>) -> dynar_foundation::error::Result<()> {
+//!         ctx.write("out", Value::I64(42))
+//!     }
+//! }
+//!
+//! struct Receiver;
+//! impl ComponentBehavior for Receiver {
+//!     fn on_runnable(&mut self, _r: &str, _ctx: &mut RteContext<'_>) -> dynar_foundation::error::Result<()> {
+//!         Ok(())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), dynar_foundation::error::DynarError> {
+//! let mut ecu = Ecu::new(EcuId::new(1));
+//! let sender = ecu.add_component(
+//!     SwcDescriptor::new("sender")
+//!         .with_port(PortSpec::sender_receiver("out", PortDirection::Provided))
+//!         .with_runnable(RunnableSpec::new("tx", Trigger::Periodic(10))),
+//!     Box::new(Sender),
+//! )?;
+//! let receiver = ecu.add_component(
+//!     SwcDescriptor::new("receiver")
+//!         .with_port(PortSpec::sender_receiver("in", PortDirection::Required)),
+//!     Box::new(Receiver),
+//! )?;
+//! ecu.connect_local(sender, "out", receiver, "in")?;
+//!
+//! for _ in 0..11 {
+//!     ecu.step()?;
+//! }
+//! assert_eq!(ecu.rte().read_port_by_name(receiver, "in")?, Value::I64(42));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod com_mapping;
+pub mod component;
+pub mod ecu;
+pub mod port;
+pub mod rte;
+
+pub use com_mapping::{decode_value, encode_value, SystemMapping};
+pub use component::{ComponentBehavior, RteContext, RunnableSpec, SwcDescriptor, Trigger};
+pub use ecu::Ecu;
+pub use port::{PortDirection, PortInterface, PortSpec};
+pub use rte::Rte;

@@ -1,0 +1,486 @@
+//! The per-ECU RTE engine: port registry, local routing and network mapping.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dynar_bus::frame::CanId;
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::ids::{PortId, SwcId};
+use dynar_foundation::value::Value;
+
+use crate::component::SwcDescriptor;
+use crate::port::{check_connectable, PortBuffer, PortDirection, PortSpec};
+
+/// Counters describing the signal traffic through one RTE instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RteStats {
+    /// Writes issued by component behaviours.
+    pub writes: u64,
+    /// Signals routed to a local required port.
+    pub local_routes: u64,
+    /// Signals queued for transmission on the in-vehicle network.
+    pub network_routes: u64,
+    /// Writes on ports with neither a local connection nor a network mapping.
+    pub unconnected_writes: u64,
+    /// Values delivered from the network into required ports.
+    pub network_deliveries: u64,
+    /// Values dropped because a queued port overflowed.
+    pub queue_overflows: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PortRuntime {
+    spec: PortSpec,
+    buffer: PortBuffer,
+}
+
+/// The RTE instance of one ECU.
+///
+/// The RTE knows every SW-C registered on its ECU, owns the runtime buffers of
+/// their ports, routes written values to locally connected ports and queues
+/// values bound for other ECUs as `(frame id, value)` pairs for the
+/// communication stack to pick up.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Rte {
+    components: HashMap<SwcId, SwcDescriptor>,
+    ports: HashMap<PortId, PortRuntime>,
+    port_names: HashMap<(SwcId, String), PortId>,
+    /// provided port -> locally connected required ports.
+    connections: HashMap<PortId, Vec<PortId>>,
+    /// provided port -> frame id used to transmit its signal off-ECU.
+    tx_mapping: HashMap<PortId, CanId>,
+    /// frame id -> required ports fed by that signal on this ECU.
+    rx_mapping: HashMap<CanId, Vec<PortId>>,
+    /// values queued for the communication stack.
+    outbound: Vec<(CanId, Value)>,
+    /// required ports that received new data since the last drain.
+    data_received: Vec<PortId>,
+    stats: RteStats,
+}
+
+impl Rte {
+    /// Creates an empty RTE instance.
+    pub fn new() -> Self {
+        Rte::default()
+    }
+
+    /// Signal-traffic statistics accumulated so far.
+    pub fn stats(&self) -> RteStats {
+        self.stats
+    }
+
+    /// Registers a component's ports under the given SW-C instance id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Duplicate`] if the instance id is already
+    /// registered and [`DynarError::InvalidConfiguration`] if the descriptor
+    /// fails validation.
+    pub fn register_component(&mut self, swc: SwcId, descriptor: &SwcDescriptor) -> Result<()> {
+        if self.components.contains_key(&swc) {
+            return Err(DynarError::duplicate("software component", swc));
+        }
+        descriptor.validate()?;
+        for (index, spec) in descriptor.ports().iter().enumerate() {
+            let port_id = PortId::new(swc, index as u16);
+            self.ports.insert(
+                port_id,
+                PortRuntime {
+                    spec: spec.clone(),
+                    buffer: PortBuffer::for_interface(spec.interface()),
+                },
+            );
+            self.port_names
+                .insert((swc, spec.name().to_owned()), port_id);
+        }
+        self.components.insert(swc, descriptor.clone());
+        Ok(())
+    }
+
+    /// The descriptor a SW-C instance was registered with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown instance.
+    pub fn descriptor(&self, swc: SwcId) -> Result<&SwcDescriptor> {
+        self.components
+            .get(&swc)
+            .ok_or_else(|| DynarError::not_found("software component", swc))
+    }
+
+    /// All SW-C instances registered on this RTE.
+    pub fn component_ids(&self) -> Vec<SwcId> {
+        let mut ids: Vec<SwcId> = self.components.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Resolves a port by SW-C instance and port name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the SW-C or port is unknown.
+    pub fn port_id(&self, swc: SwcId, name: &str) -> Result<PortId> {
+        self.port_names
+            .get(&(swc, name.to_owned()))
+            .copied()
+            .ok_or_else(|| DynarError::not_found("port", format!("{swc}:{name}")))
+    }
+
+    /// The static spec of a port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown port.
+    pub fn port_spec(&self, port: PortId) -> Result<&PortSpec> {
+        self.ports
+            .get(&port)
+            .map(|p| &p.spec)
+            .ok_or_else(|| DynarError::not_found("port", port))
+    }
+
+    /// Connects a provided port to a required port on the same ECU
+    /// (an assembly connector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown ports and
+    /// [`DynarError::InvalidConfiguration`] for incompatible port pairs.
+    pub fn connect(&mut self, provider: PortId, requirer: PortId) -> Result<()> {
+        let provider_spec = self.port_spec(provider)?.clone();
+        let requirer_spec = self.port_spec(requirer)?.clone();
+        check_connectable(&provider_spec, &requirer_spec)?;
+        self.connections.entry(provider).or_default().push(requirer);
+        Ok(())
+    }
+
+    /// Maps a provided port onto a network frame id for off-ECU transmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown port and
+    /// [`DynarError::PortDirection`] if the port is not provided.
+    pub fn map_signal_out(&mut self, provider: PortId, frame: CanId) -> Result<()> {
+        let spec = self.port_spec(provider)?;
+        if spec.direction() != PortDirection::Provided {
+            return Err(DynarError::PortDirection {
+                port: provider.to_string(),
+                expected: "provided",
+            });
+        }
+        self.tx_mapping.insert(provider, frame);
+        Ok(())
+    }
+
+    /// Maps an incoming network frame id onto a required port of this ECU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown port and
+    /// [`DynarError::PortDirection`] if the port is not required.
+    pub fn map_signal_in(&mut self, frame: CanId, requirer: PortId) -> Result<()> {
+        let spec = self.port_spec(requirer)?;
+        if spec.direction() != PortDirection::Required {
+            return Err(DynarError::PortDirection {
+                port: requirer.to_string(),
+                expected: "required",
+            });
+        }
+        self.rx_mapping.entry(frame).or_default().push(requirer);
+        Ok(())
+    }
+
+    /// Writes a value on a provided port, routing it to every locally
+    /// connected required port and/or onto the network mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown port and
+    /// [`DynarError::PortDirection`] when the port is not provided.
+    pub fn write_port(&mut self, provider: PortId, value: Value) -> Result<()> {
+        let spec = self.port_spec(provider)?;
+        if spec.direction() != PortDirection::Provided {
+            return Err(DynarError::PortDirection {
+                port: provider.to_string(),
+                expected: "provided",
+            });
+        }
+        self.stats.writes += 1;
+
+        // The provider's own buffer keeps the last written value so that
+        // diagnostics (and tests) can observe what a component last produced.
+        if let Some(runtime) = self.ports.get_mut(&provider) {
+            runtime.buffer.push(value.clone());
+        }
+
+        let mut routed = false;
+        let receivers = self.connections.get(&provider).cloned().unwrap_or_default();
+        for requirer in receivers {
+            self.deliver_local(requirer, value.clone());
+            self.stats.local_routes += 1;
+            routed = true;
+        }
+        if let Some(frame) = self.tx_mapping.get(&provider) {
+            self.outbound.push((*frame, value));
+            self.stats.network_routes += 1;
+            routed = true;
+        }
+        if !routed {
+            self.stats.unconnected_writes += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads (without consuming) the current value of a port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown port.
+    pub fn read_port(&self, port: PortId) -> Result<Value> {
+        self.ports
+            .get(&port)
+            .map(|p| p.buffer.peek())
+            .ok_or_else(|| DynarError::not_found("port", port))
+    }
+
+    /// Reads (without consuming) the current value of a port identified by
+    /// SW-C instance and port name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the SW-C or port is unknown.
+    pub fn read_port_by_name(&self, swc: SwcId, name: &str) -> Result<Value> {
+        let id = self.port_id(swc, name)?;
+        self.read_port(id)
+    }
+
+    /// Consumes the next value available on a required port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown port and
+    /// [`DynarError::PortDirection`] for a provided port.
+    pub fn take_port(&mut self, port: PortId) -> Result<Option<Value>> {
+        let runtime = self
+            .ports
+            .get_mut(&port)
+            .ok_or_else(|| DynarError::not_found("port", port))?;
+        if runtime.spec.direction() != PortDirection::Required {
+            return Err(DynarError::PortDirection {
+                port: port.to_string(),
+                expected: "required",
+            });
+        }
+        Ok(runtime.buffer.take())
+    }
+
+    /// Number of values waiting on a port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown port.
+    pub fn pending_on(&self, port: PortId) -> Result<usize> {
+        self.ports
+            .get(&port)
+            .map(|p| p.buffer.pending())
+            .ok_or_else(|| DynarError::not_found("port", port))
+    }
+
+    /// Delivers a value arriving from the in-vehicle network for `frame`.
+    ///
+    /// Unknown frame ids are silently ignored, mirroring a CAN controller
+    /// whose acceptance filter admitted a frame no PDU is mapped to.
+    pub fn deliver_inbound(&mut self, frame: CanId, value: Value) {
+        let receivers = self.rx_mapping.get(&frame).cloned().unwrap_or_default();
+        for requirer in receivers {
+            self.deliver_local(requirer, value.clone());
+            self.stats.network_deliveries += 1;
+        }
+    }
+
+    /// Drains the values queued for off-ECU transmission.
+    pub fn drain_outbound(&mut self) -> Vec<(CanId, Value)> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// Drains the list of required ports that received data since the last
+    /// call (used by the ECU to fire data-received triggers).
+    pub fn drain_data_received(&mut self) -> Vec<PortId> {
+        std::mem::take(&mut self.data_received)
+    }
+
+    fn deliver_local(&mut self, requirer: PortId, value: Value) {
+        if let Some(runtime) = self.ports.get_mut(&requirer) {
+            let before = runtime.buffer.overflows();
+            runtime.buffer.push(value);
+            if runtime.buffer.overflows() > before {
+                self.stats.queue_overflows += 1;
+            }
+            self.data_received.push(requirer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::SwcDescriptor;
+    use crate::port::PortSpec;
+    use dynar_foundation::ids::EcuId;
+
+    fn swc(local: u16) -> SwcId {
+        SwcId::new(EcuId::new(0), local)
+    }
+
+    fn simple_pair() -> (Rte, PortId, PortId) {
+        let mut rte = Rte::new();
+        let producer = SwcDescriptor::new("producer")
+            .with_port(PortSpec::sender_receiver("out", PortDirection::Provided));
+        let consumer = SwcDescriptor::new("consumer")
+            .with_port(PortSpec::queued("in", PortDirection::Required, 4));
+        rte.register_component(swc(0), &producer).unwrap();
+        rte.register_component(swc(1), &consumer).unwrap();
+        let out = rte.port_id(swc(0), "out").unwrap();
+        let inp = rte.port_id(swc(1), "in").unwrap();
+        rte.connect(out, inp).unwrap();
+        (rte, out, inp)
+    }
+
+    #[test]
+    fn local_routing_delivers_values() {
+        let (mut rte, out, inp) = simple_pair();
+        rte.write_port(out, Value::I64(3)).unwrap();
+        assert_eq!(rte.take_port(inp).unwrap(), Some(Value::I64(3)));
+        assert_eq!(rte.stats().local_routes, 1);
+        assert_eq!(rte.drain_data_received(), vec![inp]);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut rte = Rte::new();
+        let desc = SwcDescriptor::new("c");
+        rte.register_component(swc(0), &desc).unwrap();
+        assert!(rte.register_component(swc(0), &desc).is_err());
+    }
+
+    #[test]
+    fn write_on_required_port_is_rejected() {
+        let (mut rte, _out, inp) = simple_pair();
+        let err = rte.write_port(inp, Value::I64(1)).unwrap_err();
+        assert!(matches!(err, DynarError::PortDirection { .. }));
+    }
+
+    #[test]
+    fn take_on_provided_port_is_rejected() {
+        let (mut rte, out, _inp) = simple_pair();
+        assert!(matches!(
+            rte.take_port(out).unwrap_err(),
+            DynarError::PortDirection { .. }
+        ));
+    }
+
+    #[test]
+    fn unconnected_writes_are_counted_not_errors() {
+        let mut rte = Rte::new();
+        let desc = SwcDescriptor::new("p")
+            .with_port(PortSpec::sender_receiver("out", PortDirection::Provided));
+        rte.register_component(swc(0), &desc).unwrap();
+        let out = rte.port_id(swc(0), "out").unwrap();
+        rte.write_port(out, Value::I64(1)).unwrap();
+        assert_eq!(rte.stats().unconnected_writes, 1);
+        assert_eq!(rte.read_port(out).unwrap(), Value::I64(1));
+    }
+
+    #[test]
+    fn network_mapping_queues_outbound_values() {
+        let mut rte = Rte::new();
+        let desc = SwcDescriptor::new("p")
+            .with_port(PortSpec::sender_receiver("out", PortDirection::Provided));
+        rte.register_component(swc(0), &desc).unwrap();
+        let out = rte.port_id(swc(0), "out").unwrap();
+        let frame = CanId::new(0x101).unwrap();
+        rte.map_signal_out(out, frame).unwrap();
+        rte.write_port(out, Value::F64(1.5)).unwrap();
+        assert_eq!(rte.drain_outbound(), vec![(frame, Value::F64(1.5))]);
+        assert_eq!(rte.stats().network_routes, 1);
+    }
+
+    #[test]
+    fn inbound_frames_reach_mapped_ports() {
+        let mut rte = Rte::new();
+        let desc = SwcDescriptor::new("c")
+            .with_port(PortSpec::sender_receiver("in", PortDirection::Required));
+        rte.register_component(swc(0), &desc).unwrap();
+        let inp = rte.port_id(swc(0), "in").unwrap();
+        let frame = CanId::new(0x42).unwrap();
+        rte.map_signal_in(frame, inp).unwrap();
+        rte.deliver_inbound(frame, Value::I64(9));
+        rte.deliver_inbound(CanId::new(0x99).unwrap(), Value::I64(1));
+        assert_eq!(rte.read_port(inp).unwrap(), Value::I64(9));
+        assert_eq!(rte.stats().network_deliveries, 1);
+    }
+
+    #[test]
+    fn mapping_direction_checks() {
+        let mut rte = Rte::new();
+        let desc = SwcDescriptor::new("c")
+            .with_port(PortSpec::sender_receiver("in", PortDirection::Required))
+            .with_port(PortSpec::sender_receiver("out", PortDirection::Provided));
+        rte.register_component(swc(0), &desc).unwrap();
+        let inp = rte.port_id(swc(0), "in").unwrap();
+        let out = rte.port_id(swc(0), "out").unwrap();
+        let frame = CanId::new(1).unwrap();
+        assert!(rte.map_signal_out(inp, frame).is_err());
+        assert!(rte.map_signal_in(frame, out).is_err());
+    }
+
+    #[test]
+    fn queue_overflow_is_counted() {
+        let mut rte = Rte::new();
+        let producer = SwcDescriptor::new("p")
+            .with_port(PortSpec::sender_receiver("out", PortDirection::Provided));
+        let consumer = SwcDescriptor::new("c")
+            .with_port(PortSpec::queued("in", PortDirection::Required, 1));
+        rte.register_component(swc(0), &producer).unwrap();
+        rte.register_component(swc(1), &consumer).unwrap();
+        let out = rte.port_id(swc(0), "out").unwrap();
+        let inp = rte.port_id(swc(1), "in").unwrap();
+        rte.connect(out, inp).unwrap();
+        rte.write_port(out, Value::I64(1)).unwrap();
+        rte.write_port(out, Value::I64(2)).unwrap();
+        assert_eq!(rte.stats().queue_overflows, 1);
+        assert_eq!(rte.take_port(inp).unwrap(), Some(Value::I64(2)));
+    }
+
+    #[test]
+    fn one_provider_fans_out_to_many_requirers() {
+        let mut rte = Rte::new();
+        let producer = SwcDescriptor::new("p")
+            .with_port(PortSpec::sender_receiver("out", PortDirection::Provided));
+        rte.register_component(swc(0), &producer).unwrap();
+        let out = rte.port_id(swc(0), "out").unwrap();
+        let mut ins = Vec::new();
+        for i in 1..=3 {
+            let consumer = SwcDescriptor::new(format!("c{i}"))
+                .with_port(PortSpec::sender_receiver("in", PortDirection::Required));
+            rte.register_component(swc(i), &consumer).unwrap();
+            let inp = rte.port_id(swc(i), "in").unwrap();
+            rte.connect(out, inp).unwrap();
+            ins.push(inp);
+        }
+        rte.write_port(out, Value::Text("hello".into())).unwrap();
+        for inp in ins {
+            assert_eq!(rte.read_port(inp).unwrap(), Value::Text("hello".into()));
+        }
+        assert_eq!(rte.stats().local_routes, 3);
+    }
+
+    #[test]
+    fn component_ids_are_sorted() {
+        let (rte, _, _) = simple_pair();
+        assert_eq!(rte.component_ids(), vec![swc(0), swc(1)]);
+        assert!(rte.descriptor(swc(0)).is_ok());
+        assert!(rte.descriptor(swc(9)).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! The trusted server managing the plug-in life cycle off-board.
+//!
+//! "For security reasons, all plug-in management is done through a
+//! pre-defined trusted server ... The server not only serves as a gateway for
+//! the plug-in binaries, but it is also responsible for verifying that new
+//! plug-ins are compatible with a particular vehicle configuration" (paper
+//! §3.2).  This crate reproduces the server of Figure 2:
+//!
+//! * [`model`] — the data model: `User`, `Vehicle`, `VehicleConf` (hardware
+//!   configuration, system software configuration, installed apps), `App`
+//!   and `SwConf`;
+//! * [`server`] — the [`server::TrustedServer`] itself: the web-service
+//!   operations (user setup, uploads, deploy / uninstall / restore), the
+//!   compatibility and dependency checks, PIC/PLC/ECC context generation and
+//!   the pusher that queues downlink messages per vehicle;
+//! * [`baseline`] — the conventional "re-flash the ECU" deployment model the
+//!   benchmarks compare against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod model;
+pub mod server;
+
+pub use baseline::ReflashBaseline;
+pub use model::{
+    AppDefinition, ConnectionDecl, EcuHw, HwConf, PluginArtifact, PluginPortDecl, PluginSwcDecl,
+    Placement, PortConnection, SwConf, SystemSwConf, VirtualPortDecl, VirtualPortKindDecl,
+};
+pub use server::{DeploymentStatus, TrustedServer};

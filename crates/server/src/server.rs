@@ -1,0 +1,1028 @@
+//! The trusted server: web-service operations, compatibility checks, context
+//! generation and the pusher.
+
+use std::collections::{HashMap, HashSet};
+
+use dynar_core::context::{
+    ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
+};
+use dynar_core::message::{Ack, AckStatus, InstallationPackage, ManagementMessage};
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, UserId, VehicleId};
+
+use crate::model::{
+    AppDefinition, ConnectionDecl, HwConf, SwConf, SystemSwConf, VirtualPortKindDecl,
+};
+
+/// The status of one application's deployment on one vehicle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeploymentStatus {
+    /// The application is not installed and no operation is in flight.
+    NotInstalled,
+    /// Packages were pushed; acknowledgements from these plug-ins are still
+    /// outstanding.
+    Pending {
+        /// Plug-ins whose acknowledgement has not arrived yet.
+        awaiting: Vec<PluginId>,
+    },
+    /// Every plug-in acknowledged installation.
+    Installed,
+    /// The last operation failed with the given reason.
+    Failed(String),
+}
+
+#[derive(Debug, Clone)]
+struct InstalledApp {
+    plugins: Vec<(PluginId, EcuId)>,
+    packages: Vec<(EcuId, InstallationPackage)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PendingKind {
+    Install,
+    Uninstall,
+}
+
+#[derive(Debug, Clone)]
+struct PendingOperation {
+    kind: PendingKind,
+    awaiting: HashSet<PluginId>,
+    record: InstalledApp,
+    failure: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct VehicleRecord {
+    hw: HwConf,
+    system: SystemSwConf,
+    owner: Option<UserId>,
+    installed: HashMap<AppId, InstalledApp>,
+    pending: HashMap<AppId, PendingOperation>,
+    failed: HashMap<AppId, String>,
+    next_port_id: HashMap<EcuId, u32>,
+    downlink: Vec<Vec<u8>>,
+}
+
+/// The trusted server of Figure 2.
+///
+/// # Example
+///
+/// See the crate-level example of `dynar-sim` and the `remote_control_car`
+/// example binary for a full deployment round trip; the unit tests below
+/// exercise every operation in isolation.
+#[derive(Debug, Default)]
+pub struct TrustedServer {
+    users: HashSet<UserId>,
+    vehicles: HashMap<VehicleId, VehicleRecord>,
+    apps: HashMap<AppId, AppDefinition>,
+}
+
+impl TrustedServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        TrustedServer::default()
+    }
+
+    // ------------------------------------------------------------------
+    // User setup (web services)
+    // ------------------------------------------------------------------
+
+    /// Creates a user account.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Duplicate`] if the account already exists.
+    pub fn create_user(&mut self, user: UserId) -> Result<()> {
+        if !self.users.insert(user.clone()) {
+            return Err(DynarError::duplicate("user", user));
+        }
+        Ok(())
+    }
+
+    /// Registers a vehicle together with its hardware and system software
+    /// configuration (normally uploaded by the OEM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Duplicate`] if the vehicle is already registered.
+    pub fn register_vehicle(
+        &mut self,
+        vehicle: VehicleId,
+        hw: HwConf,
+        system: SystemSwConf,
+    ) -> Result<()> {
+        if self.vehicles.contains_key(&vehicle) {
+            return Err(DynarError::duplicate("vehicle", vehicle));
+        }
+        self.vehicles.insert(
+            vehicle,
+            VehicleRecord {
+                hw,
+                system,
+                owner: None,
+                installed: HashMap::new(),
+                pending: HashMap::new(),
+                failed: HashMap::new(),
+                next_port_id: HashMap::new(),
+                downlink: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Binds a vehicle to a user account.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown users or vehicles.
+    pub fn bind_vehicle(&mut self, user: &UserId, vehicle: &VehicleId) -> Result<()> {
+        if !self.users.contains(user) {
+            return Err(DynarError::not_found("user", user));
+        }
+        let record = self
+            .vehicles
+            .get_mut(vehicle)
+            .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+        record.owner = Some(user.clone());
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Uploads (web services)
+    // ------------------------------------------------------------------
+
+    /// Uploads an application (binaries plus deployment descriptions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Duplicate`] if the application already exists
+    /// and propagates [`AppDefinition::validate`] failures.
+    pub fn upload_app(&mut self, app: AppDefinition) -> Result<()> {
+        app.validate()?;
+        if self.apps.contains_key(&app.id) {
+            return Err(DynarError::duplicate("app", &app.id));
+        }
+        self.apps.insert(app.id.clone(), app);
+        Ok(())
+    }
+
+    /// The applications recorded as installed on a vehicle.
+    pub fn installed_apps(&self, vehicle: &VehicleId) -> Vec<AppId> {
+        let mut apps: Vec<AppId> = self
+            .vehicles
+            .get(vehicle)
+            .map(|v| v.installed.keys().cloned().collect())
+            .unwrap_or_default();
+        apps.sort();
+        apps
+    }
+
+    /// The deployment status of an application on a vehicle.
+    pub fn deployment_status(&self, vehicle: &VehicleId, app: &AppId) -> DeploymentStatus {
+        let Some(record) = self.vehicles.get(vehicle) else {
+            return DeploymentStatus::NotInstalled;
+        };
+        if let Some(pending) = record.pending.get(app) {
+            return DeploymentStatus::Pending {
+                awaiting: pending.awaiting.iter().cloned().collect(),
+            };
+        }
+        if record.installed.contains_key(app) {
+            return DeploymentStatus::Installed;
+        }
+        if let Some(reason) = record.failed.get(app) {
+            return DeploymentStatus::Failed(reason.clone());
+        }
+        DeploymentStatus::NotInstalled
+    }
+
+    // ------------------------------------------------------------------
+    // Compatibility checking and context generation
+    // ------------------------------------------------------------------
+
+    /// Runs the compatibility and dependency checks and generates the
+    /// installation packages (PIC/PLC/ECC included) for deploying `app` on
+    /// `vehicle`, without pushing anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deployment rejection the web portal would present to the
+    /// user: [`DynarError::Incompatible`], [`DynarError::MissingDependency`]
+    /// or [`DynarError::PluginConflict`]; or [`DynarError::NotFound`] for
+    /// unknown entities.
+    pub fn plan_deployment(
+        &self,
+        vehicle: &VehicleId,
+        app: &AppId,
+    ) -> Result<Vec<(EcuId, InstallationPackage)>> {
+        let record = self
+            .vehicles
+            .get(vehicle)
+            .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+        let definition = self
+            .apps
+            .get(app)
+            .ok_or_else(|| DynarError::not_found("app", app))?;
+
+        // Vehicle model must have a matching SW conf.
+        let conf = definition
+            .sw_conf_for(&record.system.model)
+            .ok_or_else(|| {
+                DynarError::Incompatible(format!(
+                    "no deployment description for vehicle model {}",
+                    record.system.model
+                ))
+            })?;
+
+        // Hardware and system software prerequisites.
+        for placement in &conf.placements {
+            let hw = record.hw.ecu(placement.ecu).ok_or_else(|| {
+                DynarError::Incompatible(format!(
+                    "vehicle has no ECU {} required by plug-in {}",
+                    placement.ecu, placement.plugin
+                ))
+            })?;
+            if hw.memory_kb < conf.min_memory_kb {
+                return Err(DynarError::Incompatible(format!(
+                    "ECU {} offers {} KiB, {} KiB required",
+                    placement.ecu, hw.memory_kb, conf.min_memory_kb
+                )));
+            }
+            if record.system.swc_on(placement.ecu).is_none() {
+                return Err(DynarError::Incompatible(format!(
+                    "ECU {} has no plug-in SW-C",
+                    placement.ecu
+                )));
+            }
+        }
+
+        // Dependencies and conflicts against the installed-app records.
+        for required in &definition.requires {
+            if !record.installed.contains_key(required) {
+                return Err(DynarError::MissingDependency {
+                    plugin: app.name().to_owned(),
+                    requires: required.name().to_owned(),
+                });
+            }
+        }
+        for conflicting in &definition.conflicts {
+            if record.installed.contains_key(conflicting) {
+                return Err(DynarError::PluginConflict {
+                    plugin: app.name().to_owned(),
+                    conflicts_with: conflicting.name().to_owned(),
+                });
+            }
+        }
+        if record.installed.contains_key(app) || record.pending.contains_key(app) {
+            return Err(DynarError::duplicate("installed app", app));
+        }
+
+        self.generate_packages(record, definition, conf)
+    }
+
+    fn generate_packages(
+        &self,
+        record: &VehicleRecord,
+        definition: &AppDefinition,
+        conf: &SwConf,
+    ) -> Result<Vec<(EcuId, InstallationPackage)>> {
+        // First pass: assign SW-C-scope unique plug-in port ids per target ECU
+        // (continuing after ids already handed out to previously installed
+        // plug-ins on that ECU).
+        let mut next_id: HashMap<EcuId, u32> = record.next_port_id.clone();
+        let mut assigned: HashMap<(PluginId, String), PluginPortId> = HashMap::new();
+        for placement in &conf.placements {
+            let artifact = definition
+                .plugin(&placement.plugin)
+                .ok_or_else(|| DynarError::not_found("plug-in", &placement.plugin))?;
+            let counter = next_id.entry(placement.ecu).or_insert(0);
+            for port in &artifact.ports {
+                assigned.insert(
+                    (placement.plugin.clone(), port.name.clone()),
+                    PluginPortId::new(*counter),
+                );
+                *counter += 1;
+            }
+        }
+
+        // Second pass: build PIC, PLC and ECC per plug-in.
+        let mut packages = Vec::new();
+        for placement in &conf.placements {
+            let artifact = definition
+                .plugin(&placement.plugin)
+                .expect("validated in the first pass");
+            let swc = record
+                .system
+                .swc_on(placement.ecu)
+                .expect("checked during the compatibility pass");
+
+            let mut pic = PortInitContext::new();
+            for port in &artifact.ports {
+                let id = assigned[&(placement.plugin.clone(), port.name.clone())];
+                pic = pic.with_port(&port.name, id, port.direction);
+            }
+
+            let mut plc = PortLinkContext::new();
+            let mut ecc = ExternalConnectionContext::new();
+            let mut has_ecc = false;
+            for connection in conf
+                .connections
+                .iter()
+                .filter(|c| c.plugin == placement.plugin)
+            {
+                let port_id = assigned[&(placement.plugin.clone(), connection.port.clone())];
+                match &connection.target {
+                    ConnectionDecl::Direct => {
+                        plc = plc.with_link(port_id, LinkTarget::Direct);
+                    }
+                    ConnectionDecl::VirtualPort { name } => {
+                        let decl = swc
+                            .virtual_ports
+                            .iter()
+                            .find(|v| &v.name == name)
+                            .ok_or_else(|| {
+                                DynarError::Incompatible(format!(
+                                    "SW-C {} exposes no virtual port named {name}",
+                                    swc.swc_name
+                                ))
+                            })?;
+                        plc = plc.with_link(port_id, LinkTarget::VirtualPort(decl.id));
+                    }
+                    ConnectionDecl::RemotePlugin { plugin, port } => {
+                        let remote_id = assigned
+                            .get(&(plugin.clone(), port.clone()))
+                            .copied()
+                            .ok_or_else(|| {
+                                DynarError::Incompatible(format!(
+                                    "remote plug-in {plugin} has no port named {port}"
+                                ))
+                            })?;
+                        let remote_ecu = conf.placement_of(plugin).ok_or_else(|| {
+                            DynarError::Incompatible(format!("plug-in {plugin} is not placed"))
+                        })?;
+                        if remote_ecu == placement.ecu {
+                            // Same SW-C: the PIRTE links the two plug-in ports
+                            // directly, no virtual port involved.
+                            plc = plc.with_link(port_id, LinkTarget::Direct);
+                        } else {
+                            let via = swc
+                                .virtual_ports
+                                .iter()
+                                .find(|v| {
+                                    matches!(v.kind, VirtualPortKindDecl::TypeII { peer } if peer == remote_ecu)
+                                })
+                                .ok_or_else(|| {
+                                    DynarError::Incompatible(format!(
+                                        "SW-C {} has no type II port towards {remote_ecu}",
+                                        swc.swc_name
+                                    ))
+                                })?;
+                            plc = plc.with_link(
+                                port_id,
+                                LinkTarget::RemotePluginPort {
+                                    via: via.id,
+                                    remote: remote_id,
+                                },
+                            );
+                        }
+                    }
+                    ConnectionDecl::External {
+                        endpoint,
+                        message_id,
+                    } => {
+                        plc = plc.with_link(port_id, LinkTarget::Direct);
+                        ecc = ecc.with_route(endpoint, message_id, placement.ecu, port_id);
+                        has_ecc = true;
+                    }
+                }
+            }
+
+            let mut context = InstallationContext::new(pic, plc);
+            if has_ecc {
+                context = context.with_ecc(ecc);
+            }
+            context.validate()?;
+            packages.push((
+                placement.ecu,
+                InstallationPackage::new(
+                    placement.plugin.clone(),
+                    definition.id.clone(),
+                    artifact.binary.clone(),
+                    context,
+                ),
+            ));
+        }
+        Ok(packages)
+    }
+
+    // ------------------------------------------------------------------
+    // Deployment operations (pusher)
+    // ------------------------------------------------------------------
+
+    /// Deploys an application to a vehicle: runs the checks, generates the
+    /// contexts, queues the installation packages for the vehicle's ECM and
+    /// records the pending acknowledgements.  Returns the number of packages
+    /// pushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the user does not own the vehicle
+    /// and the rejections documented on [`TrustedServer::plan_deployment`].
+    pub fn deploy(&mut self, user: &UserId, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
+        self.check_owner(user, vehicle)?;
+        let packages = self.plan_deployment(vehicle, app)?;
+        let record = self
+            .vehicles
+            .get_mut(vehicle)
+            .expect("vehicle checked by plan_deployment");
+
+        let mut installed = InstalledApp {
+            plugins: Vec::new(),
+            packages: packages.clone(),
+        };
+        let mut awaiting = HashSet::new();
+        for (ecu, package) in &packages {
+            installed.plugins.push((package.plugin.clone(), *ecu));
+            awaiting.insert(package.plugin.clone());
+            // Reserve the port ids this deployment consumed.
+            let counter = record.next_port_id.entry(*ecu).or_insert(0);
+            let highest = package
+                .context
+                .pic
+                .ports()
+                .iter()
+                .map(|p| p.id.index() + 1)
+                .max()
+                .unwrap_or(*counter);
+            *counter = (*counter).max(highest);
+            record.downlink.push(crate::server::encode_downlink_message(
+                *ecu,
+                &ManagementMessage::Install(package.clone()),
+            ));
+        }
+        let count = packages.len();
+        record.pending.insert(
+            app.clone(),
+            PendingOperation {
+                kind: PendingKind::Install,
+                awaiting,
+                record: installed,
+                failure: None,
+            },
+        );
+        record.failed.remove(app);
+        Ok(count)
+    }
+
+    /// Uninstalls an application from a vehicle, after checking that no other
+    /// installed application depends on it.  Returns the number of
+    /// uninstallation messages pushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::DependentsExist`] when other installed apps
+    /// require this one, and [`DynarError::NotFound`] for unknown entities.
+    pub fn uninstall(&mut self, user: &UserId, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
+        self.check_owner(user, vehicle)?;
+        let dependents: Vec<String> = {
+            let record = self
+                .vehicles
+                .get(vehicle)
+                .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+            if !record.installed.contains_key(app) {
+                return Err(DynarError::not_found("installed app", app));
+            }
+            record
+                .installed
+                .keys()
+                .filter(|installed| {
+                    self.apps
+                        .get(*installed)
+                        .is_some_and(|d| d.requires.contains(app))
+                })
+                .map(|a| a.name().to_owned())
+                .collect()
+        };
+        if !dependents.is_empty() {
+            return Err(DynarError::DependentsExist {
+                plugin: app.name().to_owned(),
+                dependents,
+            });
+        }
+        let record = self.vehicles.get_mut(vehicle).expect("checked above");
+        let installed = record.installed.remove(app).expect("checked above");
+        let mut awaiting = HashSet::new();
+        for (plugin, ecu) in &installed.plugins {
+            awaiting.insert(plugin.clone());
+            record.downlink.push(crate::server::encode_downlink_message(
+                *ecu,
+                &ManagementMessage::Uninstall {
+                    plugin: plugin.clone(),
+                },
+            ));
+        }
+        let count = installed.plugins.len();
+        record.pending.insert(
+            app.clone(),
+            PendingOperation {
+                kind: PendingKind::Uninstall,
+                awaiting,
+                record: installed,
+                failure: None,
+            },
+        );
+        Ok(count)
+    }
+
+    /// Re-installs, on a replaced ECU, every plug-in that was previously
+    /// installed there (the restore operation of §3.2.2).  Returns the number
+    /// of packages pushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown vehicles.
+    pub fn restore(&mut self, vehicle: &VehicleId, ecu: EcuId) -> Result<usize> {
+        let record = self
+            .vehicles
+            .get_mut(vehicle)
+            .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+        let mut pushed = 0;
+        for installed in record.installed.values() {
+            for (target, package) in &installed.packages {
+                if *target == ecu {
+                    record.downlink.push(crate::server::encode_downlink_message(
+                        *target,
+                        &ManagementMessage::Install(package.clone()),
+                    ));
+                    pushed += 1;
+                }
+            }
+        }
+        Ok(pushed)
+    }
+
+    /// Drains the downlink messages queued for a vehicle (consumed by the
+    /// simulation harness, which feeds them to the vehicle's ECM endpoint).
+    pub fn poll_downlink(&mut self, vehicle: &VehicleId) -> Vec<Vec<u8>> {
+        self.vehicles
+            .get_mut(vehicle)
+            .map(|v| std::mem::take(&mut v.downlink))
+            .unwrap_or_default()
+    }
+
+    /// Processes an uplink message (an acknowledgement) from a vehicle,
+    /// updating the installed-app records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown vehicles and
+    /// [`DynarError::ProtocolViolation`] for malformed uplink payloads.
+    pub fn process_uplink(&mut self, vehicle: &VehicleId, payload: &[u8]) -> Result<()> {
+        let record = self
+            .vehicles
+            .get_mut(vehicle)
+            .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+        let message = ManagementMessage::from_bytes(payload)?;
+        let ManagementMessage::Ack(ack) = message else {
+            return Err(DynarError::ProtocolViolation(
+                "uplink message is not an acknowledgement".into(),
+            ));
+        };
+        Self::apply_ack(record, &ack);
+        Ok(())
+    }
+
+    fn apply_ack(record: &mut VehicleRecord, ack: &Ack) {
+        let app = AppId::new(ack.app.name());
+        let Some(pending) = record.pending.get_mut(&app) else {
+            return;
+        };
+        match &ack.status {
+            AckStatus::Installed | AckStatus::Uninstalled => {
+                pending.awaiting.remove(&ack.plugin);
+            }
+            AckStatus::Failed(reason) => {
+                pending.awaiting.remove(&ack.plugin);
+                pending.failure = Some(format!("{}: {reason}", ack.plugin));
+            }
+            _ => {}
+        }
+        if pending.awaiting.is_empty() {
+            let done = record.pending.remove(&app).expect("entry present");
+            match (&done.kind, &done.failure) {
+                (PendingKind::Install, None) => {
+                    record.installed.insert(app, done.record);
+                }
+                (PendingKind::Install, Some(reason)) => {
+                    record.failed.insert(app, reason.clone());
+                }
+                (PendingKind::Uninstall, None) => {}
+                (PendingKind::Uninstall, Some(reason)) => {
+                    // Keep the record: the app is still (partially) present.
+                    record.failed.insert(app.clone(), reason.clone());
+                    record.installed.insert(app, done.record);
+                }
+            }
+        }
+    }
+
+    fn check_owner(&self, user: &UserId, vehicle: &VehicleId) -> Result<()> {
+        let record = self
+            .vehicles
+            .get(vehicle)
+            .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+        if record.owner.as_ref() != Some(user) {
+            return Err(DynarError::not_found(
+                "vehicle bound to user",
+                format!("{vehicle} for {user}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a downlink message (target ECU plus management message) in the
+/// same format the ECM decodes.  Kept here so the server crate does not
+/// depend on the ECM crate; the byte format is shared via the value codec.
+pub fn encode_downlink_message(target: EcuId, message: &ManagementMessage) -> Vec<u8> {
+    use dynar_foundation::codec;
+    use dynar_foundation::value::Value;
+    codec::encode_value(&Value::List(vec![
+        Value::I64(i64::from(target.index())),
+        message.to_value(),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PluginArtifact, PluginPortDecl, PluginSwcDecl, VirtualPortDecl};
+    use dynar_core::plugin::PluginPortDirection;
+    use dynar_foundation::ids::VirtualPortId;
+    use dynar_vm::assembler::assemble;
+
+    fn binary(name: &str) -> Vec<u8> {
+        assemble(name, "yield\nhalt").unwrap().to_bytes()
+    }
+
+    fn system_conf() -> SystemSwConf {
+        SystemSwConf::new("model-car")
+            .with_swc(PluginSwcDecl {
+                ecu: EcuId::new(1),
+                swc_name: "ecm-swc".into(),
+                is_ecm: true,
+                virtual_ports: vec![VirtualPortDecl {
+                    id: VirtualPortId::new(0),
+                    name: "PluginData".into(),
+                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+                }],
+            })
+            .with_swc(PluginSwcDecl {
+                ecu: EcuId::new(2),
+                swc_name: "plugin-swc-2".into(),
+                is_ecm: false,
+                virtual_ports: vec![
+                    VirtualPortDecl {
+                        id: VirtualPortId::new(3),
+                        name: "PluginDataIn".into(),
+                        kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                    },
+                    VirtualPortDecl {
+                        id: VirtualPortId::new(4),
+                        name: "WheelsReq".into(),
+                        kind: VirtualPortKindDecl::TypeIII,
+                    },
+                    VirtualPortDecl {
+                        id: VirtualPortId::new(5),
+                        name: "SpeedReq".into(),
+                        kind: VirtualPortKindDecl::TypeIII,
+                    },
+                ],
+            })
+    }
+
+    fn hw_conf() -> HwConf {
+        HwConf::new().with_ecu(EcuId::new(1), 512).with_ecu(EcuId::new(2), 512)
+    }
+
+    fn remote_control_app() -> AppDefinition {
+        AppDefinition::new(AppId::new("remote-control"))
+            .with_plugin(PluginArtifact {
+                id: PluginId::new("COM"),
+                binary: binary("COM"),
+                ports: vec![
+                    PluginPortDecl { name: "wheels_ext".into(), direction: PluginPortDirection::Required },
+                    PluginPortDecl { name: "speed_ext".into(), direction: PluginPortDirection::Required },
+                    PluginPortDecl { name: "wheels_fwd".into(), direction: PluginPortDirection::Provided },
+                    PluginPortDecl { name: "speed_fwd".into(), direction: PluginPortDirection::Provided },
+                ],
+            })
+            .with_plugin(PluginArtifact {
+                id: PluginId::new("OP"),
+                binary: binary("OP"),
+                ports: vec![
+                    PluginPortDecl { name: "wheels_in".into(), direction: PluginPortDirection::Required },
+                    PluginPortDecl { name: "speed_in".into(), direction: PluginPortDirection::Required },
+                    PluginPortDecl { name: "wheels_out".into(), direction: PluginPortDirection::Provided },
+                    PluginPortDecl { name: "speed_out".into(), direction: PluginPortDirection::Provided },
+                ],
+            })
+            .with_sw_conf(
+                SwConf::new("model-car")
+                    .with_placement(PluginId::new("COM"), EcuId::new(1))
+                    .with_placement(PluginId::new("OP"), EcuId::new(2))
+                    .with_connection(PluginId::new("COM"), "wheels_ext", ConnectionDecl::External {
+                        endpoint: "phone".into(),
+                        message_id: "Wheels".into(),
+                    })
+                    .with_connection(PluginId::new("COM"), "speed_ext", ConnectionDecl::External {
+                        endpoint: "phone".into(),
+                        message_id: "Speed".into(),
+                    })
+                    .with_connection(PluginId::new("COM"), "wheels_fwd", ConnectionDecl::RemotePlugin {
+                        plugin: PluginId::new("OP"),
+                        port: "wheels_in".into(),
+                    })
+                    .with_connection(PluginId::new("COM"), "speed_fwd", ConnectionDecl::RemotePlugin {
+                        plugin: PluginId::new("OP"),
+                        port: "speed_in".into(),
+                    })
+                    .with_connection(PluginId::new("OP"), "wheels_out", ConnectionDecl::VirtualPort {
+                        name: "WheelsReq".into(),
+                    })
+                    .with_connection(PluginId::new("OP"), "speed_out", ConnectionDecl::VirtualPort {
+                        name: "SpeedReq".into(),
+                    }),
+            )
+    }
+
+    fn server_with_vehicle() -> (TrustedServer, UserId, VehicleId) {
+        let mut server = TrustedServer::new();
+        let user = UserId::new("alice");
+        let vehicle = VehicleId::new("VIN-1");
+        server.create_user(user.clone()).unwrap();
+        server
+            .register_vehicle(vehicle.clone(), hw_conf(), system_conf())
+            .unwrap();
+        server.bind_vehicle(&user, &vehicle).unwrap();
+        server.upload_app(remote_control_app()).unwrap();
+        (server, user, vehicle)
+    }
+
+    fn ack(plugin: &str, app: &str, ecu: u16, status: AckStatus) -> Vec<u8> {
+        ManagementMessage::Ack(Ack {
+            plugin: PluginId::new(plugin),
+            app: AppId::new(app),
+            ecu: EcuId::new(ecu),
+            status,
+        })
+        .to_bytes()
+    }
+
+    #[test]
+    fn user_setup_operations() {
+        let mut server = TrustedServer::new();
+        let user = UserId::new("alice");
+        server.create_user(user.clone()).unwrap();
+        assert!(server.create_user(user.clone()).is_err());
+        assert!(server.bind_vehicle(&user, &VehicleId::new("VIN-9")).is_err());
+    }
+
+    #[test]
+    fn plan_generates_the_paper_contexts() {
+        let (server, _user, vehicle) = server_with_vehicle();
+        let packages = server
+            .plan_deployment(&vehicle, &AppId::new("remote-control"))
+            .unwrap();
+        assert_eq!(packages.len(), 2);
+
+        let (com_ecu, com) = &packages[0];
+        assert_eq!(*com_ecu, EcuId::new(1));
+        assert_eq!(com.plugin, PluginId::new("COM"));
+        // COM's PLC: P0-, P1-, P2-V0.P0, P3-V0.P1 (as in §4).
+        assert_eq!(
+            com.context.plc.target_of(PluginPortId::new(0)),
+            LinkTarget::Direct
+        );
+        assert_eq!(
+            com.context.plc.target_of(PluginPortId::new(2)),
+            LinkTarget::RemotePluginPort {
+                via: VirtualPortId::new(0),
+                remote: PluginPortId::new(0),
+            }
+        );
+        let ecc = com.context.ecc.as_ref().unwrap();
+        assert_eq!(ecc.route_for("Wheels").unwrap().ecu, EcuId::new(1));
+
+        let (op_ecu, op) = &packages[1];
+        assert_eq!(*op_ecu, EcuId::new(2));
+        // OP's PLC: P0-V3... wait: wheels_in/speed_in are fed through the
+        // remote link, so only the outputs are listed: P2-V4, P3-V5.
+        assert_eq!(
+            op.context.plc.target_of(PluginPortId::new(2)),
+            LinkTarget::VirtualPort(VirtualPortId::new(4))
+        );
+        assert_eq!(
+            op.context.plc.target_of(PluginPortId::new(3)),
+            LinkTarget::VirtualPort(VirtualPortId::new(5))
+        );
+        assert!(op.context.ecc.is_none());
+    }
+
+    #[test]
+    fn incompatible_vehicles_are_rejected_with_reasons() {
+        let (mut server, user, _vehicle) = server_with_vehicle();
+        // A truck with a different model name and only one ECU.
+        let truck = VehicleId::new("VIN-2");
+        server
+            .register_vehicle(
+                truck.clone(),
+                HwConf::new().with_ecu(EcuId::new(1), 64),
+                SystemSwConf::new("truck"),
+            )
+            .unwrap();
+        server.bind_vehicle(&user, &truck).unwrap();
+        let err = server
+            .deploy(&user, &truck, &AppId::new("remote-control"))
+            .unwrap_err();
+        assert!(matches!(err, DynarError::Incompatible(_)));
+        assert!(err.is_deployment_rejection());
+    }
+
+    #[test]
+    fn memory_requirement_is_checked() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let mut app = remote_control_app();
+        app.id = AppId::new("heavy");
+        app.sw_confs[0].min_memory_kb = 100_000;
+        server.upload_app(app).unwrap();
+        let err = server.deploy(&user, &vehicle, &AppId::new("heavy")).unwrap_err();
+        assert!(matches!(err, DynarError::Incompatible(_)));
+    }
+
+    #[test]
+    fn deploy_pushes_packages_and_acks_complete_installation() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        let pushed = server.deploy(&user, &vehicle, &app).unwrap();
+        assert_eq!(pushed, 2);
+        assert_eq!(server.poll_downlink(&vehicle).len(), 2);
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Pending { .. }
+        ));
+
+        server
+            .process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed))
+            .unwrap();
+        server
+            .process_uplink(&vehicle, &ack("OP", "remote-control", 2, AckStatus::Installed))
+            .unwrap();
+        assert_eq!(server.deployment_status(&vehicle, &app), DeploymentStatus::Installed);
+        assert_eq!(server.installed_apps(&vehicle), vec![app.clone()]);
+
+        // A second deployment of the same app is rejected.
+        assert!(server.deploy(&user, &vehicle, &app).is_err());
+    }
+
+    #[test]
+    fn failed_acks_mark_the_deployment_failed() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        server
+            .process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed))
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Failed("no memory".into())),
+            )
+            .unwrap();
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Failed(reason) if reason.contains("no memory")
+        ));
+        assert!(server.installed_apps(&vehicle).is_empty());
+    }
+
+    #[test]
+    fn dependencies_and_conflicts_are_enforced() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let base = AppId::new("remote-control");
+
+        let dependent = AppDefinition::new(AppId::new("autopark"))
+            .with_dependency(base.clone())
+            .with_plugin(PluginArtifact {
+                id: PluginId::new("PARK"),
+                binary: binary("PARK"),
+                ports: vec![],
+            })
+            .with_sw_conf(SwConf::new("model-car").with_placement(PluginId::new("PARK"), EcuId::new(2)));
+        let conflicting = AppDefinition::new(AppId::new("race-mode"))
+            .with_conflict(base.clone())
+            .with_plugin(PluginArtifact {
+                id: PluginId::new("RACE"),
+                binary: binary("RACE"),
+                ports: vec![],
+            })
+            .with_sw_conf(SwConf::new("model-car").with_placement(PluginId::new("RACE"), EcuId::new(2)));
+        server.upload_app(dependent).unwrap();
+        server.upload_app(conflicting).unwrap();
+
+        // Dependency missing: autopark needs remote-control first.
+        assert!(matches!(
+            server.deploy(&user, &vehicle, &AppId::new("autopark")).unwrap_err(),
+            DynarError::MissingDependency { .. }
+        ));
+
+        // Install the base app.
+        server.deploy(&user, &vehicle, &base).unwrap();
+        server.process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed)).unwrap();
+        server.process_uplink(&vehicle, &ack("OP", "remote-control", 2, AckStatus::Installed)).unwrap();
+
+        // Now the dependent app deploys, and the conflicting one is rejected.
+        server.deploy(&user, &vehicle, &AppId::new("autopark")).unwrap();
+        server.process_uplink(&vehicle, &ack("PARK", "autopark", 2, AckStatus::Installed)).unwrap();
+        assert!(matches!(
+            server.deploy(&user, &vehicle, &AppId::new("race-mode")).unwrap_err(),
+            DynarError::PluginConflict { .. }
+        ));
+
+        // Uninstalling the base app is blocked while autopark depends on it.
+        assert!(matches!(
+            server.uninstall(&user, &vehicle, &base).unwrap_err(),
+            DynarError::DependentsExist { .. }
+        ));
+
+        // Remove the dependent first, then the base app.
+        server.uninstall(&user, &vehicle, &AppId::new("autopark")).unwrap();
+        server.process_uplink(&vehicle, &ack("PARK", "autopark", 2, AckStatus::Uninstalled)).unwrap();
+        let pushed = server.uninstall(&user, &vehicle, &base).unwrap();
+        assert_eq!(pushed, 2);
+    }
+
+    #[test]
+    fn port_ids_stay_unique_across_successive_installs() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let base = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &base).unwrap();
+        server.process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed)).unwrap();
+        server.process_uplink(&vehicle, &ack("OP", "remote-control", 2, AckStatus::Installed)).unwrap();
+
+        // A second app placed on ECU 2 must not reuse P0-P3.
+        let extra = AppDefinition::new(AppId::new("logger"))
+            .with_plugin(PluginArtifact {
+                id: PluginId::new("LOG"),
+                binary: binary("LOG"),
+                ports: vec![PluginPortDecl {
+                    name: "speed_tap".into(),
+                    direction: PluginPortDirection::Required,
+                }],
+            })
+            .with_sw_conf(
+                SwConf::new("model-car")
+                    .with_placement(PluginId::new("LOG"), EcuId::new(2))
+                    .with_connection(PluginId::new("LOG"), "speed_tap", ConnectionDecl::VirtualPort {
+                        name: "SpeedReq".into(),
+                    }),
+            );
+        server.upload_app(extra).unwrap();
+        let packages = server.plan_deployment(&vehicle, &AppId::new("logger")).unwrap();
+        let pic = &packages[0].1.context.pic;
+        assert_eq!(pic.ports()[0].id, PluginPortId::new(4), "continues after P0-P3");
+    }
+
+    #[test]
+    fn restore_repushes_packages_for_a_replaced_ecu() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let base = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &base).unwrap();
+        server.process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed)).unwrap();
+        server.process_uplink(&vehicle, &ack("OP", "remote-control", 2, AckStatus::Installed)).unwrap();
+        server.poll_downlink(&vehicle);
+
+        let pushed = server.restore(&vehicle, EcuId::new(2)).unwrap();
+        assert_eq!(pushed, 1, "only the OP plug-in lived on ECU2");
+        assert_eq!(server.poll_downlink(&vehicle).len(), 1);
+        assert_eq!(server.restore(&vehicle, EcuId::new(7)).unwrap(), 0);
+    }
+
+    #[test]
+    fn ownership_is_required_for_deploy_and_uninstall() {
+        let (mut server, _user, vehicle) = server_with_vehicle();
+        let mallory = UserId::new("mallory");
+        server.create_user(mallory.clone()).unwrap();
+        assert!(server
+            .deploy(&mallory, &vehicle, &AppId::new("remote-control"))
+            .is_err());
+    }
+
+    #[test]
+    fn uplink_must_be_an_ack() {
+        let (mut server, _user, vehicle) = server_with_vehicle();
+        let not_ack = ManagementMessage::Stop { plugin: PluginId::new("COM") }.to_bytes();
+        assert!(server.process_uplink(&vehicle, &not_ack).is_err());
+        assert!(server.process_uplink(&vehicle, &[1, 2]).is_err());
+    }
+}

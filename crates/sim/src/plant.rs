@@ -1,0 +1,139 @@
+//! The model car's physical plant and its built-in chassis SW-C.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dynar_foundation::error::Result;
+use dynar_foundation::value::Value;
+use dynar_rte::component::{ComponentBehavior, RteContext, RunnableSpec, SwcDescriptor, Trigger};
+use dynar_rte::port::{PortDirection, PortSpec};
+
+/// The observable state of the model car.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlantState {
+    /// Current speed in m/s.
+    pub speed: f64,
+    /// Current wheel angle in degrees.
+    pub wheel_angle: f64,
+    /// Distance travelled in metres.
+    pub odometer: f64,
+    /// Number of actuator commands applied so far.
+    pub commands_applied: u64,
+}
+
+/// A shared handle to the plant state, so scenarios and tests can observe the
+/// car without going through the RTE.
+pub type SharedPlantState = Arc<Mutex<PlantState>>;
+
+/// The built-in chassis SW-C: it consumes wheel-angle and speed commands from
+/// its required ports, integrates a simple kinematic model and publishes the
+/// measured speed on a provided port — the built-in application software the
+/// OP plug-in talks to through type III ports.
+#[derive(Debug)]
+pub struct CarPlant {
+    state: SharedPlantState,
+    /// Seconds of simulated time per plant runnable period.
+    dt: f64,
+}
+
+impl CarPlant {
+    /// Name of the chassis component instance.
+    pub const COMPONENT: &'static str = "chassis";
+    /// Required port carrying wheel-angle commands.
+    pub const WHEELS_CMD: &'static str = "wheels_cmd";
+    /// Required port carrying speed commands.
+    pub const SPEED_CMD: &'static str = "speed_cmd";
+    /// Provided port publishing the measured speed.
+    pub const SPEED_MEAS: &'static str = "speed_meas";
+
+    /// Creates the plant behaviour and the shared state handle.
+    pub fn create(dt: f64) -> (Self, SharedPlantState) {
+        let state = Arc::new(Mutex::new(PlantState::default()));
+        (
+            CarPlant {
+                state: Arc::clone(&state),
+                dt,
+            },
+            state,
+        )
+    }
+
+    /// The component descriptor of the chassis SW-C.
+    pub fn descriptor() -> SwcDescriptor {
+        SwcDescriptor::new(Self::COMPONENT)
+            .with_priority(6)
+            .with_port(PortSpec::queued(Self::WHEELS_CMD, PortDirection::Required, 16))
+            .with_port(PortSpec::queued(Self::SPEED_CMD, PortDirection::Required, 16))
+            .with_port(PortSpec::sender_receiver(Self::SPEED_MEAS, PortDirection::Provided))
+            .with_runnable(RunnableSpec::new("control", Trigger::Periodic(5)))
+    }
+}
+
+impl ComponentBehavior for CarPlant {
+    fn on_runnable(&mut self, _runnable: &str, ctx: &mut RteContext<'_>) -> Result<()> {
+        let mut state = self.state.lock();
+        while let Some(value) = ctx.receive(Self::WHEELS_CMD)? {
+            if let Some(angle) = value.as_f64() {
+                state.wheel_angle = angle.clamp(-45.0, 45.0);
+                state.commands_applied += 1;
+            }
+        }
+        while let Some(value) = ctx.receive(Self::SPEED_CMD)? {
+            if let Some(speed) = value.as_f64() {
+                state.speed = speed.clamp(0.0, 30.0);
+                state.commands_applied += 1;
+            }
+        }
+        state.odometer += state.speed * self.dt;
+        let measured = state.speed;
+        drop(state);
+        ctx.write(Self::SPEED_MEAS, Value::F64(measured))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynar_bus::frame::CanId;
+    use dynar_foundation::ids::EcuId;
+    use dynar_rte::ecu::Ecu;
+
+    #[test]
+    fn plant_applies_commands_and_publishes_speed() {
+        let mut ecu = Ecu::new(EcuId::new(2));
+        let (plant, state) = CarPlant::create(0.01);
+        let swc = ecu.add_component(CarPlant::descriptor(), Box::new(plant)).unwrap();
+
+        let wheels = CanId::new(0x400).unwrap();
+        let speed = CanId::new(0x401).unwrap();
+        ecu.map_signal_in(wheels, swc, CarPlant::WHEELS_CMD).unwrap();
+        ecu.map_signal_in(speed, swc, CarPlant::SPEED_CMD).unwrap();
+        ecu.deliver_inbound(wheels, Value::F64(90.0));
+        ecu.deliver_inbound(speed, Value::F64(5.0));
+        ecu.run(20).unwrap();
+
+        let state = state.lock();
+        assert_eq!(state.wheel_angle, 45.0, "clamped to the steering range");
+        assert_eq!(state.speed, 5.0);
+        assert_eq!(state.commands_applied, 2);
+        assert!(state.odometer > 0.0);
+        drop(state);
+        assert_eq!(
+            ecu.rte().read_port_by_name(swc, CarPlant::SPEED_MEAS).unwrap(),
+            Value::F64(5.0)
+        );
+    }
+
+    #[test]
+    fn plant_ignores_non_numeric_commands() {
+        let mut ecu = Ecu::new(EcuId::new(2));
+        let (plant, state) = CarPlant::create(0.01);
+        let swc = ecu.add_component(CarPlant::descriptor(), Box::new(plant)).unwrap();
+        let wheels = CanId::new(0x400).unwrap();
+        ecu.map_signal_in(wheels, swc, CarPlant::WHEELS_CMD).unwrap();
+        ecu.deliver_inbound(wheels, Value::Text("left".into()));
+        ecu.run(10).unwrap();
+        assert_eq!(state.lock().commands_applied, 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Ready-made scenarios built on the full stack.
+//!
+//! * [`remote_car`] — the paper's Section 4 demonstrator: a smart phone
+//!   remotely controlling a two-ECU model car through dynamically installed
+//!   COM and OP plug-ins (Figure 3).
+//! * [`quickstart`] — the smallest useful system: one ECU, one plug-in SW-C,
+//!   one plug-in installed through the PIRTE, used by the quickstart example
+//!   and the documentation.
+
+pub mod quickstart;
+pub mod remote_car;

@@ -1,0 +1,131 @@
+//! The smallest useful dynamic-AUTOSAR system: one ECU, one plug-in SW-C,
+//! one dynamically installed plug-in.
+
+use dynar_bus::frame::CanId;
+use dynar_core::context::{InstallationContext, LinkTarget, PortInitContext, PortLinkContext};
+use dynar_core::message::InstallationPackage;
+use dynar_core::plugin::PluginPortDirection;
+use dynar_core::swc::{PluginSwc, PluginSwcConfig, SharedPirte};
+use dynar_core::virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};
+use dynar_foundation::error::Result;
+use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, SwcId, VirtualPortId};
+use dynar_foundation::value::Value;
+use dynar_rte::ecu::Ecu;
+use dynar_vm::assembler::assemble;
+
+/// Frame id used to inject sensor values into the quickstart ECU.
+pub const SENSOR_FRAME: u32 = 0x100;
+
+/// A single-ECU system hosting one plug-in SW-C with a `SensorIn` and an
+/// `ActuatorOut` virtual port.
+#[derive(Debug)]
+pub struct Quickstart {
+    /// The simulated ECU.
+    pub ecu: Ecu,
+    /// The plug-in SW-C instance hosting the PIRTE.
+    pub swc: SwcId,
+    /// Shared handle to the PIRTE.
+    pub pirte: SharedPirte,
+}
+
+impl Quickstart {
+    /// Builds the system and installs a plug-in that doubles every sensor
+    /// value and writes it to the actuator port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and installation errors.
+    pub fn build() -> Result<Self> {
+        let ecu_id = EcuId::new(1);
+        let config = PluginSwcConfig::new("plugin-swc")
+            .with_virtual_port(VirtualPortSpec::new(
+                VirtualPortId::new(0),
+                "SensorIn",
+                PortKind::TypeIII,
+                PortDataDirection::ToPlugins,
+                "sensor_in",
+            ))
+            .with_virtual_port(VirtualPortSpec::new(
+                VirtualPortId::new(1),
+                "ActuatorOut",
+                PortKind::TypeIII,
+                PortDataDirection::ToSystem,
+                "actuator_out",
+            ));
+        let mut ecu = Ecu::new(ecu_id);
+        let descriptor = config.descriptor()?;
+        let (behavior, pirte) = PluginSwc::create(ecu_id, config);
+        let swc = ecu.add_component(descriptor, Box::new(behavior))?;
+        ecu.map_signal_in(CanId::new(SENSOR_FRAME)?, swc, "sensor_in")?;
+
+        let binary = assemble(
+            "doubler",
+            r#"
+        loop:
+            port_pending 0
+            push_int 0
+            gt
+            jump_if_false idle
+            take_port 0
+            push_int 2
+            mul
+            write_port 1
+            jump loop
+        idle:
+            yield
+            jump loop
+            "#,
+        )?
+        .to_bytes();
+        let context = InstallationContext::new(
+            PortInitContext::new()
+                .with_port("sensor", PluginPortId::new(0), PluginPortDirection::Required)
+                .with_port("actuator", PluginPortId::new(1), PluginPortDirection::Provided),
+            PortLinkContext::new()
+                .with_link(PluginPortId::new(0), LinkTarget::VirtualPort(VirtualPortId::new(0)))
+                .with_link(PluginPortId::new(1), LinkTarget::VirtualPort(VirtualPortId::new(1))),
+        );
+        pirte.lock().install(InstallationPackage::new(
+            PluginId::new("doubler"),
+            AppId::new("quickstart"),
+            binary,
+            context,
+        ))?;
+        Ok(Quickstart { ecu, swc, pirte })
+    }
+
+    /// Feeds one sensor value into the system and runs a few ticks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ECU step errors.
+    pub fn feed_sensor(&mut self, value: i64) -> Result<()> {
+        self.ecu
+            .deliver_inbound(CanId::new(SENSOR_FRAME)?, Value::I64(value));
+        self.ecu.run(3)
+    }
+
+    /// The last value the plug-in wrote to the actuator SW-C port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates port-resolution errors.
+    pub fn actuator_output(&self) -> Result<Value> {
+        self.ecu.rte().read_port_by_name(self.swc, "actuator_out")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_doubles_sensor_values() {
+        let mut system = Quickstart::build().unwrap();
+        system.feed_sensor(21).unwrap();
+        assert_eq!(system.actuator_output().unwrap(), Value::I64(42));
+        system.feed_sensor(5).unwrap();
+        assert_eq!(system.actuator_output().unwrap(), Value::I64(10));
+        assert_eq!(system.pirte.lock().plugin_count(), 1);
+    }
+}

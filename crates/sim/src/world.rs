@@ -1,0 +1,242 @@
+//! Vehicles (ECUs on a bus) and the world (vehicle + server + devices).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dynar_bus::network::{Bus, BusConfig};
+use dynar_ecm::gateway::SharedHub;
+use dynar_fes::transport::{TransportConfig, TransportHub};
+use dynar_foundation::codec;
+use dynar_foundation::error::Result;
+use dynar_foundation::ids::{EcuId, VehicleId};
+use dynar_foundation::time::{Clock, Tick};
+use dynar_rte::com_mapping::{Reassembler, Segmenter};
+use dynar_rte::ecu::Ecu;
+use dynar_server::server::TrustedServer;
+
+/// One vehicle: a set of ECUs connected by an in-vehicle bus, with the
+/// communication stack (codec + segmentation) between them.
+#[derive(Debug)]
+pub struct Vehicle {
+    ecus: Vec<Ecu>,
+    bus: Bus,
+    segmenter: Segmenter,
+    reassemblers: HashMap<EcuId, Reassembler>,
+    clock: Clock,
+}
+
+impl Vehicle {
+    /// Creates a vehicle from its ECUs and a bus configuration, attaching
+    /// every ECU to the bus.
+    pub fn new(ecus: Vec<Ecu>, bus_config: BusConfig) -> Self {
+        let mut bus = Bus::new(bus_config);
+        let mut reassemblers = HashMap::new();
+        for ecu in &ecus {
+            bus.attach(ecu.id());
+            reassemblers.insert(ecu.id(), Reassembler::new());
+        }
+        Vehicle {
+            ecus,
+            bus,
+            segmenter: Segmenter::new(),
+            reassemblers,
+            clock: Clock::new(),
+        }
+    }
+
+    /// The ECUs of the vehicle.
+    pub fn ecus(&self) -> &[Ecu] {
+        &self.ecus
+    }
+
+    /// Mutable access to an ECU by id.
+    pub fn ecu_mut(&mut self, id: EcuId) -> Option<&mut Ecu> {
+        self.ecus.iter_mut().find(|e| e.id() == id)
+    }
+
+    /// Read access to an ECU by id.
+    pub fn ecu(&self, id: EcuId) -> Option<&Ecu> {
+        self.ecus.iter().find(|e| e.id() == id)
+    }
+
+    /// The in-vehicle bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Subscribes every ECU except the sender to the frame ids it transmits,
+    /// based on the signal mappings configured on the ECUs.  Called once
+    /// after wiring; here it simply subscribes every ECU to every frame id,
+    /// letting the per-ECU RTE mapping filter relevance (a CAN controller
+    /// with an open acceptance filter).
+    pub fn open_acceptance_filters(&mut self, frame_ids: &[dynar_bus::frame::CanId]) {
+        let ecu_ids: Vec<EcuId> = self.ecus.iter().map(Ecu::id).collect();
+        for ecu in ecu_ids {
+            for id in frame_ids {
+                self.bus.subscribe(ecu, *id);
+            }
+        }
+    }
+
+    /// Current simulated time of the vehicle.
+    pub fn now(&self) -> Tick {
+        self.clock.now()
+    }
+
+    /// Advances the vehicle by one tick: drains ECU outbound signals onto the
+    /// bus (segmenting large payloads), steps the bus, reassembles and
+    /// delivers inbound signals, then steps every ECU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ECU step errors.
+    pub fn step(&mut self) -> Result<()> {
+        let now = self.clock.step();
+
+        // Outbound: SW-C signals onto the bus.
+        for index in 0..self.ecus.len() {
+            let sender = self.ecus[index].id();
+            let outbound = self.ecus[index].drain_outbound();
+            for (frame_id, value) in outbound {
+                let payload = codec::encode_value(&value);
+                for frame in self.segmenter.segment(frame_id, &payload)? {
+                    self.bus.send(sender, frame, now)?;
+                }
+            }
+        }
+
+        self.bus.step(now);
+
+        // Inbound: reassemble and deliver.
+        for index in 0..self.ecus.len() {
+            let receiver = self.ecus[index].id();
+            let frames = self.bus.receive(receiver);
+            let reassembler = self
+                .reassemblers
+                .get_mut(&receiver)
+                .expect("reassembler created at attach time");
+            for frame in frames {
+                if let Ok(Some((frame_id, payload))) = reassembler.accept(&frame) {
+                    if let Ok(value) = codec::decode_value(&payload) {
+                        self.ecus[index].deliver_inbound(frame_id, value);
+                    }
+                }
+            }
+        }
+
+        for ecu in &mut self.ecus {
+            ecu.step()?;
+        }
+        Ok(())
+    }
+}
+
+/// The full federated system: one vehicle, the trusted server, the external
+/// transport and whatever devices are registered on it.
+#[derive(Debug)]
+pub struct World {
+    /// The trusted server.
+    pub server: TrustedServer,
+    /// The external transport hub shared with the vehicle's ECM and devices.
+    pub hub: SharedHub,
+    /// The vehicle.
+    pub vehicle: Vehicle,
+    vehicle_id: VehicleId,
+    server_endpoint: String,
+    ecm_endpoint: String,
+    clock: Clock,
+}
+
+impl World {
+    /// Creates a world around an already-wired vehicle and an external
+    /// transport hub (the same hub handed to the vehicle's ECM and to any
+    /// external devices).
+    pub fn new(
+        server: TrustedServer,
+        vehicle: Vehicle,
+        vehicle_id: VehicleId,
+        server_endpoint: impl Into<String>,
+        ecm_endpoint: impl Into<String>,
+        hub: SharedHub,
+    ) -> Self {
+        let server_endpoint = server_endpoint.into();
+        hub.lock().register(&server_endpoint);
+        World {
+            server,
+            hub,
+            vehicle,
+            vehicle_id,
+            server_endpoint,
+            ecm_endpoint: ecm_endpoint.into(),
+            clock: Clock::new(),
+        }
+    }
+
+    /// Convenience constructor creating a fresh hub from a transport
+    /// configuration.
+    pub fn with_transport(
+        server: TrustedServer,
+        vehicle: Vehicle,
+        vehicle_id: VehicleId,
+        server_endpoint: impl Into<String>,
+        ecm_endpoint: impl Into<String>,
+        transport: TransportConfig,
+    ) -> Self {
+        let hub = Arc::new(Mutex::new(TransportHub::new(transport)));
+        Self::new(server, vehicle, vehicle_id, server_endpoint, ecm_endpoint, hub)
+    }
+
+    /// The identifier of the world's vehicle.
+    pub fn vehicle_id(&self) -> &VehicleId {
+        &self.vehicle_id
+    }
+
+    /// Current simulated time of the world.
+    pub fn now(&self) -> Tick {
+        self.clock.now()
+    }
+
+    /// Advances the whole federated system by one tick: server pushes reach
+    /// the transport, the transport delivers, the vehicle runs, and uplink
+    /// acknowledgements flow back into the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates vehicle step errors.
+    pub fn step(&mut self) -> Result<()> {
+        let now = self.clock.step();
+
+        // Pusher: queued downlink messages leave the server.
+        let downlinks = self.server.poll_downlink(&self.vehicle_id);
+        {
+            let mut hub = self.hub.lock();
+            for payload in downlinks {
+                let _ = hub.send(&self.server_endpoint, &self.ecm_endpoint, payload);
+            }
+            hub.step(now);
+        }
+
+        self.vehicle.step()?;
+
+        // Uplink: acknowledgements back into the server.
+        let uplinks = self.hub.lock().receive(&self.server_endpoint);
+        for (_, payload) in uplinks {
+            let _ = self.server.process_uplink(&self.vehicle_id, &payload);
+        }
+        Ok(())
+    }
+
+    /// Runs [`World::step`] `ticks` times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error.
+    pub fn run(&mut self, ticks: u64) -> Result<()> {
+        for _ in 0..ticks {
+            self.step()?;
+        }
+        Ok(())
+    }
+}

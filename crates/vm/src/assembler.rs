@@ -1,0 +1,337 @@
+//! A small text assembler and disassembler for plug-in programs.
+//!
+//! Plug-ins in the examples and benches are written in this assembly dialect,
+//! compiled to [`Program`]s with [`assemble`] and shipped as binaries via
+//! [`Program::to_bytes`].  The syntax is one instruction per line, `;`
+//! comments, `label:` definitions and label references as jump targets:
+//!
+//! ```text
+//! ; forward whatever arrives on port 0 to port 1
+//! loop:
+//!     port_pending 0
+//!     push_int 0
+//!     gt
+//!     jump_if_false idle
+//!     take_port 0
+//!     write_port 1
+//! idle:
+//!     yield
+//!     jump loop
+//! ```
+
+use std::collections::HashMap;
+
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::value::Value;
+
+use crate::isa::Instruction;
+use crate::program::Program;
+
+/// Assembles a program from its textual form.
+///
+/// # Errors
+///
+/// Returns [`DynarError::InvalidConfiguration`] describing the offending line
+/// for syntax errors, unknown mnemonics, bad operands or undefined labels.
+pub fn assemble(name: &str, source: &str) -> Result<Program> {
+    let mut program = Program::new(name);
+    let mut labels: HashMap<String, u16> = HashMap::new();
+    let mut statements: Vec<(usize, String, Option<String>)> = Vec::new();
+
+    // First pass: strip comments, collect labels and raw statements.
+    let mut next_pc: u16 = 0;
+    for (line_no, raw_line) in source.lines().enumerate() {
+        let line = raw_line.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || labels.insert(label.to_owned(), next_pc).is_some() {
+                return Err(line_error(line_no, raw_line, "invalid or duplicate label"));
+            }
+            continue;
+        }
+        let (mnemonic, operand) = match line.split_once(char::is_whitespace) {
+            Some((m, rest)) => (m.to_owned(), Some(rest.trim().to_owned())),
+            None => (line.to_owned(), None),
+        };
+        statements.push((line_no, mnemonic, operand));
+        next_pc = next_pc
+            .checked_add(1)
+            .ok_or_else(|| DynarError::invalid_config("program longer than 65535 instructions"))?;
+    }
+
+    // Second pass: encode instructions, resolving labels.
+    for (line_no, mnemonic, operand) in statements {
+        let instruction = parse_statement(&mnemonic, operand.as_deref(), &labels, &mut program)
+            .map_err(|reason| line_error(line_no, &mnemonic, &reason))?;
+        program.push_instruction(instruction);
+    }
+    program.validate()?;
+    Ok(program)
+}
+
+fn line_error(line_no: usize, line: &str, reason: &str) -> DynarError {
+    DynarError::invalid_config(format!("line {}: {reason}: {line}", line_no + 1))
+}
+
+fn parse_statement(
+    mnemonic: &str,
+    operand: Option<&str>,
+    labels: &HashMap<String, u16>,
+    program: &mut Program,
+) -> std::result::Result<Instruction, String> {
+    let need = |operand: Option<&str>| -> std::result::Result<String, String> {
+        operand
+            .map(str::to_owned)
+            .ok_or_else(|| "missing operand".to_owned())
+    };
+    let none = |operand: Option<&str>, instruction: Instruction| {
+        if operand.is_some() {
+            Err("unexpected operand".to_owned())
+        } else {
+            Ok(instruction)
+        }
+    };
+    let parse_u8 = |s: String| s.parse::<u8>().map_err(|e| e.to_string());
+    let parse_u32 = |s: String| s.parse::<u32>().map_err(|e| e.to_string());
+    let parse_i64 = |s: String| s.parse::<i64>().map_err(|e| e.to_string());
+    let resolve_label = |s: String| -> std::result::Result<u16, String> {
+        if let Ok(direct) = s.parse::<u16>() {
+            return Ok(direct);
+        }
+        labels
+            .get(&s)
+            .copied()
+            .ok_or_else(|| format!("undefined label {s}"))
+    };
+
+    match mnemonic {
+        "nop" => none(operand, Instruction::Nop),
+        "push_const" => {
+            let literal = need(operand)?;
+            let value = parse_literal(&literal)?;
+            let index = program.intern_constant(value);
+            Ok(Instruction::PushConst(index))
+        }
+        "push_int" => Ok(Instruction::PushInt(parse_i64(need(operand)?)?)),
+        "dup" => none(operand, Instruction::Dup),
+        "pop" => none(operand, Instruction::Pop),
+        "swap" => none(operand, Instruction::Swap),
+        "load" => Ok(Instruction::Load(parse_u8(need(operand)?)?)),
+        "store" => Ok(Instruction::Store(parse_u8(need(operand)?)?)),
+        "add" => none(operand, Instruction::Add),
+        "sub" => none(operand, Instruction::Sub),
+        "mul" => none(operand, Instruction::Mul),
+        "div" => none(operand, Instruction::Div),
+        "rem" => none(operand, Instruction::Rem),
+        "neg" => none(operand, Instruction::Neg),
+        "eq" => none(operand, Instruction::Eq),
+        "ne" => none(operand, Instruction::Ne),
+        "lt" => none(operand, Instruction::Lt),
+        "le" => none(operand, Instruction::Le),
+        "gt" => none(operand, Instruction::Gt),
+        "ge" => none(operand, Instruction::Ge),
+        "and" => none(operand, Instruction::And),
+        "or" => none(operand, Instruction::Or),
+        "not" => none(operand, Instruction::Not),
+        "jump" => Ok(Instruction::Jump(resolve_label(need(operand)?)?)),
+        "jump_if_false" => Ok(Instruction::JumpIfFalse(resolve_label(need(operand)?)?)),
+        "jump_if_true" => Ok(Instruction::JumpIfTrue(resolve_label(need(operand)?)?)),
+        "read_port" => Ok(Instruction::ReadPort(parse_u32(need(operand)?)?)),
+        "take_port" => Ok(Instruction::TakePort(parse_u32(need(operand)?)?)),
+        "write_port" => Ok(Instruction::WritePort(parse_u32(need(operand)?)?)),
+        "port_pending" => Ok(Instruction::PortPending(parse_u32(need(operand)?)?)),
+        "make_list" => Ok(Instruction::MakeList(parse_u8(need(operand)?)?)),
+        "list_get" => none(operand, Instruction::ListGet),
+        "list_len" => none(operand, Instruction::ListLen),
+        "log" => none(operand, Instruction::Log),
+        "yield" => none(operand, Instruction::Yield),
+        "halt" => none(operand, Instruction::Halt),
+        other => Err(format!("unknown mnemonic {other}")),
+    }
+}
+
+fn parse_literal(literal: &str) -> std::result::Result<Value, String> {
+    let literal = literal.trim();
+    if literal == "void" {
+        return Ok(Value::Void);
+    }
+    if literal == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if literal == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(stripped) = literal.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string literal".to_owned())?;
+        return Ok(Value::Text(inner.to_owned()));
+    }
+    if literal.contains('.') {
+        return literal
+            .parse::<f64>()
+            .map(Value::F64)
+            .map_err(|e| e.to_string());
+    }
+    literal
+        .parse::<i64>()
+        .map(Value::I64)
+        .map_err(|e| e.to_string())
+}
+
+/// Renders a program back into assembly text (labels are emitted as numeric
+/// targets).
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("; program {}\n", program.name()));
+    for (index, constant) in program.constants().iter().enumerate() {
+        out.push_str(&format!("; const #{index} = {constant}\n"));
+    }
+    for (pc, instruction) in program.code().iter().enumerate() {
+        out.push_str(&format!("{pc:>5}: {instruction}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_labels_and_literals() {
+        let program = assemble(
+            "t",
+            r#"
+            ; copy one value
+            push_const "hello"
+            store 0
+        again:
+            load 0
+            write_port 0
+            jump again
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.constants(), &[Value::Text("hello".into())]);
+        assert_eq!(program.code().len(), 5);
+        assert_eq!(program.code()[4], Instruction::Jump(2));
+    }
+
+    #[test]
+    fn duplicate_constants_are_interned() {
+        let program = assemble(
+            "t",
+            r#"
+            push_const 1.5
+            push_const 1.5
+            push_const 2.5
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.constants().len(), 2);
+    }
+
+    #[test]
+    fn literal_forms() {
+        let program = assemble(
+            "t",
+            r#"
+            push_const true
+            push_const false
+            push_const void
+            push_const -17
+            push_const 3.5
+            push_const "text"
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            program.constants(),
+            &[
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Void,
+                Value::I64(-17),
+                Value::F64(3.5),
+                Value::Text("text".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = assemble("t", "nop\nbogus_op 3\n").unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("line 2"), "{message}");
+        assert!(message.contains("bogus_op"), "{message}");
+    }
+
+    #[test]
+    fn undefined_label_is_rejected() {
+        assert!(assemble("t", "jump nowhere").is_err());
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected() {
+        assert!(assemble("t", "a:\nnop\na:\nnop").is_err());
+    }
+
+    #[test]
+    fn operand_arity_is_checked() {
+        assert!(assemble("t", "push_int").is_err());
+        assert!(assemble("t", "halt 3").is_err());
+        assert!(assemble("t", "load 999").is_err());
+        assert!(assemble("t", "push_const \"unterminated").is_err());
+    }
+
+    #[test]
+    fn numeric_jump_targets_are_accepted() {
+        let program = assemble("t", "nop\njump 0").unwrap();
+        assert_eq!(program.code()[1], Instruction::Jump(0));
+    }
+
+    #[test]
+    fn disassembly_mentions_every_instruction() {
+        let program = assemble(
+            "demo",
+            r#"
+            push_const "x"
+            log
+            halt
+            "#,
+        )
+        .unwrap();
+        let text = disassemble(&program);
+        assert!(text.contains("program demo"));
+        assert!(text.contains("push_const"));
+        assert!(text.contains("halt"));
+        assert!(text.contains("const #0"));
+    }
+
+    #[test]
+    fn assembled_programs_survive_binary_round_trip() {
+        let program = assemble(
+            "t",
+            r#"
+        loop:
+            port_pending 0
+            push_int 0
+            gt
+            jump_if_false idle
+            take_port 0
+            write_port 1
+        idle:
+            yield
+            jump loop
+            "#,
+        )
+        .unwrap();
+        let bytes = program.to_bytes();
+        assert_eq!(Program::from_bytes(&bytes).unwrap(), program);
+    }
+}

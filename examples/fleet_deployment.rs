@@ -1,0 +1,135 @@
+//! Fleet deployment: the trusted server manages several vehicles with
+//! different configurations — a compatible model car, a second car with an
+//! already-installed conflicting application, and an incompatible truck —
+//! and finally restores a replaced ECU.
+//!
+//! Run with `cargo run --example fleet_deployment`.
+
+use dynar::core::message::{Ack, AckStatus, ManagementMessage};
+use dynar::foundation::error::DynarError;
+use dynar::foundation::ids::{AppId, EcuId, PluginId, UserId, VehicleId};
+use dynar::server::model::{AppDefinition, HwConf, PluginArtifact, SwConf, SystemSwConf};
+use dynar::server::server::TrustedServer;
+use dynar::sim::scenario::remote_car::remote_control_app;
+
+fn ack(plugin: &str, app: &str, ecu: u16) -> Vec<u8> {
+    ManagementMessage::Ack(Ack {
+        plugin: PluginId::new(plugin),
+        app: AppId::new(app),
+        ecu: EcuId::new(ecu),
+        status: AckStatus::Installed,
+    })
+    .to_bytes()
+}
+
+fn main() -> Result<(), DynarError> {
+    let mut server = TrustedServer::new();
+    let fleet_manager = UserId::new("fleet-manager");
+    server.create_user(fleet_manager.clone())?;
+
+    // Vehicle 1: the model car from the paper's demonstrator.
+    let car1 = VehicleId::new("VIN-CAR-1");
+    server.register_vehicle(car1.clone(), model_car_hw(), model_car_system())?;
+    server.bind_vehicle(&fleet_manager, &car1)?;
+
+    // Vehicle 2: an identical car that already runs a conflicting app.
+    let car2 = VehicleId::new("VIN-CAR-2");
+    server.register_vehicle(car2.clone(), model_car_hw(), model_car_system())?;
+    server.bind_vehicle(&fleet_manager, &car2)?;
+
+    // Vehicle 3: a truck whose model no deployment description covers.
+    let truck = VehicleId::new("VIN-TRUCK-1");
+    server.register_vehicle(
+        truck.clone(),
+        HwConf::new().with_ecu(EcuId::new(1), 128),
+        SystemSwConf::new("truck"),
+    )?;
+    server.bind_vehicle(&fleet_manager, &truck)?;
+
+    // Catalogue: the remote-control app plus a conflicting manual-drive app.
+    let remote_control = remote_control_app()?;
+    let manual_drive = AppDefinition::new(AppId::new("manual-drive"))
+        .with_conflict(remote_control.id.clone())
+        .with_plugin(PluginArtifact {
+            id: PluginId::new("MANUAL"),
+            binary: dynar::vm::assembler::assemble("MANUAL", "yield\nhalt")?.to_bytes(),
+            ports: vec![],
+        })
+        .with_sw_conf(SwConf::new("model-car").with_placement(PluginId::new("MANUAL"), EcuId::new(2)));
+    let remote_control_conflicting = {
+        let mut app = remote_control.clone();
+        app.conflicts.push(AppId::new("manual-drive"));
+        app
+    };
+    server.upload_app(remote_control_conflicting)?;
+    server.upload_app(manual_drive)?;
+
+    // Pre-install manual-drive on car 2.
+    server.deploy(&fleet_manager, &car2, &AppId::new("manual-drive"))?;
+    server.process_uplink(&car2, &ack("MANUAL", "manual-drive", 2))?;
+
+    println!("rolling out 'remote-control' across the fleet:");
+    for vehicle in [&car1, &car2, &truck] {
+        match server.deploy(&fleet_manager, vehicle, &AppId::new("remote-control")) {
+            Ok(packages) => println!("  {vehicle}: pushed {packages} installation packages"),
+            Err(err) => println!("  {vehicle}: rejected — {err}"),
+        }
+    }
+
+    // Car 1 acknowledges; the app becomes installed.
+    server.process_uplink(&car1, &ack("COM", "remote-control", 1))?;
+    server.process_uplink(&car1, &ack("OP", "remote-control", 2))?;
+    println!(
+        "car 1 installed apps: {:?}",
+        server.installed_apps(&car1)
+    );
+
+    // A workshop replaces ECU2 on car 1: restore re-pushes its plug-ins.
+    let repushed = server.restore(&car1, EcuId::new(2))?;
+    println!("restore after replacing {}: {repushed} package(s) re-pushed", EcuId::new(2));
+    Ok(())
+}
+
+fn model_car_hw() -> HwConf {
+    HwConf::new()
+        .with_ecu(EcuId::new(1), 512)
+        .with_ecu(EcuId::new(2), 512)
+}
+
+fn model_car_system() -> SystemSwConf {
+    use dynar::foundation::ids::VirtualPortId;
+    use dynar::server::model::{PluginSwcDecl, VirtualPortDecl, VirtualPortKindDecl};
+    SystemSwConf::new("model-car")
+        .with_swc(PluginSwcDecl {
+            ecu: EcuId::new(1),
+            swc_name: "ecm-swc".into(),
+            is_ecm: true,
+            virtual_ports: vec![VirtualPortDecl {
+                id: VirtualPortId::new(0),
+                name: "PluginData".into(),
+                kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+            }],
+        })
+        .with_swc(PluginSwcDecl {
+            ecu: EcuId::new(2),
+            swc_name: "plugin-swc-2".into(),
+            is_ecm: false,
+            virtual_ports: vec![
+                VirtualPortDecl {
+                    id: VirtualPortId::new(3),
+                    name: "PluginDataIn".into(),
+                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                },
+                VirtualPortDecl {
+                    id: VirtualPortId::new(4),
+                    name: "WheelsReq".into(),
+                    kind: VirtualPortKindDecl::TypeIII,
+                },
+                VirtualPortDecl {
+                    id: VirtualPortId::new(5),
+                    name: "SpeedReq".into(),
+                    kind: VirtualPortKindDecl::TypeIII,
+                },
+            ],
+        })
+}

@@ -1,0 +1,30 @@
+//! Quickstart: one ECU, one plug-in SW-C, one dynamically installed plug-in.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use dynar::foundation::error::DynarError;
+use dynar::sim::scenario::quickstart::Quickstart;
+
+fn main() -> Result<(), DynarError> {
+    let mut system = Quickstart::build()?;
+    println!("built a single-ECU system with one plug-in SW-C");
+    println!(
+        "installed plug-ins: {:?}",
+        system.pirte.lock().plugin_states()
+    );
+
+    for sensor in [3, 10, 21] {
+        system.feed_sensor(sensor)?;
+        println!(
+            "sensor = {sensor:>3}  ->  actuator = {}",
+            system.actuator_output()?
+        );
+    }
+
+    let stats = system.pirte.lock().stats();
+    println!(
+        "PIRTE routed {} signals in, {} signals out, over {} VM slots",
+        stats.signals_in, stats.signals_out, stats.slots_granted
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Figure 1 — the dynamic component structure: plug-in SW-Cs with embedded
+//! VM + PIRTE, the ECM SW-C, and the three special-purpose port types, all
+//! sitting on an unchanged RTE.
+
+use dynar::core::swc::{PluginSwc, PluginSwcConfig};
+use dynar::core::virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};
+use dynar::foundation::ids::{EcuId, VirtualPortId};
+use dynar::rte::ecu::Ecu;
+use dynar::rte::port::PortDirection;
+use dynar::sim::scenario::remote_car::RemoteCarScenario;
+
+fn swc2_config() -> PluginSwcConfig {
+    PluginSwcConfig::new("plugin-swc-2")
+        .with_type_i_ports("mgmt_in", "mgmt_out")
+        .with_virtual_port(VirtualPortSpec::new(
+            VirtualPortId::new(3),
+            "PluginDataIn",
+            PortKind::TypeII,
+            PortDataDirection::ToPlugins,
+            "s3_in",
+        ))
+        .with_virtual_port(VirtualPortSpec::new(
+            VirtualPortId::new(4),
+            "WheelsReq",
+            PortKind::TypeIII,
+            PortDataDirection::ToSystem,
+            "wheels_req",
+        ))
+}
+
+#[test]
+fn plugin_swc_exposes_only_ordinary_swc_ports_to_the_rte() {
+    // The RTE sees a plug-in SW-C as a normal component: its descriptor only
+    // contains standard provided/required ports, no plug-in concepts.
+    let descriptor = swc2_config().descriptor().unwrap();
+    assert_eq!(descriptor.ports().len(), 4);
+    assert_eq!(
+        descriptor.port("mgmt_in").unwrap().direction(),
+        PortDirection::Required
+    );
+    assert_eq!(
+        descriptor.port("mgmt_out").unwrap().direction(),
+        PortDirection::Provided
+    );
+    assert_eq!(
+        descriptor.port("s3_in").unwrap().direction(),
+        PortDirection::Required
+    );
+    assert_eq!(
+        descriptor.port("wheels_req").unwrap().direction(),
+        PortDirection::Provided
+    );
+}
+
+#[test]
+fn plugin_swc_registers_like_any_component() {
+    let mut ecu = Ecu::new(EcuId::new(2));
+    let config = swc2_config();
+    let descriptor = config.descriptor().unwrap();
+    let (behavior, pirte) = PluginSwc::create(EcuId::new(2), config);
+    let swc = ecu.add_component(descriptor, Box::new(behavior)).unwrap();
+    assert_eq!(ecu.component_by_name("plugin-swc-2"), Some(swc));
+    assert_eq!(pirte.lock().plugin_count(), 0, "no plug-ins before installation");
+}
+
+#[test]
+fn static_api_distinguishes_the_three_port_types() {
+    let config = swc2_config();
+    let kinds: Vec<PortKind> = config.virtual_ports().iter().map(|v| v.kind()).collect();
+    assert!(kinds.contains(&PortKind::TypeII));
+    assert!(kinds.contains(&PortKind::TypeIII));
+    assert!(config.type_i_in().is_some() && config.type_i_out().is_some());
+}
+
+#[test]
+fn figure1_topology_is_reproduced_by_the_scenario() {
+    let scenario = RemoteCarScenario::build().unwrap();
+    // ECU1's PIRTE (inside the ECM SW-C) exposes the type II virtual port V0;
+    // ECU2's PIRTE exposes V3-V6 exactly as drawn in Figure 3 / Figure 1.
+    let ecm = scenario.ecm_pirte();
+    let ecm = ecm.lock();
+    assert!(ecm.virtual_port(VirtualPortId::new(0)).is_some());
+    assert_eq!(ecm.ecu(), EcuId::new(1));
+
+    let pirte2 = scenario.pirte2();
+    let pirte2 = pirte2.lock();
+    for id in [3, 4, 5, 6] {
+        assert!(
+            pirte2.virtual_port(VirtualPortId::new(id)).is_some(),
+            "V{id} missing"
+        );
+    }
+    assert_eq!(
+        pirte2.virtual_port(VirtualPortId::new(4)).unwrap().name(),
+        "WheelsReq"
+    );
+    assert_eq!(pirte2.ecu(), EcuId::new(2));
+}

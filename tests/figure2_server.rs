@@ -1,0 +1,163 @@
+//! Figure 2 — the trusted server: user setup, uploads, deployment with
+//! compatibility checks, acknowledgement tracking, uninstallation and
+//! restore, exercised through the public API of the umbrella crate.
+
+use dynar::core::context::LinkTarget;
+use dynar::core::message::{Ack, AckStatus, ManagementMessage};
+use dynar::foundation::error::DynarError;
+use dynar::foundation::ids::{AppId, EcuId, PluginId, PluginPortId, UserId, VehicleId, VirtualPortId};
+use dynar::server::model::{HwConf, PluginSwcDecl, SystemSwConf, VirtualPortDecl, VirtualPortKindDecl};
+use dynar::server::server::{DeploymentStatus, TrustedServer};
+use dynar::sim::scenario::remote_car::remote_control_app;
+
+fn model_car_system() -> SystemSwConf {
+    SystemSwConf::new("model-car")
+        .with_swc(PluginSwcDecl {
+            ecu: EcuId::new(1),
+            swc_name: "ecm-swc".into(),
+            is_ecm: true,
+            virtual_ports: vec![VirtualPortDecl {
+                id: VirtualPortId::new(0),
+                name: "PluginData".into(),
+                kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+            }],
+        })
+        .with_swc(PluginSwcDecl {
+            ecu: EcuId::new(2),
+            swc_name: "plugin-swc-2".into(),
+            is_ecm: false,
+            virtual_ports: vec![
+                VirtualPortDecl {
+                    id: VirtualPortId::new(3),
+                    name: "PluginDataIn".into(),
+                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                },
+                VirtualPortDecl {
+                    id: VirtualPortId::new(4),
+                    name: "WheelsReq".into(),
+                    kind: VirtualPortKindDecl::TypeIII,
+                },
+                VirtualPortDecl {
+                    id: VirtualPortId::new(5),
+                    name: "SpeedReq".into(),
+                    kind: VirtualPortKindDecl::TypeIII,
+                },
+            ],
+        })
+}
+
+fn setup() -> (TrustedServer, UserId, VehicleId) {
+    let mut server = TrustedServer::new();
+    let user = UserId::new("alice");
+    let vehicle = VehicleId::new("VIN-1");
+    server.create_user(user.clone()).unwrap();
+    server
+        .register_vehicle(
+            vehicle.clone(),
+            HwConf::new().with_ecu(EcuId::new(1), 512).with_ecu(EcuId::new(2), 512),
+            model_car_system(),
+        )
+        .unwrap();
+    server.bind_vehicle(&user, &vehicle).unwrap();
+    server.upload_app(remote_control_app().unwrap()).unwrap();
+    (server, user, vehicle)
+}
+
+fn installed_ack(plugin: &str, ecu: u16) -> Vec<u8> {
+    ManagementMessage::Ack(Ack {
+        plugin: PluginId::new(plugin),
+        app: AppId::new("remote-control"),
+        ecu: EcuId::new(ecu),
+        status: AckStatus::Installed,
+    })
+    .to_bytes()
+}
+
+#[test]
+fn full_deployment_cycle_matches_section_3_2() {
+    let (mut server, user, vehicle) = setup();
+    let app = AppId::new("remote-control");
+
+    // Deployment pushes one package per plug-in, addressed per ECU.
+    let pushed = server.deploy(&user, &vehicle, &app).unwrap();
+    assert_eq!(pushed, 2);
+    let downlink = server.poll_downlink(&vehicle);
+    assert_eq!(downlink.len(), 2);
+
+    // Until the acks arrive the app is pending, afterwards installed.
+    assert!(matches!(
+        server.deployment_status(&vehicle, &app),
+        DeploymentStatus::Pending { .. }
+    ));
+    server.process_uplink(&vehicle, &installed_ack("COM", 1)).unwrap();
+    server.process_uplink(&vehicle, &installed_ack("OP", 2)).unwrap();
+    assert_eq!(server.deployment_status(&vehicle, &app), DeploymentStatus::Installed);
+
+    // The restore operation re-pushes only the plug-ins of the replaced ECU.
+    assert_eq!(server.restore(&vehicle, EcuId::new(2)).unwrap(), 1);
+
+    // Uninstallation pushes one message per plug-in.
+    assert_eq!(server.uninstall(&user, &vehicle, &app).unwrap(), 2);
+}
+
+#[test]
+fn generated_contexts_match_the_paper_example() {
+    let (server, _user, vehicle) = setup();
+    let packages = server
+        .plan_deployment(&vehicle, &AppId::new("remote-control"))
+        .unwrap();
+    let com = &packages[0].1;
+    let op = &packages[1].1;
+
+    // COM: {P0-, P1-, P2-V0.P0, P3-V0.P1} plus the phone ECC (§4).
+    assert_eq!(com.context.plc.target_of(PluginPortId::new(0)), LinkTarget::Direct);
+    assert_eq!(com.context.plc.target_of(PluginPortId::new(1)), LinkTarget::Direct);
+    assert_eq!(
+        com.context.plc.target_of(PluginPortId::new(2)),
+        LinkTarget::RemotePluginPort { via: VirtualPortId::new(0), remote: PluginPortId::new(0) }
+    );
+    assert_eq!(
+        com.context.plc.target_of(PluginPortId::new(3)),
+        LinkTarget::RemotePluginPort { via: VirtualPortId::new(0), remote: PluginPortId::new(1) }
+    );
+    let ecc = com.context.ecc.as_ref().unwrap();
+    assert_eq!(ecc.routes().len(), 2);
+    assert!(ecc.route_for("Wheels").is_some());
+    assert!(ecc.route_for("Speed").is_some());
+
+    // OP: {P2-V4, P3-V5}, no ECC.
+    assert_eq!(
+        op.context.plc.target_of(PluginPortId::new(2)),
+        LinkTarget::VirtualPort(VirtualPortId::new(4))
+    );
+    assert_eq!(
+        op.context.plc.target_of(PluginPortId::new(3)),
+        LinkTarget::VirtualPort(VirtualPortId::new(5))
+    );
+    assert!(op.context.ecc.is_none());
+}
+
+#[test]
+fn incompatible_and_unbound_vehicles_are_rejected() {
+    let (mut server, user, _vehicle) = setup();
+
+    let truck = VehicleId::new("VIN-TRUCK");
+    server
+        .register_vehicle(
+            truck.clone(),
+            HwConf::new().with_ecu(EcuId::new(1), 64),
+            SystemSwConf::new("truck"),
+        )
+        .unwrap();
+
+    // Not bound to the user yet.
+    assert!(matches!(
+        server.deploy(&user, &truck, &AppId::new("remote-control")).unwrap_err(),
+        DynarError::NotFound { .. }
+    ));
+
+    // Bound but incompatible (no SW conf for the truck model).
+    server.bind_vehicle(&user, &truck).unwrap();
+    let err = server.deploy(&user, &truck, &AppId::new("remote-control")).unwrap_err();
+    assert!(err.is_deployment_rejection());
+}

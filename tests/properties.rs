@@ -1,0 +1,119 @@
+//! Property-based tests over the wire formats and id-assignment invariants.
+
+use dynar::core::context::{
+    ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
+};
+use dynar::core::plugin::PluginPortDirection;
+use dynar::foundation::codec::{decode_value, encode_value};
+use dynar::foundation::ids::{EcuId, PluginPortId, VirtualPortId};
+use dynar::foundation::value::Value;
+use dynar::rte::com_mapping::{Reassembler, Segmenter};
+use dynar::vm::assembler::{assemble, disassemble};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Void),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        any::<f64>().prop_filter("NaN compares unequal", |f| !f.is_nan()).prop_map(Value::F64),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Text),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+proptest! {
+    /// Any value survives the shared codec unchanged.
+    #[test]
+    fn codec_round_trips(value in value_strategy()) {
+        let encoded = encode_value(&value);
+        prop_assert_eq!(decode_value(&encoded).unwrap(), value);
+    }
+
+    /// Any payload survives segmentation and reassembly, regardless of size.
+    #[test]
+    fn segmentation_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let id = dynar::bus::frame::CanId::new(0x123).unwrap();
+        let mut segmenter = Segmenter::new();
+        let mut reassembler = Reassembler::new();
+        let mut result = None;
+        for frame in segmenter.segment(id, &payload).unwrap() {
+            result = reassembler.accept(&frame).unwrap();
+        }
+        prop_assert_eq!(result, Some((id, payload)));
+    }
+
+    /// Installation contexts survive their wire encoding, for any mix of
+    /// direct, virtual-port, remote and external links.
+    #[test]
+    fn context_round_trips(
+        ports in proptest::collection::vec((0u32..64, any::<bool>()), 1..12),
+        virtual_ids in proptest::collection::vec(0u16..16, 0..12),
+        with_ecc in any::<bool>(),
+    ) {
+        let mut pic = PortInitContext::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut port_ids = Vec::new();
+        for (index, (id, provided)) in ports.iter().enumerate() {
+            if !seen.insert(*id) {
+                continue;
+            }
+            let direction = if *provided {
+                PluginPortDirection::Provided
+            } else {
+                PluginPortDirection::Required
+            };
+            pic = pic.with_port(format!("port{index}"), PluginPortId::new(*id), direction);
+            port_ids.push(PluginPortId::new(*id));
+        }
+        let mut plc = PortLinkContext::new();
+        for (index, port) in port_ids.iter().enumerate() {
+            let target = match virtual_ids.get(index) {
+                None => LinkTarget::Direct,
+                Some(v) if index % 2 == 0 => LinkTarget::VirtualPort(VirtualPortId::new(*v)),
+                Some(v) => LinkTarget::RemotePluginPort {
+                    via: VirtualPortId::new(*v),
+                    remote: PluginPortId::new(u32::from(*v) + 100),
+                },
+            };
+            plc = plc.with_link(*port, target);
+        }
+        let mut context = InstallationContext::new(pic, plc);
+        if with_ecc {
+            let mut ecc = ExternalConnectionContext::new();
+            for (index, port) in port_ids.iter().enumerate() {
+                ecc = ecc.with_route(
+                    "device",
+                    format!("msg{index}"),
+                    EcuId::new(index as u16),
+                    *port,
+                );
+            }
+            context = context.with_ecc(ecc);
+        }
+        prop_assert!(context.validate().is_ok());
+        let decoded = InstallationContext::from_bytes(&context.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, context);
+    }
+
+    /// Plug-in binaries survive the portable binary format, whatever the
+    /// (valid) program text.
+    #[test]
+    fn assembled_programs_round_trip(
+        constants in proptest::collection::vec(-1000i64..1000, 1..8),
+        port in 0u32..16,
+    ) {
+        let mut source = String::new();
+        for value in &constants {
+            source.push_str(&format!("push_int {value}\n"));
+        }
+        source.push_str(&format!("write_port {port}\nhalt\n"));
+        let program = assemble("generated", &source).unwrap();
+        let decoded = dynar::vm::program::Program::from_bytes(&program.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &program);
+        prop_assert!(!disassemble(&decoded).is_empty());
+    }
+}
