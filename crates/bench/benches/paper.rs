@@ -75,7 +75,9 @@ fn bench_system() -> dynar_server::model::SystemSwConf {
             virtual_ports: vec![VirtualPortDecl {
                 id: VirtualPortId::new(0),
                 name: "PluginData".into(),
-                kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+                kind: VirtualPortKindDecl::TypeII {
+                    peer: EcuId::new(2),
+                },
             }],
         })
         .with_swc(PluginSwcDecl {
@@ -86,7 +88,9 @@ fn bench_system() -> dynar_server::model::SystemSwConf {
                 VirtualPortDecl {
                     id: VirtualPortId::new(3),
                     name: "PluginDataIn".into(),
-                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                    kind: VirtualPortKindDecl::TypeII {
+                        peer: EcuId::new(1),
+                    },
                 },
                 VirtualPortDecl {
                     id: VirtualPortId::new(4),
@@ -167,8 +171,14 @@ fn e2_mediation_overhead(c: &mut Criterion) {
             .with_port("in", PluginPortId::new(0), PluginPortDirection::Required)
             .with_port("out", PluginPortId::new(1), PluginPortDirection::Provided),
         PortLinkContext::new()
-            .with_link(PluginPortId::new(0), LinkTarget::VirtualPort(VirtualPortId::new(0)))
-            .with_link(PluginPortId::new(1), LinkTarget::VirtualPort(VirtualPortId::new(1))),
+            .with_link(
+                PluginPortId::new(0),
+                LinkTarget::VirtualPort(VirtualPortId::new(0)),
+            )
+            .with_link(
+                PluginPortId::new(1),
+                LinkTarget::VirtualPort(VirtualPortId::new(1)),
+            ),
     );
     pirte
         .install(InstallationPackage::new(
@@ -195,13 +205,17 @@ fn e3_server_scalability(c: &mut Criterion) {
     for apps in [1usize, 16, 64] {
         let server = scenario_server_with_apps(apps);
         let vehicle = dynar_foundation::ids::VehicleId::new("VIN-MODEL-CAR-1");
-        group.bench_with_input(BenchmarkId::new("plan_with_catalogue", apps), &apps, |b, _| {
-            b.iter(|| {
-                server
-                    .plan_deployment(&vehicle, &AppId::new("remote-control"))
-                    .expect("plan succeeds")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("plan_with_catalogue", apps),
+            &apps,
+            |b, _| {
+                b.iter(|| {
+                    server
+                        .plan_deployment(&vehicle, &AppId::new("remote-control"))
+                        .expect("plan succeeds")
+                });
+            },
+        );
     }
     group.finish();
 }

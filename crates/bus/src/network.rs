@@ -168,7 +168,9 @@ impl Bus {
                 .remove(&key)
                 .expect("key taken from iterator");
             if self.config.drop_probability > 0.0
-                && self.rng.gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
+                && self
+                    .rng
+                    .gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
             {
                 self.stats.dropped += 1;
                 continue;
@@ -246,8 +248,12 @@ mod tests {
         let c = EcuId::new(3);
         bus.attach(c);
         bus.subscribe(b, CanId::new(0x10).unwrap());
-        bus.send(a, Frame::new(CanId::new(0x10).unwrap(), vec![1]).unwrap(), Tick::ZERO)
-            .unwrap();
+        bus.send(
+            a,
+            Frame::new(CanId::new(0x10).unwrap(), vec![1]).unwrap(),
+            Tick::ZERO,
+        )
+        .unwrap();
         bus.step(Tick::new(1));
         bus.step(Tick::new(2));
         assert_eq!(bus.receive(b).len(), 1);
@@ -278,10 +284,18 @@ mod tests {
         let (mut bus, a, b) = two_node_bus(config);
         bus.subscribe(b, CanId::new(0x300).unwrap());
         bus.subscribe(b, CanId::new(0x100).unwrap());
-        bus.send(a, Frame::new(CanId::new(0x300).unwrap(), vec![3]).unwrap(), Tick::ZERO)
-            .unwrap();
-        bus.send(a, Frame::new(CanId::new(0x100).unwrap(), vec![1]).unwrap(), Tick::ZERO)
-            .unwrap();
+        bus.send(
+            a,
+            Frame::new(CanId::new(0x300).unwrap(), vec![3]).unwrap(),
+            Tick::ZERO,
+        )
+        .unwrap();
+        bus.send(
+            a,
+            Frame::new(CanId::new(0x100).unwrap(), vec![1]).unwrap(),
+            Tick::ZERO,
+        )
+        .unwrap();
 
         bus.step(Tick::new(1));
         let first = bus.receive(b);
@@ -303,8 +317,10 @@ mod tests {
         let (mut bus, a, b) = two_node_bus(config);
         let id = CanId::new(0x42).unwrap();
         bus.subscribe(b, id);
-        bus.send(a, Frame::new(id, vec![1]).unwrap(), Tick::ZERO).unwrap();
-        bus.send(a, Frame::new(id, vec![2]).unwrap(), Tick::ZERO).unwrap();
+        bus.send(a, Frame::new(id, vec![1]).unwrap(), Tick::ZERO)
+            .unwrap();
+        bus.send(a, Frame::new(id, vec![2]).unwrap(), Tick::ZERO)
+            .unwrap();
         bus.step(Tick::new(1));
         bus.step(Tick::new(2));
         let frames = bus.receive(b);
@@ -321,7 +337,8 @@ mod tests {
         let (mut bus, a, b) = two_node_bus(config);
         let id = CanId::new(0x1).unwrap();
         bus.subscribe(b, id);
-        bus.send(a, Frame::new(id, vec![7]).unwrap(), Tick::ZERO).unwrap();
+        bus.send(a, Frame::new(id, vec![7]).unwrap(), Tick::ZERO)
+            .unwrap();
         bus.step(Tick::new(1));
         assert_eq!(bus.pending_for(b), 0, "still in flight");
         for t in 2..=6 {
@@ -341,7 +358,8 @@ mod tests {
         let id = CanId::new(0x1).unwrap();
         bus.subscribe(b, id);
         for _ in 0..10 {
-            bus.send(a, Frame::new(id, vec![0]).unwrap(), Tick::ZERO).unwrap();
+            bus.send(a, Frame::new(id, vec![0]).unwrap(), Tick::ZERO)
+                .unwrap();
         }
         for t in 1..5 {
             bus.step(Tick::new(t));
@@ -353,8 +371,12 @@ mod tests {
     #[test]
     fn unrouted_frames_are_counted() {
         let (mut bus, a, _b) = two_node_bus(BusConfig::default());
-        bus.send(a, Frame::new(CanId::new(0x9).unwrap(), vec![]).unwrap(), Tick::ZERO)
-            .unwrap();
+        bus.send(
+            a,
+            Frame::new(CanId::new(0x9).unwrap(), vec![]).unwrap(),
+            Tick::ZERO,
+        )
+        .unwrap();
         bus.step(Tick::new(1));
         bus.step(Tick::new(2));
         assert_eq!(bus.stats().unrouted, 1);
@@ -371,7 +393,8 @@ mod tests {
         let id = CanId::new(0x5).unwrap();
         bus.subscribe(b, id);
         for _ in 0..10 {
-            bus.send(a, Frame::new(id, vec![0]).unwrap(), Tick::ZERO).unwrap();
+            bus.send(a, Frame::new(id, vec![0]).unwrap(), Tick::ZERO)
+                .unwrap();
         }
         bus.step(Tick::new(1));
         assert_eq!(bus.receive(b).len(), 2);
@@ -385,7 +408,8 @@ mod tests {
         let id = CanId::new(0x20).unwrap();
         bus.subscribe(b, id);
         bus.subscribe(c, id);
-        bus.send(a, Frame::new(id, vec![0; 8]).unwrap(), Tick::ZERO).unwrap();
+        bus.send(a, Frame::new(id, vec![0; 8]).unwrap(), Tick::ZERO)
+            .unwrap();
         bus.step(Tick::new(1));
         bus.step(Tick::new(2));
         let stats = bus.stats();
@@ -407,7 +431,8 @@ mod tests {
             let id = CanId::new(0x30).unwrap();
             bus.subscribe(b, id);
             for i in 0..50u64 {
-                bus.send(a, Frame::new(id, vec![i as u8]).unwrap(), Tick::new(i)).unwrap();
+                bus.send(a, Frame::new(id, vec![i as u8]).unwrap(), Tick::new(i))
+                    .unwrap();
                 bus.step(Tick::new(i));
             }
             bus.stats().dropped

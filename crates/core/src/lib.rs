@@ -83,7 +83,9 @@ pub mod plugin;
 pub mod swc;
 pub mod virtual_port;
 
-pub use context::{ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext};
+pub use context::{
+    ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
+};
 pub use lifecycle::PluginState;
 pub use message::{Ack, AckStatus, InstallationPackage, ManagementMessage};
 pub use pirte::{Pirte, PirteStats};

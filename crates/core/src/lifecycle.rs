@@ -139,7 +139,11 @@ mod tests {
     fn illegal_transitions_are_reported() {
         let err = Stopped.transition("COM", Finish).unwrap_err();
         match err {
-            DynarError::LifecycleViolation { plugin, from, requested } => {
+            DynarError::LifecycleViolation {
+                plugin,
+                from,
+                requested,
+            } => {
                 assert_eq!(plugin, "COM");
                 assert_eq!(from, "stopped");
                 assert_eq!(requested, "finish");
@@ -147,7 +151,10 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         assert!(Finished.transition("p", Start).is_err());
-        assert!(Failed.transition("p", Start).is_err(), "failed plug-ins need a restart");
+        assert!(
+            Failed.transition("p", Start).is_err(),
+            "failed plug-ins need a restart"
+        );
     }
 
     #[test]

@@ -340,7 +340,10 @@ impl Pirte {
                     self.now,
                     Severity::Warning,
                     "pirte",
-                    format!("ignoring unexpected management message type {}", other.type_id()),
+                    format!(
+                        "ignoring unexpected management message type {}",
+                        other.type_id()
+                    ),
                 );
                 Vec::new()
             }
@@ -636,9 +639,7 @@ impl PortHost for PirteHost<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::{
-        InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
-    };
+    use crate::context::{InstallationContext, LinkTarget, PortInitContext, PortLinkContext};
     use crate::swc::PluginSwcConfig;
     use dynar_foundation::ids::AppId;
     use dynar_vm::assembler::assemble;
@@ -706,8 +707,14 @@ mod tests {
                 .with_port("in", PluginPortId::new(0), PluginPortDirection::Required)
                 .with_port("out", PluginPortId::new(1), PluginPortDirection::Provided),
             PortLinkContext::new()
-                .with_link(PluginPortId::new(0), LinkTarget::VirtualPort(VirtualPortId::new(6)))
-                .with_link(PluginPortId::new(1), LinkTarget::VirtualPort(VirtualPortId::new(4))),
+                .with_link(
+                    PluginPortId::new(0),
+                    LinkTarget::VirtualPort(VirtualPortId::new(6)),
+                )
+                .with_link(
+                    PluginPortId::new(1),
+                    LinkTarget::VirtualPort(VirtualPortId::new(4)),
+                ),
         );
         InstallationPackage::new(PluginId::new(name), AppId::new("app"), binary, context)
     }
@@ -752,13 +759,18 @@ mod tests {
         let mut pirte = pirte();
         let binary = assemble("p", "halt").unwrap().to_bytes();
         let context = InstallationContext::new(
-            PortInitContext::new().with_port("x", PluginPortId::new(9), PluginPortDirection::Provided),
+            PortInitContext::new().with_port(
+                "x",
+                PluginPortId::new(9),
+                PluginPortDirection::Provided,
+            ),
             PortLinkContext::new().with_link(
                 PluginPortId::new(9),
                 LinkTarget::VirtualPort(VirtualPortId::new(99)),
             ),
         );
-        let package = InstallationPackage::new(PluginId::new("p"), AppId::new("a"), binary, context);
+        let package =
+            InstallationPackage::new(PluginId::new("p"), AppId::new("a"), binary, context);
         assert!(matches!(
             pirte.install(package).unwrap_err(),
             DynarError::NotFound { .. }
@@ -844,9 +856,15 @@ mod tests {
     #[test]
     fn direct_linked_provided_ports_surface_to_the_embedder() {
         let mut pirte = pirte();
-        let binary = assemble("p", "push_int 9\nwrite_port 0\nhalt").unwrap().to_bytes();
+        let binary = assemble("p", "push_int 9\nwrite_port 0\nhalt")
+            .unwrap()
+            .to_bytes();
         let context = InstallationContext::new(
-            PortInitContext::new().with_port("out", PluginPortId::new(0), PluginPortDirection::Provided),
+            PortInitContext::new().with_port(
+                "out",
+                PluginPortId::new(0),
+                PluginPortDirection::Provided,
+            ),
             PortLinkContext::new().with_link(PluginPortId::new(0), LinkTarget::Direct),
         );
         pirte
@@ -879,8 +897,9 @@ mod tests {
             other => panic!("expected an ack, got {other:?}"),
         }
 
-        let responses =
-            pirte.handle_management(ManagementMessage::Uninstall { plugin: PluginId::new("ghost") });
+        let responses = pirte.handle_management(ManagementMessage::Uninstall {
+            plugin: PluginId::new("ghost"),
+        });
         match &responses[0] {
             ManagementMessage::Ack(ack) => assert!(matches!(ack.status, AckStatus::Failed(_))),
             other => panic!("expected an ack, got {other:?}"),
@@ -898,7 +917,10 @@ mod tests {
         let ack = ManagementMessage::from_value(&outbox[0].1).unwrap();
         assert!(matches!(
             ack,
-            ManagementMessage::Ack(Ack { status: AckStatus::Installed, .. })
+            ManagementMessage::Ack(Ack {
+                status: AckStatus::Installed,
+                ..
+            })
         ));
     }
 
@@ -918,7 +940,9 @@ mod tests {
     #[test]
     fn faulting_plugins_are_contained() {
         let mut pirte = pirte();
-        let binary = assemble("bad", "push_int 1\npush_int 0\ndiv\nhalt").unwrap().to_bytes();
+        let binary = assemble("bad", "push_int 1\npush_int 0\ndiv\nhalt")
+            .unwrap()
+            .to_bytes();
         let context = InstallationContext::new(PortInitContext::new(), PortLinkContext::new());
         pirte
             .install(InstallationPackage::new(
@@ -946,7 +970,9 @@ mod tests {
     #[test]
     fn halted_plugins_finish_and_stop_consuming_slots() {
         let mut pirte = pirte();
-        let binary = assemble("oneshot", "push_int 1\npop\nhalt").unwrap().to_bytes();
+        let binary = assemble("oneshot", "push_int 1\npop\nhalt")
+            .unwrap()
+            .to_bytes();
         let context = InstallationContext::new(PortInitContext::new(), PortLinkContext::new());
         pirte
             .install(InstallationPackage::new(
@@ -969,7 +995,11 @@ mod tests {
         let mut pirte = pirte();
         let binary = assemble("com", "yield\nhalt").unwrap().to_bytes();
         let context = InstallationContext::new(
-            PortInitContext::new().with_port("ext", PluginPortId::new(0), PluginPortDirection::Required),
+            PortInitContext::new().with_port(
+                "ext",
+                PluginPortId::new(0),
+                PluginPortDirection::Required,
+            ),
             PortLinkContext::new().with_link(PluginPortId::new(0), LinkTarget::Direct),
         );
         pirte
@@ -995,7 +1025,9 @@ mod tests {
     fn unknown_swc_port_is_reported() {
         let mut pirte = pirte();
         assert!(matches!(
-            pirte.dispatch_swc_input("ghost_port", Value::Void).unwrap_err(),
+            pirte
+                .dispatch_swc_input("ghost_port", Value::Void)
+                .unwrap_err(),
             DynarError::NotFound { .. }
         ));
     }

@@ -192,7 +192,10 @@ impl Plugin {
 
     /// Mutable access to a port by id.
     pub fn port_mut(&mut self, id: PluginPortId) -> Option<&mut PluginPort> {
-        self.port_index.get(&id).copied().map(move |i| &mut self.ports[i])
+        self.port_index
+            .get(&id)
+            .copied()
+            .map(move |i| &mut self.ports[i])
     }
 
     /// The virtual machine hosting the plug-in code.

@@ -191,7 +191,11 @@ impl PluginSwcConfig {
         let mut descriptor = SwcDescriptor::new(&self.name).with_priority(self.priority);
         if let (Some(inbound), Some(outbound)) = (&self.type_i_in, &self.type_i_out) {
             descriptor = descriptor
-                .with_port(PortSpec::queued(inbound, PortDirection::Required, INPUT_QUEUE_LENGTH))
+                .with_port(PortSpec::queued(
+                    inbound,
+                    PortDirection::Required,
+                    INPUT_QUEUE_LENGTH,
+                ))
                 .with_port(PortSpec::sender_receiver(outbound, PortDirection::Provided));
         }
         for spec in &self.virtual_ports {
@@ -205,7 +209,8 @@ impl PluginSwcConfig {
             };
             descriptor = descriptor.with_port(port);
         }
-        descriptor = descriptor.with_runnable(RunnableSpec::new(PIRTE_RUNNABLE, Trigger::Periodic(1)));
+        descriptor =
+            descriptor.with_runnable(RunnableSpec::new(PIRTE_RUNNABLE, Trigger::Periodic(1)));
         Ok(descriptor)
     }
 }
@@ -325,10 +330,21 @@ mod tests {
                 .with_port("in", PluginPortId::new(0), PluginPortDirection::Required)
                 .with_port("out", PluginPortId::new(1), PluginPortDirection::Provided),
             PortLinkContext::new()
-                .with_link(PluginPortId::new(0), LinkTarget::VirtualPort(VirtualPortId::new(0)))
-                .with_link(PluginPortId::new(1), LinkTarget::VirtualPort(VirtualPortId::new(1))),
+                .with_link(
+                    PluginPortId::new(0),
+                    LinkTarget::VirtualPort(VirtualPortId::new(0)),
+                )
+                .with_link(
+                    PluginPortId::new(1),
+                    LinkTarget::VirtualPort(VirtualPortId::new(1)),
+                ),
         );
-        InstallationPackage::new(PluginId::new("doubler"), AppId::new("demo"), binary, context)
+        InstallationPackage::new(
+            PluginId::new("doubler"),
+            AppId::new("demo"),
+            binary,
+            context,
+        )
     }
 
     #[test]

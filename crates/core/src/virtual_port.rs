@@ -184,11 +184,19 @@ mod tests {
             Value::Text("x".into())
         );
         assert_eq!(
-            PortTransform::Clamp { min: 0.0, max: 10.0 }.apply(Value::F64(99.0)),
+            PortTransform::Clamp {
+                min: 0.0,
+                max: 10.0
+            }
+            .apply(Value::F64(99.0)),
             Value::F64(10.0)
         );
         assert_eq!(
-            PortTransform::Clamp { min: 0.0, max: 10.0 }.apply(Value::F64(-5.0)),
+            PortTransform::Clamp {
+                min: 0.0,
+                max: 10.0
+            }
+            .apply(Value::F64(-5.0)),
             Value::F64(0.0)
         );
         assert_eq!(PortTransform::Identity.apply(Value::Void), Value::Void);

@@ -76,7 +76,8 @@ impl EcmConfig {
         use dynar_rte::port::{PortDirection, PortSpec};
         let mut descriptor = self.swc.descriptor()?;
         for port in self.type_i_out.values() {
-            descriptor = descriptor.with_port(PortSpec::sender_receiver(port, PortDirection::Provided));
+            descriptor =
+                descriptor.with_port(PortSpec::sender_receiver(port, PortDirection::Provided));
         }
         for port in &self.type_i_in {
             descriptor = descriptor.with_port(PortSpec::queued(port, PortDirection::Required, 32));
@@ -276,10 +277,10 @@ impl EcmSwc {
                         message_id,
                         payload,
                     }) => self.send_to_device(&message_id, &payload),
-                    Ok(other) => self
-                        .pirte
-                        .lock()
-                        .log_warning(format!("unexpected uplink message type {}", other.type_id())),
+                    Ok(other) => self.pirte.lock().log_warning(format!(
+                        "unexpected uplink message type {}",
+                        other.type_id()
+                    )),
                     Err(err) => self
                         .pirte
                         .lock()
@@ -396,7 +397,11 @@ mod tests {
         .to_bytes();
         let context = InstallationContext::new(
             PortInitContext::new()
-                .with_port("ext_in", PluginPortId::new(0), PluginPortDirection::Required)
+                .with_port(
+                    "ext_in",
+                    PluginPortId::new(0),
+                    PluginPortDirection::Required,
+                )
                 .with_port("fwd", PluginPortId::new(1), PluginPortDirection::Provided),
             PortLinkContext::new()
                 .with_link(PluginPortId::new(0), LinkTarget::Direct)
@@ -408,21 +413,27 @@ mod tests {
                     },
                 ),
         )
-        .with_ecc(
-            ExternalConnectionContext::new().with_route(
-                "phone",
-                "Wheels",
-                EcuId::new(1),
-                PluginPortId::new(0),
-            ),
-        );
-        InstallationPackage::new(PluginId::new("COM"), AppId::new("remote-control"), binary, context)
+        .with_ecc(ExternalConnectionContext::new().with_route(
+            "phone",
+            "Wheels",
+            EcuId::new(1),
+            PluginPortId::new(0),
+        ));
+        InstallationPackage::new(
+            PluginId::new("COM"),
+            AppId::new("remote-control"),
+            binary,
+            context,
+        )
     }
 
     fn build_ecu(hub: &SharedHub) -> (Ecu, SharedPirte) {
         let mut ecu = Ecu::new(EcuId::new(1));
-        let config = EcmConfig::new(ecm_swc_config(), "vehicle-1", "server")
-            .with_remote_swc(EcuId::new(2), "to_ecu2", "from_ecu2");
+        let config = EcmConfig::new(ecm_swc_config(), "vehicle-1", "server").with_remote_swc(
+            EcuId::new(2),
+            "to_ecu2",
+            "from_ecu2",
+        );
         let descriptor = config.descriptor().unwrap();
         let (behavior, pirte) = EcmSwc::create(EcuId::new(1), config, Arc::clone(hub));
         ecu.add_component(descriptor, Box::new(behavior)).unwrap();
@@ -522,7 +533,11 @@ mod tests {
 
         // The phone sends a Wheels command.
         hub.lock()
-            .send("phone", "vehicle-1", encode_device_message("Wheels", &Value::F64(12.0)))
+            .send(
+                "phone",
+                "vehicle-1",
+                encode_device_message("Wheels", &Value::F64(12.0)),
+            )
             .unwrap();
         hub.lock().step(Tick::new(2));
         ecu.run(3).unwrap();

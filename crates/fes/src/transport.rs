@@ -130,10 +130,8 @@ impl TransportHub {
     /// elapsed.
     pub fn step(&mut self, now: Tick) {
         self.now = now;
-        let (due, pending): (Vec<_>, Vec<_>) = self
-            .in_flight
-            .drain(..)
-            .partition(|m| m.deliver_at <= now);
+        let (due, pending): (Vec<_>, Vec<_>) =
+            self.in_flight.drain(..).partition(|m| m.deliver_at <= now);
         self.in_flight = pending;
         for message in due {
             if let Some(mailbox) = self.mailboxes.get_mut(&message.to) {

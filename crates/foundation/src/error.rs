@@ -154,17 +154,26 @@ impl fmt::Display for DynarError {
                 write!(f, "invalid configuration: {reason}")
             }
             DynarError::PortDirection { port, expected } => {
-                write!(f, "port {port} used against its direction, expected {expected}")
+                write!(
+                    f,
+                    "port {port} used against its direction, expected {expected}"
+                )
             }
             DynarError::NotConnected(what) => write!(f, "no connection for {what}"),
             DynarError::Incompatible(reason) => write!(f, "incompatible deployment: {reason}"),
             DynarError::MissingDependency { plugin, requires } => {
-                write!(f, "plug-in {plugin} requires {requires} which is not installed")
+                write!(
+                    f,
+                    "plug-in {plugin} requires {requires} which is not installed"
+                )
             }
             DynarError::PluginConflict {
                 plugin,
                 conflicts_with,
-            } => write!(f, "plug-in {plugin} conflicts with installed {conflicts_with}"),
+            } => write!(
+                f,
+                "plug-in {plugin} conflicts with installed {conflicts_with}"
+            ),
             DynarError::DependentsExist { plugin, dependents } => write!(
                 f,
                 "plug-in {plugin} cannot be removed, depended on by {}",

@@ -32,6 +32,8 @@ pub mod time;
 pub mod value;
 
 pub use error::{DynarError, Result};
-pub use ids::{AppId, EcuId, PluginId, PluginPortId, PortId, SwcId, UserId, VehicleId, VirtualPortId};
+pub use ids::{
+    AppId, EcuId, PluginId, PluginPortId, PortId, SwcId, UserId, VehicleId, VirtualPortId,
+};
 pub use time::Tick;
 pub use value::Value;

@@ -623,9 +623,7 @@ mod tests {
         kernel.get_resource(ids[0], res).unwrap();
         assert!(kernel.get_resource(ids[1], res).is_err());
         assert!(kernel.release_resource(ids[1], res).is_err());
-        assert!(kernel
-            .release_resource(ids[0], ResourceId::new(9))
-            .is_err());
+        assert!(kernel.release_resource(ids[0], ResourceId::new(9)).is_err());
     }
 
     #[test]

@@ -149,11 +149,14 @@ impl Reassembler {
         }
         let data = payload[SEGMENT_HEADER..].to_vec();
 
-        let entry = self.in_progress.entry(frame.id()).or_insert_with(|| PartialMessage {
-            message,
-            total,
-            chunks: vec![None; total as usize],
-        });
+        let entry = self
+            .in_progress
+            .entry(frame.id())
+            .or_insert_with(|| PartialMessage {
+                message,
+                total,
+                chunks: vec![None; total as usize],
+            });
         if entry.message != message || entry.total != total {
             self.incomplete_dropped += 1;
             *entry = PartialMessage {
@@ -295,9 +298,7 @@ impl SystemMapping {
         let mut ecus: Vec<EcuId> = self
             .routes
             .iter()
-            .flat_map(|r| {
-                std::iter::once(r.sender.ecu).chain(r.receivers.iter().map(|e| e.ecu))
-            })
+            .flat_map(|r| std::iter::once(r.sender.ecu).chain(r.receivers.iter().map(|e| e.ecu)))
             .collect();
         ecus.sort();
         ecus.dedup();
@@ -316,10 +317,7 @@ mod tests {
         let frames = seg.segment(id, b"hi").unwrap();
         assert_eq!(frames.len(), 1);
         let mut re = Reassembler::new();
-        assert_eq!(
-            re.accept(&frames[0]).unwrap(),
-            Some((id, b"hi".to_vec()))
-        );
+        assert_eq!(re.accept(&frames[0]).unwrap(), Some((id, b"hi".to_vec())));
     }
 
     #[test]
@@ -374,8 +372,8 @@ mod tests {
         let mut seg = Segmenter::new();
         let mut re = Reassembler::new();
         let id = CanId::new(0xC).unwrap();
-        let first = seg.segment(id, &vec![1; 200]).unwrap();
-        let second = seg.segment(id, &vec![2; 30]).unwrap();
+        let first = seg.segment(id, &[1; 200]).unwrap();
+        let second = seg.segment(id, &[2; 30]).unwrap();
         // Deliver only the first chunk of the first message, then the second
         // message in full.
         assert_eq!(re.accept(&first[0]).unwrap(), None);

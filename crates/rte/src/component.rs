@@ -325,8 +325,10 @@ mod tests {
 
     #[test]
     fn data_received_trigger_must_reference_existing_port() {
-        let desc = SwcDescriptor::new("c")
-            .with_runnable(RunnableSpec::new("rx", Trigger::DataReceived("ghost".into())));
+        let desc = SwcDescriptor::new("c").with_runnable(RunnableSpec::new(
+            "rx",
+            Trigger::DataReceived("ghost".into()),
+        ));
         assert!(desc.validate().is_err());
     }
 

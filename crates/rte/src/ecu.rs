@@ -134,7 +134,10 @@ impl Ecu {
         behavior: Box<dyn ComponentBehavior>,
     ) -> Result<SwcId> {
         if self.component_by_name.contains_key(descriptor.name()) {
-            return Err(DynarError::duplicate("component instance", descriptor.name()));
+            return Err(DynarError::duplicate(
+                "component instance",
+                descriptor.name(),
+            ));
         }
         let swc = SwcId::new(self.id, self.next_local);
         self.rte.register_component(swc, &descriptor)?;
@@ -247,7 +250,9 @@ impl Ecu {
             .ok_or_else(|| DynarError::not_found("software component", server))?;
         let entry = &mut self.components[index];
         let mut ctx = RteContext::new(&mut self.rte, server);
-        entry.behavior.on_operation(port, operation, argument, &mut ctx)
+        entry
+            .behavior
+            .on_operation(port, operation, argument, &mut ctx)
     }
 
     /// Explicitly executes an on-demand runnable of a component.

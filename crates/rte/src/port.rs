@@ -139,10 +139,7 @@ impl PortSpec {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) enum PortBuffer {
     /// Last-is-best storage.
-    LastIsBest {
-        value: Value,
-        updated: bool,
-    },
+    LastIsBest { value: Value, updated: bool },
     /// Bounded FIFO storage.
     Queued {
         queue: VecDeque<Value>,
@@ -172,7 +169,10 @@ impl PortBuffer {
     /// drops the oldest element and still accepts, counting an overflow).
     pub(crate) fn push(&mut self, value: Value) {
         match self {
-            PortBuffer::LastIsBest { value: slot, updated } => {
+            PortBuffer::LastIsBest {
+                value: slot,
+                updated,
+            } => {
                 *slot = value;
                 *updated = true;
             }
@@ -292,9 +292,8 @@ mod tests {
 
     #[test]
     fn queued_buffer_preserves_order_and_counts_overflow() {
-        let mut buf = PortBuffer::for_interface(&PortInterface::QueuedSenderReceiver {
-            queue_length: 2,
-        });
+        let mut buf =
+            PortBuffer::for_interface(&PortInterface::QueuedSenderReceiver { queue_length: 2 });
         buf.push(Value::I64(1));
         buf.push(Value::I64(2));
         buf.push(Value::I64(3));

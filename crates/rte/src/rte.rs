@@ -337,8 +337,11 @@ mod tests {
         let mut rte = Rte::new();
         let producer = SwcDescriptor::new("producer")
             .with_port(PortSpec::sender_receiver("out", PortDirection::Provided));
-        let consumer = SwcDescriptor::new("consumer")
-            .with_port(PortSpec::queued("in", PortDirection::Required, 4));
+        let consumer = SwcDescriptor::new("consumer").with_port(PortSpec::queued(
+            "in",
+            PortDirection::Required,
+            4,
+        ));
         rte.register_component(swc(0), &producer).unwrap();
         rte.register_component(swc(1), &consumer).unwrap();
         let out = rte.port_id(swc(0), "out").unwrap();
@@ -440,8 +443,8 @@ mod tests {
         let mut rte = Rte::new();
         let producer = SwcDescriptor::new("p")
             .with_port(PortSpec::sender_receiver("out", PortDirection::Provided));
-        let consumer = SwcDescriptor::new("c")
-            .with_port(PortSpec::queued("in", PortDirection::Required, 1));
+        let consumer =
+            SwcDescriptor::new("c").with_port(PortSpec::queued("in", PortDirection::Required, 1));
         rte.register_component(swc(0), &producer).unwrap();
         rte.register_component(swc(1), &consumer).unwrap();
         let out = rte.port_id(swc(0), "out").unwrap();

@@ -25,7 +25,7 @@ pub mod server;
 
 pub use baseline::ReflashBaseline;
 pub use model::{
-    AppDefinition, ConnectionDecl, EcuHw, HwConf, PluginArtifact, PluginPortDecl, PluginSwcDecl,
-    Placement, PortConnection, SwConf, SystemSwConf, VirtualPortDecl, VirtualPortKindDecl,
+    AppDefinition, ConnectionDecl, EcuHw, HwConf, Placement, PluginArtifact, PluginPortDecl,
+    PluginSwcDecl, PortConnection, SwConf, SystemSwConf, VirtualPortDecl, VirtualPortKindDecl,
 };
 pub use server::{DeploymentStatus, TrustedServer};

@@ -384,7 +384,9 @@ mod tests {
 
     #[test]
     fn hw_conf_lookup() {
-        let hw = HwConf::new().with_ecu(EcuId::new(1), 512).with_ecu(EcuId::new(2), 256);
+        let hw = HwConf::new()
+            .with_ecu(EcuId::new(1), 512)
+            .with_ecu(EcuId::new(2), 256);
         assert_eq!(hw.ecu(EcuId::new(2)).unwrap().memory_kb, 256);
         assert!(hw.ecu(EcuId::new(9)).is_none());
     }
@@ -424,12 +426,16 @@ mod tests {
                     .with_connection(
                         PluginId::new("OP"),
                         "in",
-                        ConnectionDecl::VirtualPort { name: "SpeedProv".into() },
+                        ConnectionDecl::VirtualPort {
+                            name: "SpeedProv".into(),
+                        },
                     ),
             );
         assert!(good.validate().is_ok());
         assert_eq!(
-            good.sw_conf_for("model-car").unwrap().placement_of(&PluginId::new("OP")),
+            good.sw_conf_for("model-car")
+                .unwrap()
+                .placement_of(&PluginId::new("OP")),
             Some(EcuId::new(2))
         );
         assert!(good.sw_conf_for("truck").is_none());

@@ -674,7 +674,9 @@ mod tests {
                 virtual_ports: vec![VirtualPortDecl {
                     id: VirtualPortId::new(0),
                     name: "PluginData".into(),
-                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+                    kind: VirtualPortKindDecl::TypeII {
+                        peer: EcuId::new(2),
+                    },
                 }],
             })
             .with_swc(PluginSwcDecl {
@@ -685,7 +687,9 @@ mod tests {
                     VirtualPortDecl {
                         id: VirtualPortId::new(3),
                         name: "PluginDataIn".into(),
-                        kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                        kind: VirtualPortKindDecl::TypeII {
+                            peer: EcuId::new(1),
+                        },
                     },
                     VirtualPortDecl {
                         id: VirtualPortId::new(4),
@@ -702,7 +706,9 @@ mod tests {
     }
 
     fn hw_conf() -> HwConf {
-        HwConf::new().with_ecu(EcuId::new(1), 512).with_ecu(EcuId::new(2), 512)
+        HwConf::new()
+            .with_ecu(EcuId::new(1), 512)
+            .with_ecu(EcuId::new(2), 512)
     }
 
     fn remote_control_app() -> AppDefinition {
@@ -711,48 +717,96 @@ mod tests {
                 id: PluginId::new("COM"),
                 binary: binary("COM"),
                 ports: vec![
-                    PluginPortDecl { name: "wheels_ext".into(), direction: PluginPortDirection::Required },
-                    PluginPortDecl { name: "speed_ext".into(), direction: PluginPortDirection::Required },
-                    PluginPortDecl { name: "wheels_fwd".into(), direction: PluginPortDirection::Provided },
-                    PluginPortDecl { name: "speed_fwd".into(), direction: PluginPortDirection::Provided },
+                    PluginPortDecl {
+                        name: "wheels_ext".into(),
+                        direction: PluginPortDirection::Required,
+                    },
+                    PluginPortDecl {
+                        name: "speed_ext".into(),
+                        direction: PluginPortDirection::Required,
+                    },
+                    PluginPortDecl {
+                        name: "wheels_fwd".into(),
+                        direction: PluginPortDirection::Provided,
+                    },
+                    PluginPortDecl {
+                        name: "speed_fwd".into(),
+                        direction: PluginPortDirection::Provided,
+                    },
                 ],
             })
             .with_plugin(PluginArtifact {
                 id: PluginId::new("OP"),
                 binary: binary("OP"),
                 ports: vec![
-                    PluginPortDecl { name: "wheels_in".into(), direction: PluginPortDirection::Required },
-                    PluginPortDecl { name: "speed_in".into(), direction: PluginPortDirection::Required },
-                    PluginPortDecl { name: "wheels_out".into(), direction: PluginPortDirection::Provided },
-                    PluginPortDecl { name: "speed_out".into(), direction: PluginPortDirection::Provided },
+                    PluginPortDecl {
+                        name: "wheels_in".into(),
+                        direction: PluginPortDirection::Required,
+                    },
+                    PluginPortDecl {
+                        name: "speed_in".into(),
+                        direction: PluginPortDirection::Required,
+                    },
+                    PluginPortDecl {
+                        name: "wheels_out".into(),
+                        direction: PluginPortDirection::Provided,
+                    },
+                    PluginPortDecl {
+                        name: "speed_out".into(),
+                        direction: PluginPortDirection::Provided,
+                    },
                 ],
             })
             .with_sw_conf(
                 SwConf::new("model-car")
                     .with_placement(PluginId::new("COM"), EcuId::new(1))
                     .with_placement(PluginId::new("OP"), EcuId::new(2))
-                    .with_connection(PluginId::new("COM"), "wheels_ext", ConnectionDecl::External {
-                        endpoint: "phone".into(),
-                        message_id: "Wheels".into(),
-                    })
-                    .with_connection(PluginId::new("COM"), "speed_ext", ConnectionDecl::External {
-                        endpoint: "phone".into(),
-                        message_id: "Speed".into(),
-                    })
-                    .with_connection(PluginId::new("COM"), "wheels_fwd", ConnectionDecl::RemotePlugin {
-                        plugin: PluginId::new("OP"),
-                        port: "wheels_in".into(),
-                    })
-                    .with_connection(PluginId::new("COM"), "speed_fwd", ConnectionDecl::RemotePlugin {
-                        plugin: PluginId::new("OP"),
-                        port: "speed_in".into(),
-                    })
-                    .with_connection(PluginId::new("OP"), "wheels_out", ConnectionDecl::VirtualPort {
-                        name: "WheelsReq".into(),
-                    })
-                    .with_connection(PluginId::new("OP"), "speed_out", ConnectionDecl::VirtualPort {
-                        name: "SpeedReq".into(),
-                    }),
+                    .with_connection(
+                        PluginId::new("COM"),
+                        "wheels_ext",
+                        ConnectionDecl::External {
+                            endpoint: "phone".into(),
+                            message_id: "Wheels".into(),
+                        },
+                    )
+                    .with_connection(
+                        PluginId::new("COM"),
+                        "speed_ext",
+                        ConnectionDecl::External {
+                            endpoint: "phone".into(),
+                            message_id: "Speed".into(),
+                        },
+                    )
+                    .with_connection(
+                        PluginId::new("COM"),
+                        "wheels_fwd",
+                        ConnectionDecl::RemotePlugin {
+                            plugin: PluginId::new("OP"),
+                            port: "wheels_in".into(),
+                        },
+                    )
+                    .with_connection(
+                        PluginId::new("COM"),
+                        "speed_fwd",
+                        ConnectionDecl::RemotePlugin {
+                            plugin: PluginId::new("OP"),
+                            port: "speed_in".into(),
+                        },
+                    )
+                    .with_connection(
+                        PluginId::new("OP"),
+                        "wheels_out",
+                        ConnectionDecl::VirtualPort {
+                            name: "WheelsReq".into(),
+                        },
+                    )
+                    .with_connection(
+                        PluginId::new("OP"),
+                        "speed_out",
+                        ConnectionDecl::VirtualPort {
+                            name: "SpeedReq".into(),
+                        },
+                    ),
             )
     }
 
@@ -785,7 +839,9 @@ mod tests {
         let user = UserId::new("alice");
         server.create_user(user.clone()).unwrap();
         assert!(server.create_user(user.clone()).is_err());
-        assert!(server.bind_vehicle(&user, &VehicleId::new("VIN-9")).is_err());
+        assert!(server
+            .bind_vehicle(&user, &VehicleId::new("VIN-9"))
+            .is_err());
     }
 
     #[test]
@@ -856,7 +912,9 @@ mod tests {
         app.id = AppId::new("heavy");
         app.sw_confs[0].min_memory_kb = 100_000;
         server.upload_app(app).unwrap();
-        let err = server.deploy(&user, &vehicle, &AppId::new("heavy")).unwrap_err();
+        let err = server
+            .deploy(&user, &vehicle, &AppId::new("heavy"))
+            .unwrap_err();
         assert!(matches!(err, DynarError::Incompatible(_)));
     }
 
@@ -873,12 +931,21 @@ mod tests {
         ));
 
         server
-            .process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed))
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
             .unwrap();
         server
-            .process_uplink(&vehicle, &ack("OP", "remote-control", 2, AckStatus::Installed))
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
             .unwrap();
-        assert_eq!(server.deployment_status(&vehicle, &app), DeploymentStatus::Installed);
+        assert_eq!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Installed
+        );
         assert_eq!(server.installed_apps(&vehicle), vec![app.clone()]);
 
         // A second deployment of the same app is rejected.
@@ -891,12 +958,20 @@ mod tests {
         let app = AppId::new("remote-control");
         server.deploy(&user, &vehicle, &app).unwrap();
         server
-            .process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed))
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
             .unwrap();
         server
             .process_uplink(
                 &vehicle,
-                &ack("OP", "remote-control", 2, AckStatus::Failed("no memory".into())),
+                &ack(
+                    "OP",
+                    "remote-control",
+                    2,
+                    AckStatus::Failed("no memory".into()),
+                ),
             )
             .unwrap();
         assert!(matches!(
@@ -918,7 +993,9 @@ mod tests {
                 binary: binary("PARK"),
                 ports: vec![],
             })
-            .with_sw_conf(SwConf::new("model-car").with_placement(PluginId::new("PARK"), EcuId::new(2)));
+            .with_sw_conf(
+                SwConf::new("model-car").with_placement(PluginId::new("PARK"), EcuId::new(2)),
+            );
         let conflicting = AppDefinition::new(AppId::new("race-mode"))
             .with_conflict(base.clone())
             .with_plugin(PluginArtifact {
@@ -926,26 +1003,46 @@ mod tests {
                 binary: binary("RACE"),
                 ports: vec![],
             })
-            .with_sw_conf(SwConf::new("model-car").with_placement(PluginId::new("RACE"), EcuId::new(2)));
+            .with_sw_conf(
+                SwConf::new("model-car").with_placement(PluginId::new("RACE"), EcuId::new(2)),
+            );
         server.upload_app(dependent).unwrap();
         server.upload_app(conflicting).unwrap();
 
         // Dependency missing: autopark needs remote-control first.
         assert!(matches!(
-            server.deploy(&user, &vehicle, &AppId::new("autopark")).unwrap_err(),
+            server
+                .deploy(&user, &vehicle, &AppId::new("autopark"))
+                .unwrap_err(),
             DynarError::MissingDependency { .. }
         ));
 
         // Install the base app.
         server.deploy(&user, &vehicle, &base).unwrap();
-        server.process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed)).unwrap();
-        server.process_uplink(&vehicle, &ack("OP", "remote-control", 2, AckStatus::Installed)).unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
 
         // Now the dependent app deploys, and the conflicting one is rejected.
-        server.deploy(&user, &vehicle, &AppId::new("autopark")).unwrap();
-        server.process_uplink(&vehicle, &ack("PARK", "autopark", 2, AckStatus::Installed)).unwrap();
+        server
+            .deploy(&user, &vehicle, &AppId::new("autopark"))
+            .unwrap();
+        server
+            .process_uplink(&vehicle, &ack("PARK", "autopark", 2, AckStatus::Installed))
+            .unwrap();
         assert!(matches!(
-            server.deploy(&user, &vehicle, &AppId::new("race-mode")).unwrap_err(),
+            server
+                .deploy(&user, &vehicle, &AppId::new("race-mode"))
+                .unwrap_err(),
             DynarError::PluginConflict { .. }
         ));
 
@@ -956,8 +1053,15 @@ mod tests {
         ));
 
         // Remove the dependent first, then the base app.
-        server.uninstall(&user, &vehicle, &AppId::new("autopark")).unwrap();
-        server.process_uplink(&vehicle, &ack("PARK", "autopark", 2, AckStatus::Uninstalled)).unwrap();
+        server
+            .uninstall(&user, &vehicle, &AppId::new("autopark"))
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("PARK", "autopark", 2, AckStatus::Uninstalled),
+            )
+            .unwrap();
         let pushed = server.uninstall(&user, &vehicle, &base).unwrap();
         assert_eq!(pushed, 2);
     }
@@ -967,8 +1071,18 @@ mod tests {
         let (mut server, user, vehicle) = server_with_vehicle();
         let base = AppId::new("remote-control");
         server.deploy(&user, &vehicle, &base).unwrap();
-        server.process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed)).unwrap();
-        server.process_uplink(&vehicle, &ack("OP", "remote-control", 2, AckStatus::Installed)).unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
 
         // A second app placed on ECU 2 must not reuse P0-P3.
         let extra = AppDefinition::new(AppId::new("logger"))
@@ -983,14 +1097,24 @@ mod tests {
             .with_sw_conf(
                 SwConf::new("model-car")
                     .with_placement(PluginId::new("LOG"), EcuId::new(2))
-                    .with_connection(PluginId::new("LOG"), "speed_tap", ConnectionDecl::VirtualPort {
-                        name: "SpeedReq".into(),
-                    }),
+                    .with_connection(
+                        PluginId::new("LOG"),
+                        "speed_tap",
+                        ConnectionDecl::VirtualPort {
+                            name: "SpeedReq".into(),
+                        },
+                    ),
             );
         server.upload_app(extra).unwrap();
-        let packages = server.plan_deployment(&vehicle, &AppId::new("logger")).unwrap();
+        let packages = server
+            .plan_deployment(&vehicle, &AppId::new("logger"))
+            .unwrap();
         let pic = &packages[0].1.context.pic;
-        assert_eq!(pic.ports()[0].id, PluginPortId::new(4), "continues after P0-P3");
+        assert_eq!(
+            pic.ports()[0].id,
+            PluginPortId::new(4),
+            "continues after P0-P3"
+        );
     }
 
     #[test]
@@ -998,8 +1122,18 @@ mod tests {
         let (mut server, user, vehicle) = server_with_vehicle();
         let base = AppId::new("remote-control");
         server.deploy(&user, &vehicle, &base).unwrap();
-        server.process_uplink(&vehicle, &ack("COM", "remote-control", 1, AckStatus::Installed)).unwrap();
-        server.process_uplink(&vehicle, &ack("OP", "remote-control", 2, AckStatus::Installed)).unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
         server.poll_downlink(&vehicle);
 
         let pushed = server.restore(&vehicle, EcuId::new(2)).unwrap();
@@ -1021,7 +1155,10 @@ mod tests {
     #[test]
     fn uplink_must_be_an_ack() {
         let (mut server, _user, vehicle) = server_with_vehicle();
-        let not_ack = ManagementMessage::Stop { plugin: PluginId::new("COM") }.to_bytes();
+        let not_ack = ManagementMessage::Stop {
+            plugin: PluginId::new("COM"),
+        }
+        .to_bytes();
         assert!(server.process_uplink(&vehicle, &not_ack).is_err());
         assert!(server.process_uplink(&vehicle, &[1, 2]).is_err());
     }

@@ -63,9 +63,20 @@ impl CarPlant {
     pub fn descriptor() -> SwcDescriptor {
         SwcDescriptor::new(Self::COMPONENT)
             .with_priority(6)
-            .with_port(PortSpec::queued(Self::WHEELS_CMD, PortDirection::Required, 16))
-            .with_port(PortSpec::queued(Self::SPEED_CMD, PortDirection::Required, 16))
-            .with_port(PortSpec::sender_receiver(Self::SPEED_MEAS, PortDirection::Provided))
+            .with_port(PortSpec::queued(
+                Self::WHEELS_CMD,
+                PortDirection::Required,
+                16,
+            ))
+            .with_port(PortSpec::queued(
+                Self::SPEED_CMD,
+                PortDirection::Required,
+                16,
+            ))
+            .with_port(PortSpec::sender_receiver(
+                Self::SPEED_MEAS,
+                PortDirection::Provided,
+            ))
             .with_runnable(RunnableSpec::new("control", Trigger::Periodic(5)))
     }
 }
@@ -103,11 +114,14 @@ mod tests {
     fn plant_applies_commands_and_publishes_speed() {
         let mut ecu = Ecu::new(EcuId::new(2));
         let (plant, state) = CarPlant::create(0.01);
-        let swc = ecu.add_component(CarPlant::descriptor(), Box::new(plant)).unwrap();
+        let swc = ecu
+            .add_component(CarPlant::descriptor(), Box::new(plant))
+            .unwrap();
 
         let wheels = CanId::new(0x400).unwrap();
         let speed = CanId::new(0x401).unwrap();
-        ecu.map_signal_in(wheels, swc, CarPlant::WHEELS_CMD).unwrap();
+        ecu.map_signal_in(wheels, swc, CarPlant::WHEELS_CMD)
+            .unwrap();
         ecu.map_signal_in(speed, swc, CarPlant::SPEED_CMD).unwrap();
         ecu.deliver_inbound(wheels, Value::F64(90.0));
         ecu.deliver_inbound(speed, Value::F64(5.0));
@@ -120,7 +134,9 @@ mod tests {
         assert!(state.odometer > 0.0);
         drop(state);
         assert_eq!(
-            ecu.rte().read_port_by_name(swc, CarPlant::SPEED_MEAS).unwrap(),
+            ecu.rte()
+                .read_port_by_name(swc, CarPlant::SPEED_MEAS)
+                .unwrap(),
             Value::F64(5.0)
         );
     }
@@ -129,9 +145,12 @@ mod tests {
     fn plant_ignores_non_numeric_commands() {
         let mut ecu = Ecu::new(EcuId::new(2));
         let (plant, state) = CarPlant::create(0.01);
-        let swc = ecu.add_component(CarPlant::descriptor(), Box::new(plant)).unwrap();
+        let swc = ecu
+            .add_component(CarPlant::descriptor(), Box::new(plant))
+            .unwrap();
         let wheels = CanId::new(0x400).unwrap();
-        ecu.map_signal_in(wheels, swc, CarPlant::WHEELS_CMD).unwrap();
+        ecu.map_signal_in(wheels, swc, CarPlant::WHEELS_CMD)
+            .unwrap();
         ecu.deliver_inbound(wheels, Value::Text("left".into()));
         ecu.run(10).unwrap();
         assert_eq!(state.lock().commands_applied, 0);

@@ -79,11 +79,25 @@ impl Quickstart {
         .to_bytes();
         let context = InstallationContext::new(
             PortInitContext::new()
-                .with_port("sensor", PluginPortId::new(0), PluginPortDirection::Required)
-                .with_port("actuator", PluginPortId::new(1), PluginPortDirection::Provided),
+                .with_port(
+                    "sensor",
+                    PluginPortId::new(0),
+                    PluginPortDirection::Required,
+                )
+                .with_port(
+                    "actuator",
+                    PluginPortId::new(1),
+                    PluginPortDirection::Provided,
+                ),
             PortLinkContext::new()
-                .with_link(PluginPortId::new(0), LinkTarget::VirtualPort(VirtualPortId::new(0)))
-                .with_link(PluginPortId::new(1), LinkTarget::VirtualPort(VirtualPortId::new(1))),
+                .with_link(
+                    PluginPortId::new(0),
+                    LinkTarget::VirtualPort(VirtualPortId::new(0)),
+                )
+                .with_link(
+                    PluginPortId::new(1),
+                    LinkTarget::VirtualPort(VirtualPortId::new(1)),
+                ),
         );
         pirte.lock().install(InstallationPackage::new(
             PluginId::new("doubler"),

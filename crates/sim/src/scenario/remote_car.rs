@@ -16,6 +16,7 @@
 
 use dynar_bus::frame::CanId;
 use dynar_bus::network::BusConfig;
+use dynar_core::plugin::PluginPortDirection;
 use dynar_core::swc::{PluginSwc, PluginSwcConfig, SharedPirte};
 use dynar_core::virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};
 use dynar_ecm::gateway::{EcmConfig, EcmSwc};
@@ -29,7 +30,6 @@ use dynar_server::model::{
     SystemSwConf, VirtualPortDecl, VirtualPortKindDecl,
 };
 use dynar_server::server::{DeploymentStatus, TrustedServer};
-use dynar_core::plugin::PluginPortDirection;
 use dynar_vm::assembler::assemble;
 
 use crate::plant::{CarPlant, SharedPlantState};
@@ -94,15 +94,19 @@ impl RemoteCarScenario {
         let ecu2_id = EcuId::new(2);
 
         // --- ECU1: the ECM SW-C -----------------------------------------
-        let ecm_swc_config = PluginSwcConfig::new("ecm-swc").with_virtual_port(VirtualPortSpec::new(
-            VirtualPortId::new(0),
-            "PluginData",
-            PortKind::TypeII,
-            PortDataDirection::ToSystem,
-            "s0_out",
-        ));
-        let ecm_config = EcmConfig::new(ecm_swc_config, "vehicle-1", "server")
-            .with_remote_swc(ecu2_id, "to_ecu2", "from_ecu2");
+        let ecm_swc_config =
+            PluginSwcConfig::new("ecm-swc").with_virtual_port(VirtualPortSpec::new(
+                VirtualPortId::new(0),
+                "PluginData",
+                PortKind::TypeII,
+                PortDataDirection::ToSystem,
+                "s0_out",
+            ));
+        let ecm_config = EcmConfig::new(ecm_swc_config, "vehicle-1", "server").with_remote_swc(
+            ecu2_id,
+            "to_ecu2",
+            "from_ecu2",
+        );
 
         // --- ECU2: the plug-in SW-C and the chassis ----------------------
         let swc2_config = PluginSwcConfig::new("plugin-swc-2")
@@ -303,7 +307,9 @@ fn system_sw_conf() -> SystemSwConf {
             virtual_ports: vec![VirtualPortDecl {
                 id: VirtualPortId::new(0),
                 name: "PluginData".into(),
-                kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+                kind: VirtualPortKindDecl::TypeII {
+                    peer: EcuId::new(2),
+                },
             }],
         })
         .with_swc(PluginSwcDecl {
@@ -314,7 +320,9 @@ fn system_sw_conf() -> SystemSwConf {
                 VirtualPortDecl {
                     id: VirtualPortId::new(3),
                     name: "PluginDataIn".into(),
-                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                    kind: VirtualPortKindDecl::TypeII {
+                        peer: EcuId::new(1),
+                    },
                 },
                 VirtualPortDecl {
                     id: VirtualPortId::new(4),
@@ -378,48 +386,96 @@ pub fn remote_control_app() -> Result<AppDefinition> {
             id: PluginId::new("COM"),
             binary: com_binary,
             ports: vec![
-                PluginPortDecl { name: "wheels_ext".into(), direction: required },
-                PluginPortDecl { name: "speed_ext".into(), direction: required },
-                PluginPortDecl { name: "wheels_fwd".into(), direction: provided },
-                PluginPortDecl { name: "speed_fwd".into(), direction: provided },
+                PluginPortDecl {
+                    name: "wheels_ext".into(),
+                    direction: required,
+                },
+                PluginPortDecl {
+                    name: "speed_ext".into(),
+                    direction: required,
+                },
+                PluginPortDecl {
+                    name: "wheels_fwd".into(),
+                    direction: provided,
+                },
+                PluginPortDecl {
+                    name: "speed_fwd".into(),
+                    direction: provided,
+                },
             ],
         })
         .with_plugin(PluginArtifact {
             id: PluginId::new("OP"),
             binary: op_binary,
             ports: vec![
-                PluginPortDecl { name: "wheels_in".into(), direction: required },
-                PluginPortDecl { name: "speed_in".into(), direction: required },
-                PluginPortDecl { name: "wheels_out".into(), direction: provided },
-                PluginPortDecl { name: "speed_out".into(), direction: provided },
+                PluginPortDecl {
+                    name: "wheels_in".into(),
+                    direction: required,
+                },
+                PluginPortDecl {
+                    name: "speed_in".into(),
+                    direction: required,
+                },
+                PluginPortDecl {
+                    name: "wheels_out".into(),
+                    direction: provided,
+                },
+                PluginPortDecl {
+                    name: "speed_out".into(),
+                    direction: provided,
+                },
             ],
         })
         .with_sw_conf(
             SwConf::new("model-car")
                 .with_placement(PluginId::new("COM"), EcuId::new(1))
                 .with_placement(PluginId::new("OP"), EcuId::new(2))
-                .with_connection(PluginId::new("COM"), "wheels_ext", ConnectionDecl::External {
-                    endpoint: "phone".into(),
-                    message_id: "Wheels".into(),
-                })
-                .with_connection(PluginId::new("COM"), "speed_ext", ConnectionDecl::External {
-                    endpoint: "phone".into(),
-                    message_id: "Speed".into(),
-                })
-                .with_connection(PluginId::new("COM"), "wheels_fwd", ConnectionDecl::RemotePlugin {
-                    plugin: PluginId::new("OP"),
-                    port: "wheels_in".into(),
-                })
-                .with_connection(PluginId::new("COM"), "speed_fwd", ConnectionDecl::RemotePlugin {
-                    plugin: PluginId::new("OP"),
-                    port: "speed_in".into(),
-                })
-                .with_connection(PluginId::new("OP"), "wheels_out", ConnectionDecl::VirtualPort {
-                    name: "WheelsReq".into(),
-                })
-                .with_connection(PluginId::new("OP"), "speed_out", ConnectionDecl::VirtualPort {
-                    name: "SpeedReq".into(),
-                }),
+                .with_connection(
+                    PluginId::new("COM"),
+                    "wheels_ext",
+                    ConnectionDecl::External {
+                        endpoint: "phone".into(),
+                        message_id: "Wheels".into(),
+                    },
+                )
+                .with_connection(
+                    PluginId::new("COM"),
+                    "speed_ext",
+                    ConnectionDecl::External {
+                        endpoint: "phone".into(),
+                        message_id: "Speed".into(),
+                    },
+                )
+                .with_connection(
+                    PluginId::new("COM"),
+                    "wheels_fwd",
+                    ConnectionDecl::RemotePlugin {
+                        plugin: PluginId::new("OP"),
+                        port: "wheels_in".into(),
+                    },
+                )
+                .with_connection(
+                    PluginId::new("COM"),
+                    "speed_fwd",
+                    ConnectionDecl::RemotePlugin {
+                        plugin: PluginId::new("OP"),
+                        port: "speed_in".into(),
+                    },
+                )
+                .with_connection(
+                    PluginId::new("OP"),
+                    "wheels_out",
+                    ConnectionDecl::VirtualPort {
+                        name: "WheelsReq".into(),
+                    },
+                )
+                .with_connection(
+                    PluginId::new("OP"),
+                    "speed_out",
+                    ConnectionDecl::VirtualPort {
+                        name: "SpeedReq".into(),
+                    },
+                ),
         ))
 }
 

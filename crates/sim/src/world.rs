@@ -185,7 +185,14 @@ impl World {
         transport: TransportConfig,
     ) -> Self {
         let hub = Arc::new(Mutex::new(TransportHub::new(transport)));
-        Self::new(server, vehicle, vehicle_id, server_endpoint, ecm_endpoint, hub)
+        Self::new(
+            server,
+            vehicle,
+            vehicle_id,
+            server_endpoint,
+            ecm_endpoint,
+            hub,
+        )
     }
 
     /// The identifier of the world's vehicle.

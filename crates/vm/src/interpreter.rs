@@ -236,11 +236,10 @@ impl Vm {
                 self.push(b)?;
             }
             Instruction::Load(index) => {
-                let value = self
-                    .locals
-                    .get(*index as usize)
-                    .cloned()
-                    .ok_or_else(|| DynarError::VmFault(format!("local {index} out of range")))?;
+                let value =
+                    self.locals.get(*index as usize).cloned().ok_or_else(|| {
+                        DynarError::VmFault(format!("local {index} out of range"))
+                    })?;
                 self.push(value)?;
             }
             Instruction::Store(index) => {
@@ -345,17 +344,18 @@ impl Vm {
                 let index = self.pop()?.expect_i64().map_err(to_vm_fault)?;
                 let list = self.pop()?;
                 let items = list.as_list().ok_or_else(type_fault("list"))?;
-                let item = items
-                    .get(usize::try_from(index).map_err(|_| {
-                        DynarError::VmFault(format!("negative list index {index}"))
-                    })?)
-                    .cloned()
-                    .ok_or_else(|| {
-                        DynarError::VmFault(format!(
-                            "list index {index} out of range for {} elements",
-                            items.len()
-                        ))
-                    })?;
+                let item =
+                    items
+                        .get(usize::try_from(index).map_err(|_| {
+                            DynarError::VmFault(format!("negative list index {index}"))
+                        })?)
+                        .cloned()
+                        .ok_or_else(|| {
+                            DynarError::VmFault(format!(
+                                "list index {index} out of range for {} elements",
+                                items.len()
+                            ))
+                        })?;
                 self.push(item)?;
             }
             Instruction::ListLen => {
@@ -678,7 +678,11 @@ mod tests {
             let report = vm.run_slot(&mut host).unwrap();
             assert_eq!(report.status, VmStatus::Yielded);
         }
-        let written: Vec<i64> = host.written.iter().map(|(_, v)| v.as_i64().unwrap()).collect();
+        let written: Vec<i64> = host
+            .written
+            .iter()
+            .map(|(_, v)| v.as_i64().unwrap())
+            .collect();
         assert_eq!(written, vec![1, 2, 3]);
         assert_eq!(vm.slots_run(), 3);
     }

@@ -107,20 +107,18 @@ impl Program {
         let len = self.code.len();
         for (pc, instruction) in self.code.iter().enumerate() {
             match instruction {
-                Instruction::Jump(t) | Instruction::JumpIfFalse(t) | Instruction::JumpIfTrue(t) => {
-                    if *t as usize >= len {
-                        return Err(DynarError::invalid_config(format!(
-                            "jump target {t} at pc {pc} outside program of {len} instructions"
-                        )));
-                    }
+                Instruction::Jump(t) | Instruction::JumpIfFalse(t) | Instruction::JumpIfTrue(t)
+                    if *t as usize >= len =>
+                {
+                    return Err(DynarError::invalid_config(format!(
+                        "jump target {t} at pc {pc} outside program of {len} instructions"
+                    )));
                 }
-                Instruction::PushConst(index) => {
-                    if *index as usize >= self.constants.len() {
-                        return Err(DynarError::invalid_config(format!(
-                            "constant #{index} at pc {pc} outside pool of {}",
-                            self.constants.len()
-                        )));
-                    }
+                Instruction::PushConst(index) if *index as usize >= self.constants.len() => {
+                    return Err(DynarError::invalid_config(format!(
+                        "constant #{index} at pc {pc} outside pool of {}",
+                        self.constants.len()
+                    )));
                 }
                 _ => {}
             }
@@ -417,8 +415,7 @@ mod tests {
 
     #[test]
     fn from_bytes_rejects_invalid_program_structure() {
-        let program = Program::new("p")
-            .with_code(vec![Instruction::Jump(5)]);
+        let program = Program::new("p").with_code(vec![Instruction::Jump(5)]);
         let bytes = program.to_bytes();
         assert!(
             Program::from_bytes(&bytes).is_err(),

@@ -55,7 +55,9 @@ fn main() -> Result<(), DynarError> {
             binary: dynar::vm::assembler::assemble("MANUAL", "yield\nhalt")?.to_bytes(),
             ports: vec![],
         })
-        .with_sw_conf(SwConf::new("model-car").with_placement(PluginId::new("MANUAL"), EcuId::new(2)));
+        .with_sw_conf(
+            SwConf::new("model-car").with_placement(PluginId::new("MANUAL"), EcuId::new(2)),
+        );
     let remote_control_conflicting = {
         let mut app = remote_control.clone();
         app.conflicts.push(AppId::new("manual-drive"));
@@ -79,14 +81,14 @@ fn main() -> Result<(), DynarError> {
     // Car 1 acknowledges; the app becomes installed.
     server.process_uplink(&car1, &ack("COM", "remote-control", 1))?;
     server.process_uplink(&car1, &ack("OP", "remote-control", 2))?;
-    println!(
-        "car 1 installed apps: {:?}",
-        server.installed_apps(&car1)
-    );
+    println!("car 1 installed apps: {:?}", server.installed_apps(&car1));
 
     // A workshop replaces ECU2 on car 1: restore re-pushes its plug-ins.
     let repushed = server.restore(&car1, EcuId::new(2))?;
-    println!("restore after replacing {}: {repushed} package(s) re-pushed", EcuId::new(2));
+    println!(
+        "restore after replacing {}: {repushed} package(s) re-pushed",
+        EcuId::new(2)
+    );
     Ok(())
 }
 
@@ -107,7 +109,9 @@ fn model_car_system() -> SystemSwConf {
             virtual_ports: vec![VirtualPortDecl {
                 id: VirtualPortId::new(0),
                 name: "PluginData".into(),
-                kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+                kind: VirtualPortKindDecl::TypeII {
+                    peer: EcuId::new(2),
+                },
             }],
         })
         .with_swc(PluginSwcDecl {
@@ -118,7 +122,9 @@ fn model_car_system() -> SystemSwConf {
                 VirtualPortDecl {
                     id: VirtualPortId::new(3),
                     name: "PluginDataIn".into(),
-                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                    kind: VirtualPortKindDecl::TypeII {
+                        peer: EcuId::new(1),
+                    },
                 },
                 VirtualPortDecl {
                     id: VirtualPortId::new(4),

@@ -23,9 +23,18 @@ fn main() -> Result<(), DynarError> {
     let report = scenario.drive(500)?;
     println!("drive report after 500 ticks:");
     println!("  commands sent by the phone : {}", report.commands_sent);
-    println!("  commands applied by the car: {}", report.commands_delivered);
-    println!("  final speed                : {:.1} m/s", report.final_speed);
-    println!("  final wheel angle          : {:.1} deg", report.final_wheel_angle);
+    println!(
+        "  commands applied by the car: {}",
+        report.commands_delivered
+    );
+    println!(
+        "  final speed                : {:.1} m/s",
+        report.final_speed
+    );
+    println!(
+        "  final wheel angle          : {:.1} deg",
+        report.final_wheel_angle
+    );
     println!("  odometer                   : {:.2} m", report.odometer);
     Ok(())
 }

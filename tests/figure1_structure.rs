@@ -60,7 +60,11 @@ fn plugin_swc_registers_like_any_component() {
     let (behavior, pirte) = PluginSwc::create(EcuId::new(2), config);
     let swc = ecu.add_component(descriptor, Box::new(behavior)).unwrap();
     assert_eq!(ecu.component_by_name("plugin-swc-2"), Some(swc));
-    assert_eq!(pirte.lock().plugin_count(), 0, "no plug-ins before installation");
+    assert_eq!(
+        pirte.lock().plugin_count(),
+        0,
+        "no plug-ins before installation"
+    );
 }
 
 #[test]

@@ -5,8 +5,12 @@
 use dynar::core::context::LinkTarget;
 use dynar::core::message::{Ack, AckStatus, ManagementMessage};
 use dynar::foundation::error::DynarError;
-use dynar::foundation::ids::{AppId, EcuId, PluginId, PluginPortId, UserId, VehicleId, VirtualPortId};
-use dynar::server::model::{HwConf, PluginSwcDecl, SystemSwConf, VirtualPortDecl, VirtualPortKindDecl};
+use dynar::foundation::ids::{
+    AppId, EcuId, PluginId, PluginPortId, UserId, VehicleId, VirtualPortId,
+};
+use dynar::server::model::{
+    HwConf, PluginSwcDecl, SystemSwConf, VirtualPortDecl, VirtualPortKindDecl,
+};
 use dynar::server::server::{DeploymentStatus, TrustedServer};
 use dynar::sim::scenario::remote_car::remote_control_app;
 
@@ -19,7 +23,9 @@ fn model_car_system() -> SystemSwConf {
             virtual_ports: vec![VirtualPortDecl {
                 id: VirtualPortId::new(0),
                 name: "PluginData".into(),
-                kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(2) },
+                kind: VirtualPortKindDecl::TypeII {
+                    peer: EcuId::new(2),
+                },
             }],
         })
         .with_swc(PluginSwcDecl {
@@ -30,7 +36,9 @@ fn model_car_system() -> SystemSwConf {
                 VirtualPortDecl {
                     id: VirtualPortId::new(3),
                     name: "PluginDataIn".into(),
-                    kind: VirtualPortKindDecl::TypeII { peer: EcuId::new(1) },
+                    kind: VirtualPortKindDecl::TypeII {
+                        peer: EcuId::new(1),
+                    },
                 },
                 VirtualPortDecl {
                     id: VirtualPortId::new(4),
@@ -54,7 +62,9 @@ fn setup() -> (TrustedServer, UserId, VehicleId) {
     server
         .register_vehicle(
             vehicle.clone(),
-            HwConf::new().with_ecu(EcuId::new(1), 512).with_ecu(EcuId::new(2), 512),
+            HwConf::new()
+                .with_ecu(EcuId::new(1), 512)
+                .with_ecu(EcuId::new(2), 512),
             model_car_system(),
         )
         .unwrap();
@@ -89,9 +99,16 @@ fn full_deployment_cycle_matches_section_3_2() {
         server.deployment_status(&vehicle, &app),
         DeploymentStatus::Pending { .. }
     ));
-    server.process_uplink(&vehicle, &installed_ack("COM", 1)).unwrap();
-    server.process_uplink(&vehicle, &installed_ack("OP", 2)).unwrap();
-    assert_eq!(server.deployment_status(&vehicle, &app), DeploymentStatus::Installed);
+    server
+        .process_uplink(&vehicle, &installed_ack("COM", 1))
+        .unwrap();
+    server
+        .process_uplink(&vehicle, &installed_ack("OP", 2))
+        .unwrap();
+    assert_eq!(
+        server.deployment_status(&vehicle, &app),
+        DeploymentStatus::Installed
+    );
 
     // The restore operation re-pushes only the plug-ins of the replaced ECU.
     assert_eq!(server.restore(&vehicle, EcuId::new(2)).unwrap(), 1);
@@ -110,15 +127,27 @@ fn generated_contexts_match_the_paper_example() {
     let op = &packages[1].1;
 
     // COM: {P0-, P1-, P2-V0.P0, P3-V0.P1} plus the phone ECC (§4).
-    assert_eq!(com.context.plc.target_of(PluginPortId::new(0)), LinkTarget::Direct);
-    assert_eq!(com.context.plc.target_of(PluginPortId::new(1)), LinkTarget::Direct);
+    assert_eq!(
+        com.context.plc.target_of(PluginPortId::new(0)),
+        LinkTarget::Direct
+    );
+    assert_eq!(
+        com.context.plc.target_of(PluginPortId::new(1)),
+        LinkTarget::Direct
+    );
     assert_eq!(
         com.context.plc.target_of(PluginPortId::new(2)),
-        LinkTarget::RemotePluginPort { via: VirtualPortId::new(0), remote: PluginPortId::new(0) }
+        LinkTarget::RemotePluginPort {
+            via: VirtualPortId::new(0),
+            remote: PluginPortId::new(0)
+        }
     );
     assert_eq!(
         com.context.plc.target_of(PluginPortId::new(3)),
-        LinkTarget::RemotePluginPort { via: VirtualPortId::new(0), remote: PluginPortId::new(1) }
+        LinkTarget::RemotePluginPort {
+            via: VirtualPortId::new(0),
+            remote: PluginPortId::new(1)
+        }
     );
     let ecc = com.context.ecc.as_ref().unwrap();
     assert_eq!(ecc.routes().len(), 2);
@@ -152,12 +181,16 @@ fn incompatible_and_unbound_vehicles_are_rejected() {
 
     // Not bound to the user yet.
     assert!(matches!(
-        server.deploy(&user, &truck, &AppId::new("remote-control")).unwrap_err(),
+        server
+            .deploy(&user, &truck, &AppId::new("remote-control"))
+            .unwrap_err(),
         DynarError::NotFound { .. }
     ));
 
     // Bound but incompatible (no SW conf for the truck model).
     server.bind_vehicle(&user, &truck).unwrap();
-    let err = server.deploy(&user, &truck, &AppId::new("remote-control")).unwrap_err();
+    let err = server
+        .deploy(&user, &truck, &AppId::new("remote-control"))
+        .unwrap_err();
     assert!(err.is_deployment_rejection());
 }

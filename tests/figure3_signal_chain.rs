@@ -34,7 +34,10 @@ fn phone_commands_drive_the_car_and_built_in_sw_is_untouched() {
     );
     assert!(report.final_speed > 0.0);
     assert!(report.odometer > 0.0);
-    assert!(report.final_wheel_angle.abs() <= 45.0, "chassis clamps the angle");
+    assert!(
+        report.final_wheel_angle.abs() <= 45.0,
+        "chassis clamps the angle"
+    );
 }
 
 #[test]
@@ -53,12 +56,17 @@ fn plugins_can_be_stopped_and_uninstalled_at_runtime() {
     let delivered_before = scenario.plant_state().lock().commands_applied;
     scenario.drive(100).unwrap();
     let delivered_after = scenario.plant_state().lock().commands_applied;
-    assert_eq!(delivered_before, delivered_after, "no commands while OP is stopped");
+    assert_eq!(
+        delivered_before, delivered_after,
+        "no commands while OP is stopped"
+    );
 
     // Uninstall it entirely; the PIRTE frees the SW-C-scope port ids.
-    pirte2.lock().handle_management(ManagementMessage::Uninstall {
-        plugin: PluginId::new("OP"),
-    });
+    pirte2
+        .lock()
+        .handle_management(ManagementMessage::Uninstall {
+            plugin: PluginId::new("OP"),
+        });
     assert_eq!(pirte2.lock().plugin_count(), 0);
 }
 

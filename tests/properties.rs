@@ -1,11 +1,18 @@
 //! Property-based tests over the wire formats and id-assignment invariants.
+//!
+//! All blocks run under an explicit, fixed-seed [`ProptestConfig`] so every
+//! CI run generates exactly the same cases: a failure here reproduces
+//! identically on any machine.
 
+use dynar::bus::frame::{CanId, Frame, MAX_PAYLOAD};
 use dynar::core::context::{
     ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
 };
+use dynar::core::message::{Ack, AckStatus, InstallationPackage, ManagementMessage};
 use dynar::core::plugin::PluginPortDirection;
+use dynar::ecm::protocol::{decode_downlink, decode_uplink, encode_downlink, encode_uplink};
 use dynar::foundation::codec::{decode_value, encode_value};
-use dynar::foundation::ids::{EcuId, PluginPortId, VirtualPortId};
+use dynar::foundation::ids::{AppId, EcuId, PluginId, PluginPortId, VirtualPortId};
 use dynar::foundation::value::Value;
 use dynar::rte::com_mapping::{Reassembler, Segmenter};
 use dynar::vm::assembler::{assemble, disassemble};
@@ -16,7 +23,9 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Void),
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::I64),
-        any::<f64>().prop_filter("NaN compares unequal", |f| !f.is_nan()).prop_map(Value::F64),
+        any::<f64>()
+            .prop_filter("NaN compares unequal", |f| !f.is_nan())
+            .prop_map(Value::F64),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
         "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Text),
     ];
@@ -25,7 +34,148 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     })
 }
 
+fn plugin_id_strategy() -> impl Strategy<Value = PluginId> {
+    "[a-zA-Z][a-zA-Z0-9_-]{0,11}".prop_map(PluginId::new)
+}
+
+fn ack_strategy() -> impl Strategy<Value = Ack> {
+    (
+        plugin_id_strategy(),
+        "[a-z][a-z0-9-]{0,11}",
+        0u16..64,
+        prop_oneof![
+            Just(AckStatus::Installed),
+            Just(AckStatus::Uninstalled),
+            Just(AckStatus::Started),
+            Just(AckStatus::Stopped),
+            "[ -~]{0,32}".prop_map(AckStatus::Failed),
+        ],
+    )
+        .prop_map(|(plugin, app, ecu, status)| Ack {
+            plugin,
+            app: AppId::new(app),
+            ecu: EcuId::new(ecu),
+            status,
+        })
+}
+
+/// Every non-`Install` management message the ECM protocol can carry.
+fn management_message_strategy() -> impl Strategy<Value = ManagementMessage> {
+    prop_oneof![
+        plugin_id_strategy().prop_map(|plugin| ManagementMessage::Uninstall { plugin }),
+        plugin_id_strategy().prop_map(|plugin| ManagementMessage::Stop { plugin }),
+        plugin_id_strategy().prop_map(|plugin| ManagementMessage::Start { plugin }),
+        (0u32..64, value_strategy()).prop_map(|(port, payload)| ManagementMessage::ExternalData {
+            port: PluginPortId::new(port),
+            payload,
+        }),
+        ("[A-Za-z]{1,10}", value_strategy()).prop_map(|(message_id, payload)| {
+            ManagementMessage::OutboundData {
+                message_id,
+                payload,
+            }
+        }),
+        ack_strategy().prop_map(ManagementMessage::Ack),
+    ]
+}
+
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every management message survives the server → ECM downlink encoding,
+    /// and the recipient ECU address survives with it.
+    #[test]
+    fn downlink_round_trips(
+        target in 0u16..64,
+        message in management_message_strategy(),
+    ) {
+        let bytes = encode_downlink(EcuId::new(target), &message);
+        let (decoded_target, decoded) = decode_downlink(&bytes).unwrap();
+        prop_assert_eq!(decoded_target, EcuId::new(target));
+        prop_assert_eq!(decoded, message);
+    }
+
+    /// Installation packages (opaque binary plus PIC/PLC context) survive the
+    /// downlink too — the variant the paper's §3.1.3 example shows.
+    #[test]
+    fn downlink_install_round_trips(
+        target in 0u16..16,
+        binary in proptest::collection::vec(any::<u8>(), 0..256),
+        ports in proptest::collection::vec(0u32..32, 1..6),
+    ) {
+        let mut pic = PortInitContext::new();
+        let mut plc = PortLinkContext::new();
+        let mut seen = std::collections::HashSet::new();
+        for (index, id) in ports.iter().enumerate() {
+            if !seen.insert(*id) {
+                continue;
+            }
+            pic = pic.with_port(
+                format!("p{index}"),
+                PluginPortId::new(*id),
+                PluginPortDirection::Required,
+            );
+            plc = plc.with_link(PluginPortId::new(*id), LinkTarget::Direct);
+        }
+        let package = InstallationPackage::new(
+            PluginId::new("prop-plugin"),
+            AppId::new("prop-app"),
+            binary,
+            InstallationContext::new(pic, plc),
+        );
+        let message = ManagementMessage::Install(package);
+        let bytes = encode_downlink(EcuId::new(target), &message);
+        let (decoded_target, decoded) = decode_downlink(&bytes).unwrap();
+        prop_assert_eq!(decoded_target, EcuId::new(target));
+        prop_assert_eq!(decoded, message);
+    }
+
+    /// Every acknowledgement survives the vehicle → server uplink encoding.
+    #[test]
+    fn uplink_round_trips(message in management_message_strategy()) {
+        let bytes = encode_uplink(&message);
+        prop_assert_eq!(decode_uplink(&bytes).unwrap(), message);
+    }
+
+    /// Any in-range identifier and payload make a frame that reports exactly
+    /// what was framed.
+    #[test]
+    fn can_framing_round_trips(
+        id in 0u32..=CanId::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+    ) {
+        let can_id = CanId::new(id).unwrap();
+        let frame = Frame::new(can_id, payload.clone()).unwrap();
+        prop_assert_eq!(frame.id(), can_id);
+        prop_assert_eq!(frame.id().raw(), id);
+        prop_assert_eq!(frame.dlc(), payload.len());
+        prop_assert_eq!(frame.payload(), payload.as_slice());
+        prop_assert_eq!(frame.into_payload(), payload);
+    }
+
+    /// Out-of-range identifiers and oversized payloads are rejected with the
+    /// typed configuration error, never a panic.
+    #[test]
+    fn can_framing_rejects_invalid_inputs(
+        id_overflow in 1u32..=0x7FFF_FFFF - CanId::MAX,
+        oversize in 1usize..64,
+    ) {
+        use dynar::foundation::error::DynarError;
+        prop_assert!(matches!(
+            CanId::new(CanId::MAX + id_overflow),
+            Err(DynarError::InvalidConfiguration(_))
+        ));
+        let id = CanId::new(0x100).unwrap();
+        prop_assert!(matches!(
+            Frame::new(id, vec![0; MAX_PAYLOAD + oversize]),
+            Err(DynarError::InvalidConfiguration(_))
+        ));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     /// Any value survives the shared codec unchanged.
     #[test]
     fn codec_round_trips(value in value_strategy()) {

@@ -1,0 +1,269 @@
+//! Offline shim for the parts of `criterion` 0.5 this workspace uses.
+//!
+//! Benchmarks compile and run: each `Bencher::iter` call performs a warm-up,
+//! then times batches until the configured measurement window is filled, and
+//! prints a mean per-iteration wall-clock time.  There are no statistics,
+//! plots or baselines — this exists so the bench harness stays compiling and
+//! runnable without network access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set how long to warm up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(self, &mut f);
+        print_report(&id, &report);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IdLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        let report = run_bench(self.criterion, &mut f);
+        print_report(&label, &report);
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IdLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        let report = run_bench(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        print_report(&label, &report);
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; the shim prints eagerly).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifiers: plain strings or `BenchmarkId::new(name, param)`.
+pub trait IdLabel {
+    /// Render the identifier for the report line.
+    fn label(&self) -> String;
+}
+
+impl IdLabel for &str {
+    fn label(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLabel for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLabel for BenchmarkId {
+    fn label(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// A parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly, for the configured measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        // Size batches so each sample is long enough to time reliably.
+        let target_batch_nanos = (self.measurement_time.as_nanos()
+            / self.sample_size.max(1) as u128)
+            .clamp(1_000, 50_000_000);
+        let batch = ((target_batch_nanos / per_iter.max(1)) as u64).max(1);
+
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline && self.samples.len() < self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / batch as u32);
+            self.iters += batch;
+        }
+        if self.samples.is_empty() {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            self.iters = 1;
+        }
+    }
+}
+
+struct Report {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(criterion: &Criterion, f: &mut F) -> Report {
+    let mut bencher = Bencher {
+        warm_up_time: criterion.warm_up_time,
+        measurement_time: criterion.measurement_time,
+        sample_size: criterion.sample_size,
+        samples: Vec::new(),
+        iters: 0,
+    };
+    f(&mut bencher);
+    let (mut min, mut max, mut total) = (Duration::MAX, Duration::ZERO, Duration::ZERO);
+    for sample in &bencher.samples {
+        min = min.min(*sample);
+        max = max.max(*sample);
+        total += *sample;
+    }
+    let count = bencher.samples.len().max(1) as u32;
+    Report {
+        mean: total / count,
+        min: if min == Duration::MAX {
+            Duration::ZERO
+        } else {
+            min
+        },
+        max,
+        iters: bencher.iters,
+    }
+}
+
+fn print_report(label: &str, report: &Report) {
+    println!(
+        "{label:<48} time: [{:>12?} {:>12?} {:>12?}]  ({} iterations)",
+        report.min, report.mean, report.max, report.iters
+    );
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

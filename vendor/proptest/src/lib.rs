@@ -1,0 +1,130 @@
+//! Offline shim for the parts of `proptest` 1.x this workspace uses.
+//!
+//! It keeps the upstream call-site API — `proptest!`, `prop_oneof!`,
+//! `prop_assert*!`, `Strategy` combinators, `collection::vec`, `any::<T>()`,
+//! integer-range strategies and a regex-lite `&str` strategy — but generates
+//! cases from a fixed-seed deterministic RNG and performs no shrinking.
+//! Failures therefore reproduce exactly across runs and machines, which is
+//! what the repository's CI requires.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a `proptest!`-based test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define deterministic property tests.
+///
+/// Mirrors the upstream grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, ys in proptest::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With an explicit config for the whole block.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+    // Default config.
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal: expand each `fn` in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr); ) => {};
+    (
+        ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            // Seed derived from the test name: deterministic per test,
+            // decorrelated between tests.
+            let seed = config.seed ^ $crate::test_runner::fnv1a(stringify!($name).as_bytes());
+            let mut runner = $crate::test_runner::TestRng::seeded(seed);
+            for case in 0..config.cases {
+                runner.set_case(case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut runner);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::weighted(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "proptest assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}

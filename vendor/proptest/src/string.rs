@@ -1,0 +1,163 @@
+//! Regex-lite string strategies: `"[a-zA-Z0-9 ]{0,24}"` style patterns.
+//!
+//! Upstream proptest treats `&str` as a full regex-derived strategy; the shim
+//! supports the subset the workspace's properties actually use — sequences of
+//! literal characters and character classes, each optionally repeated with
+//! `{n}`, `{lo,hi}`, `?`, `*` or `+` (unbounded repeats cap at 8).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().unwrap_or('\\'),
+                        Some(other) => other,
+                        None => panic!("unterminated character class in {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(_) => {
+                                let hi = chars.next().unwrap();
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            other => Atom::Literal(other),
+        };
+        let (lo, hi_inclusive) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat lower bound"),
+                        hi.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let exact: usize = spec.trim().parse().expect("bad repeat count");
+                        (exact, exact)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece {
+            atom,
+            lo,
+            hi_inclusive,
+        });
+    }
+    pieces
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64).saturating_sub(*lo as u64) + 1)
+                .sum();
+            let mut roll = rng.below(0, total.max(1));
+            for (lo, hi) in ranges {
+                let span = (*hi as u64).saturating_sub(*lo as u64) + 1;
+                if roll < span {
+                    return char::from_u32(*lo as u32 + roll as u32).unwrap_or(*lo);
+                }
+                roll -= span;
+            }
+            ranges.first().map(|(lo, _)| *lo).unwrap_or('?')
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.usize_in(piece.lo, piece.hi_inclusive + 1);
+            for _ in 0..count {
+                out.push(generate_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_pattern_respects_alphabet_and_length() {
+        let mut rng = TestRng::seeded(42);
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 ]{0,24}".generate(&mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literal_and_repeat_forms() {
+        let mut rng = TestRng::seeded(7);
+        let s = "ab[0-9]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

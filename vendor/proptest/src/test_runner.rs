@@ -1,0 +1,106 @@
+//! Deterministic case runner: configuration and the generation RNG.
+
+/// Configuration accepted by `proptest!` blocks.
+///
+/// Only the fields this workspace uses are modelled; construction mirrors the
+/// upstream struct-update idiom (`ProptestConfig { cases: 64, ..Default::default() }`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+    /// Base RNG seed; each test XORs in a hash of its own name.
+    pub seed: u64,
+    /// Accepted for upstream compatibility; the shim never forks.
+    pub fork: bool,
+    /// Accepted for upstream compatibility; the shim has no timeouts.
+    pub timeout: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            seed: 0xDAC2_0140_0000_0001,
+            fork: false,
+            timeout: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// FNV-1a, used to derive per-test seeds from test names.
+pub const fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// The deterministic generation RNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    seed: u64,
+    state: u64,
+}
+
+impl TestRng {
+    /// Build from an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng { seed, state: seed }
+    }
+
+    /// Re-anchor the stream for a new test case so that case `n` is
+    /// reproducible regardless of how much entropy earlier cases consumed.
+    ///
+    /// The anchor is passed through a full SplitMix64 finalizer rather than a
+    /// linear offset: a `seed + case * GAMMA` anchor would make case `c+1`'s
+    /// stream a one-step shift of case `c`'s (GAMMA is also the generator's
+    /// own increment), collapsing the diversity of the generated cases.
+    pub fn set_case(&mut self, case: u32) {
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(case).wrapping_mul(0xA24B_AED4_963E_E407));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.state = z ^ (z >> 31);
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[low, high)`.
+    pub fn below(&mut self, low: u64, high: u64) -> u64 {
+        debug_assert!(low < high);
+        let span = high - low;
+        low + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform `usize` in `[low, high)`.
+    pub fn usize_in(&mut self, low: usize, high: usize) -> usize {
+        self.below(low as u64, high as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

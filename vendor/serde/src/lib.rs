@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and macro
+//! namespaces so `use serde::{Serialize, Deserialize}` works for derive
+//! annotations.  The traits are empty markers — the workspace's wire formats
+//! are hand-written codecs and never go through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no members in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no members in the shim).
+pub trait Deserialize<'de>: Sized {}

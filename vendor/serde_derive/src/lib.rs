@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only uses serde derives as markers on plain-old-data types;
+//! nothing ever serializes through serde (the wire formats are hand-written
+//! codecs in `dynar-foundation`).  The derives therefore expand to nothing,
+//! which keeps them trivially correct for any input type, including generics
+//! and `#[serde(...)]` attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
