@@ -18,6 +18,7 @@ use dynar_rte::port::{PortDirection, PortSpec};
 use dynar_rte::rte::Rte;
 use dynar_server::baseline::ReflashBaseline;
 use dynar_server::server::TrustedServer;
+use dynar_sim::scenario::fleet::FleetScenario;
 use dynar_sim::scenario::remote_car::{remote_control_app, RemoteCarScenario};
 use dynar_vm::assembler::assemble;
 
@@ -296,12 +297,42 @@ fn multiplexing_pirte(ports: u32) -> Pirte {
     pirte
 }
 
+/// F-scale — fleet tick throughput: one batched scheduler round across N
+/// four-ECU vehicles with live signal chains (the hot path of every
+/// federated-scale experiment).
+fn bench_fleet_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_fleet_tick");
+    for vehicles in [10usize, 50, 100] {
+        let mut scenario = FleetScenario::build(vehicles).expect("fleet builds");
+        scenario
+            .install_telemetry(10)
+            .expect("install waves complete");
+        group.bench_with_input(BenchmarkId::new("tick", vehicles), &vehicles, |b, _| {
+            b.iter(|| scenario.fleet.step().expect("fleet step"));
+        });
+    }
+    // End to end: build a 50-vehicle fleet, run the staged install wave and
+    // drive 1000 ticks of mixed management + signal-chain load.
+    group.bench_function("install_wave_plus_1000_ticks/50", |b| {
+        b.iter(|| {
+            let mut scenario = FleetScenario::build(50).expect("fleet builds");
+            scenario
+                .install_telemetry(10)
+                .expect("install waves complete");
+            scenario.fleet.run(1000).expect("fleet run");
+            scenario.fleet.stats().ticks
+        });
+    });
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     fig3_signal_chain(c);
     e1_deployment(c);
     e2_mediation_overhead(c);
     e3_server_scalability(c);
     e6_port_multiplexing(c);
+    bench_fleet_tick(c);
 }
 
 criterion_group! {

@@ -1,6 +1,11 @@
 //! The broadcast bus: attachment, subscription, arbitration and delivery.
+//!
+//! Like the RTE, the bus separates its slow reconfiguration plane (ECU
+//! attachment and acceptance-filter subscriptions, interned into dense slots)
+//! from its fast signal plane (arbitration, error model and delivery, which
+//! walk flat `Vec`-indexed mailboxes and per-frame subscriber lists).
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -8,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::ids::EcuId;
+use dynar_foundation::intern::{Interner, Slot, SlotSet};
 use dynar_foundation::time::Tick;
 
 use crate::frame::{CanId, Frame};
@@ -70,15 +76,22 @@ struct PendingFrame {
 #[derive(Debug, Clone)]
 pub struct Bus {
     config: BusConfig,
-    nodes: HashSet<EcuId>,
-    subscriptions: HashMap<EcuId, HashSet<CanId>>,
+    /// ECU id -> dense slot; slots index `mailboxes` and `subscriptions`.
+    ecu_slots: Interner<EcuId>,
+    /// Frame id -> dense slot; slots index `subscribers`.
+    frame_slots: Interner<CanId>,
+    /// ecu slot -> acceptance-filter membership (bitset over frame slots).
+    subscriptions: Vec<SlotSet>,
+    /// frame slot -> subscribed ECU slots (the compiled delivery list).
+    subscribers: Vec<Vec<Slot>>,
     /// Frames accepted but not yet transmitted, ordered by identifier for
     /// CAN-style arbitration and by enqueue time within one identifier.
     arbitration_queue: BTreeMap<(CanId, u64), PendingFrame>,
     arbitration_seq: u64,
     /// Frames transmitted and awaiting their delivery time.
     in_flight: Vec<PendingFrame>,
-    mailboxes: HashMap<EcuId, VecDeque<Frame>>,
+    /// ecu slot -> receive mailbox.
+    mailboxes: Vec<VecDeque<Frame>>,
     stats: BusStats,
     rng: StdRng,
 }
@@ -89,12 +102,14 @@ impl Bus {
         let rng = StdRng::seed_from_u64(config.seed);
         Bus {
             config,
-            nodes: HashSet::new(),
-            subscriptions: HashMap::new(),
+            ecu_slots: Interner::new(),
+            frame_slots: Interner::new(),
+            subscriptions: Vec::new(),
+            subscribers: Vec::new(),
             arbitration_queue: BTreeMap::new(),
             arbitration_seq: 0,
             in_flight: Vec::new(),
-            mailboxes: HashMap::new(),
+            mailboxes: Vec::new(),
             stats: BusStats::default(),
             rng,
         }
@@ -111,22 +126,52 @@ impl Bus {
     }
 
     /// Attaches an ECU to the bus, creating its receive mailbox.
-    pub fn attach(&mut self, ecu: EcuId) {
-        self.nodes.insert(ecu);
-        self.mailboxes.entry(ecu).or_default();
-        self.subscriptions.entry(ecu).or_default();
+    pub fn attach(&mut self, ecu: EcuId) -> Slot {
+        let slot = self.ecu_slots.intern(ecu);
+        if slot.index() >= self.mailboxes.len() {
+            self.mailboxes.resize_with(slot.index() + 1, VecDeque::new);
+            self.subscriptions
+                .resize_with(slot.index() + 1, SlotSet::new);
+        }
+        slot
     }
 
     /// Returns `true` if the ECU is attached.
     pub fn is_attached(&self, ecu: EcuId) -> bool {
-        self.nodes.contains(&ecu)
+        self.ecu_slots.get(&ecu).is_some()
     }
 
     /// Subscribes an attached ECU to frames with the given identifier
     /// (an acceptance-filter entry).
     pub fn subscribe(&mut self, ecu: EcuId, id: CanId) {
-        self.attach(ecu);
-        self.subscriptions.entry(ecu).or_default().insert(id);
+        let ecu_slot = self.attach(ecu);
+        let frame_slot = self.frame_slots.intern(id);
+        if frame_slot.index() >= self.subscribers.len() {
+            self.subscribers
+                .resize_with(frame_slot.index() + 1, Vec::new);
+        }
+        if self.subscriptions[ecu_slot.index()].insert(frame_slot) {
+            self.subscribers[frame_slot.index()].push(ecu_slot);
+        }
+    }
+
+    /// Removes an acceptance-filter entry previously added by
+    /// [`Bus::subscribe`]; unknown pairs are ignored.
+    pub fn unsubscribe(&mut self, ecu: EcuId, id: CanId) {
+        let (Some(ecu_slot), Some(frame_slot)) =
+            (self.ecu_slots.get(&ecu), self.frame_slots.get(&id))
+        else {
+            return;
+        };
+        if self.subscriptions[ecu_slot.index()].remove(frame_slot) {
+            self.subscribers[frame_slot.index()].retain(|s| *s != ecu_slot);
+        }
+        // Free the frame's slot once its last subscriber is gone, so filter
+        // churn over many distinct frame ids reuses slots instead of growing
+        // the dense tables.
+        if self.subscribers[frame_slot.index()].is_empty() {
+            self.frame_slots.remove(&id);
+        }
     }
 
     /// Queues a frame for transmission.
@@ -135,7 +180,7 @@ impl Bus {
     ///
     /// Returns [`DynarError::NotFound`] if the sender is not attached.
     pub fn send(&mut self, sender: EcuId, frame: Frame, now: Tick) -> Result<()> {
-        if !self.nodes.contains(&sender) {
+        if !self.is_attached(sender) {
             return Err(DynarError::not_found("bus node", sender));
         }
         self.stats.sent += 1;
@@ -193,16 +238,20 @@ impl Bus {
             if latency > self.stats.worst_latency {
                 self.stats.worst_latency = latency;
             }
+            let sender_slot = self.ecu_slots.get(&pending.sender);
+            let receivers = self
+                .frame_slots
+                .get(&pending.frame.id())
+                .map(|frame_slot| self.subscribers[frame_slot.index()].as_slice())
+                .unwrap_or_default();
             let mut any = false;
-            for (&ecu, filters) in &self.subscriptions {
-                if ecu != pending.sender && filters.contains(&pending.frame.id()) {
-                    self.mailboxes
-                        .entry(ecu)
-                        .or_default()
-                        .push_back(pending.frame.clone());
-                    self.stats.delivered += 1;
-                    any = true;
+            for &ecu_slot in receivers {
+                if Some(ecu_slot) == sender_slot {
+                    continue;
                 }
+                self.mailboxes[ecu_slot.index()].push_back(pending.frame.clone());
+                self.stats.delivered += 1;
+                any = true;
             }
             if !any {
                 self.stats.unrouted += 1;
@@ -212,15 +261,18 @@ impl Bus {
 
     /// Drains and returns every frame delivered to `ecu` so far.
     pub fn receive(&mut self, ecu: EcuId) -> Vec<Frame> {
-        self.mailboxes
-            .get_mut(&ecu)
-            .map(|mb| mb.drain(..).collect())
+        self.ecu_slots
+            .get(&ecu)
+            .map(|slot| self.mailboxes[slot.index()].drain(..).collect())
             .unwrap_or_default()
     }
 
     /// Number of frames waiting in `ecu`'s mailbox.
     pub fn pending_for(&self, ecu: EcuId) -> usize {
-        self.mailboxes.get(&ecu).map(VecDeque::len).unwrap_or(0)
+        self.ecu_slots
+            .get(&ecu)
+            .map(|slot| self.mailboxes[slot.index()].len())
+            .unwrap_or(0)
     }
 
     /// Number of frames still queued or in flight on the bus.
@@ -416,6 +468,45 @@ mod tests {
         assert_eq!(stats.sent, 1);
         assert_eq!(stats.payload_bytes, 8);
         assert_eq!(stats.delivered, 2, "one copy per subscriber");
+    }
+
+    #[test]
+    fn unsubscribe_removes_the_acceptance_filter_entry() {
+        let (mut bus, a, b) = two_node_bus(BusConfig::default());
+        let id = CanId::new(0x10).unwrap();
+        bus.subscribe(b, id);
+        bus.subscribe(b, id); // idempotent: one delivery per frame below
+        bus.unsubscribe(b, id);
+        bus.unsubscribe(b, CanId::new(0x999).unwrap()); // unknown pair: ignored
+        bus.send(a, Frame::new(id, vec![1]).unwrap(), Tick::ZERO)
+            .unwrap();
+        bus.step(Tick::new(1));
+        bus.step(Tick::new(2));
+        assert!(bus.receive(b).is_empty());
+        assert_eq!(bus.stats().unrouted, 1);
+
+        // Re-subscribing reinstates delivery exactly once.
+        bus.subscribe(b, id);
+        bus.send(a, Frame::new(id, vec![2]).unwrap(), Tick::new(2))
+            .unwrap();
+        bus.step(Tick::new(3));
+        bus.step(Tick::new(4));
+        assert_eq!(bus.receive(b).len(), 1);
+    }
+
+    #[test]
+    fn filter_churn_over_distinct_frames_reuses_slots() {
+        let (mut bus, _a, b) = two_node_bus(BusConfig::default());
+        for round in 0..100u32 {
+            let id = CanId::new(0x100 + round).unwrap();
+            bus.subscribe(b, id);
+            bus.unsubscribe(b, id);
+        }
+        assert_eq!(
+            bus.frame_slots.capacity(),
+            1,
+            "100 subscribe/unsubscribe cycles reuse a single frame slot"
+        );
     }
 
     #[test]

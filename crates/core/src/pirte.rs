@@ -6,6 +6,11 @@
 //! their port connections from the shipped PIC/PLC/ECC contexts, schedules
 //! their virtual machines under best-effort budgets and translates every
 //! signal that crosses the plug-in boundary.
+//!
+//! Signal translation runs on compiled route tables (interned virtual-port
+//! and plug-in-port slots indexing flat `Vec`s): plug-in installation and
+//! uninstallation are the *only* operations that invalidate and rebuild them;
+//! per-signal dispatch never hashes over the plug-in list.
 
 use std::collections::{HashMap, HashSet};
 
@@ -13,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::ids::{EcuId, PluginId, PluginPortId, VirtualPortId};
+use dynar_foundation::intern::Interner;
 use dynar_foundation::log::{EventLog, Severity};
 use dynar_foundation::time::Tick;
 use dynar_foundation::value::Value;
@@ -58,6 +64,16 @@ pub struct Pirte {
     plugins: Vec<Plugin>,
     plugin_index: HashMap<PluginId, usize>,
     used_port_ids: HashSet<PluginPortId>,
+    /// Virtual-port id -> dense slot (static; interned at construction).
+    virtual_slots: Interner<VirtualPortId>,
+    /// virtual slot -> `(plugin index, port index)` of every required plug-in
+    /// port linked to that virtual port (compiled on (un)install).
+    virtual_fanout: Vec<Vec<(usize, usize)>>,
+    /// Plug-in port id -> dense slot (freed on uninstall, reused on install).
+    plugin_port_slots: Interner<PluginPortId>,
+    /// plug-in-port slot -> `(plugin index, port index)` of the owning port
+    /// (compiled on (un)install).
+    port_owner: Vec<Option<(usize, usize)>>,
     /// Values to be written on SW-C ports by the hosting component behaviour.
     outbox: Vec<(String, Value)>,
     /// Values written by plug-ins on direct-linked (PLC `{Px-}`) ports,
@@ -74,10 +90,13 @@ impl Pirte {
     pub fn new(ecu: EcuId, config: PluginSwcConfig) -> Self {
         let mut virtual_ports = HashMap::new();
         let mut swc_port_to_virtual = HashMap::new();
+        let mut virtual_slots = Interner::new();
         for spec in config.virtual_ports() {
             swc_port_to_virtual.insert(spec.swc_port().to_owned(), spec.id());
             virtual_ports.insert(spec.id(), spec.clone());
+            virtual_slots.intern(spec.id());
         }
+        let virtual_fanout = vec![Vec::new(); virtual_slots.capacity()];
         Pirte {
             ecu,
             config,
@@ -86,6 +105,10 @@ impl Pirte {
             plugins: Vec::new(),
             plugin_index: HashMap::new(),
             used_port_ids: HashSet::new(),
+            virtual_slots,
+            virtual_fanout,
+            plugin_port_slots: Interner::new(),
+            port_owner: Vec::new(),
             outbox: Vec::new(),
             direct_outputs: Vec::new(),
             log: EventLog::new(),
@@ -195,6 +218,7 @@ impl Pirte {
         self.plugin_index
             .insert(package.plugin.clone(), self.plugins.len());
         self.plugins.push(plugin);
+        self.rebuild_routes();
         self.stats.installs += 1;
         self.log.record(
             self.now,
@@ -229,6 +253,7 @@ impl Pirte {
                 *value -= 1;
             }
         }
+        self.rebuild_routes();
         self.stats.uninstalls += 1;
         self.log.record(
             self.now,
@@ -377,8 +402,13 @@ impl Pirte {
             .swc_port_to_virtual
             .get(swc_port)
             .ok_or_else(|| DynarError::not_found("virtual port for SW-C port", swc_port))?;
-        let spec = self.virtual_ports[&virtual_id].clone();
-        match spec.kind() {
+        // Kind and transform are `Copy`; extracting them up front keeps the
+        // hot paths below free of per-signal spec clones.
+        let (kind, transform) = {
+            let spec = &self.virtual_ports[&virtual_id];
+            (spec.kind(), spec.transform())
+        };
+        match kind {
             PortKind::TypeI => {
                 let message = ManagementMessage::from_value(&value)?;
                 let responses = self.handle_management(message);
@@ -399,26 +429,27 @@ impl Pirte {
                     ));
                 };
                 let recipient = PluginPortId::new(recipient.expect_i64()? as u32);
-                self.deliver_to_port(recipient, spec.transform().apply(payload.clone()))
+                self.deliver_to_port(recipient, transform.apply(payload.clone()))
             }
             PortKind::TypeIII => {
-                let transformed = spec.transform().apply(value);
+                let transformed = transform.apply(value);
+                let Some(virtual_slot) = self.virtual_slots.get(&virtual_id) else {
+                    return Ok(());
+                };
                 let mut delivered = 0;
-                for plugin in &mut self.plugins {
-                    for port in plugin
-                        .ports()
-                        .iter()
-                        .filter(|p| {
-                            p.direction == PluginPortDirection::Required
-                                && p.link == LinkTarget::VirtualPort(virtual_id)
-                        })
-                        .map(|p| p.id)
-                        .collect::<Vec<_>>()
-                    {
-                        if let Some(port) = plugin.port_mut(port) {
-                            port.push(transformed.clone());
+                let receivers = self.virtual_fanout[virtual_slot.index()].len();
+                for index in 0..receivers {
+                    let (plugin_index, port_index) =
+                        self.virtual_fanout[virtual_slot.index()][index];
+                    if let Some(port) = self.plugins[plugin_index].port_at_mut(port_index) {
+                        if index + 1 == receivers {
+                            port.push(transformed);
                             delivered += 1;
+                            self.stats.signals_in += delivered;
+                            return Ok(());
                         }
+                        port.push(transformed.clone());
+                        delivered += 1;
                     }
                 }
                 self.stats.signals_in += delivered;
@@ -435,20 +466,117 @@ impl Pirte {
     /// Returns [`DynarError::NotFound`] if no installed plug-in owns the port
     /// and [`DynarError::PortDirection`] if the port is not a required port.
     pub fn deliver_to_port(&mut self, port: PluginPortId, value: Value) -> Result<()> {
-        for plugin in &mut self.plugins {
-            if let Some(slot) = plugin.port_mut(port) {
-                if slot.direction != PluginPortDirection::Required {
-                    return Err(DynarError::PortDirection {
-                        port: port.to_string(),
-                        expected: "required",
-                    });
-                }
-                slot.push(value);
-                self.stats.signals_in += 1;
-                return Ok(());
+        let owner = self
+            .plugin_port_slots
+            .get(&port)
+            .and_then(|slot| self.port_owner[slot.index()]);
+        let Some((plugin_index, port_index)) = owner else {
+            return Err(DynarError::not_found("plug-in port", port));
+        };
+        let slot = self.plugins[plugin_index]
+            .port_at_mut(port_index)
+            .expect("compiled owner table points at a live port");
+        if slot.direction != PluginPortDirection::Required {
+            return Err(DynarError::PortDirection {
+                port: port.to_string(),
+                expected: "required",
+            });
+        }
+        slot.push(value);
+        self.stats.signals_in += 1;
+        Ok(())
+    }
+
+    /// Recompiles the routing tables from the installed plug-ins.  Called
+    /// only from [`Pirte::install`] and [`Pirte::uninstall`] — signal traffic
+    /// never invalidates the compiled plane.
+    fn rebuild_routes(&mut self) {
+        // Free the slots of ports that no longer exist so reinstall cycles
+        // reuse them instead of growing the dense tables.
+        let stale: Vec<PluginPortId> = self
+            .plugin_port_slots
+            .iter()
+            .map(|(_, id)| *id)
+            .filter(|id| !self.used_port_ids.contains(id))
+            .collect();
+        for id in &stale {
+            self.plugin_port_slots.remove(id);
+        }
+        for plugin in &self.plugins {
+            for port in plugin.ports() {
+                self.plugin_port_slots.intern(port.id);
             }
         }
-        Err(DynarError::not_found("plug-in port", port))
+
+        self.port_owner = vec![None; self.plugin_port_slots.capacity()];
+        self.virtual_fanout = vec![Vec::new(); self.virtual_slots.capacity()];
+        for (plugin_index, plugin) in self.plugins.iter().enumerate() {
+            for (port_index, port) in plugin.ports().iter().enumerate() {
+                let slot = self
+                    .plugin_port_slots
+                    .get(&port.id)
+                    .expect("interned above");
+                self.port_owner[slot.index()] = Some((plugin_index, port_index));
+                if port.direction == PluginPortDirection::Required {
+                    if let LinkTarget::VirtualPort(virtual_id) = port.link {
+                        if let Some(virtual_slot) = self.virtual_slots.get(&virtual_id) {
+                            self.virtual_fanout[virtual_slot.index()]
+                                .push((plugin_index, port_index));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks that the compiled route tables exactly match a fresh compile of
+    /// the installed plug-ins, with no stale slots left behind by uninstalls
+    /// (used by the equivalence and property test suites).
+    pub fn verify_compiled_routes(&self) -> bool {
+        // Every live slot maps onto an installed port and vice versa.
+        if self.plugin_port_slots.len() != self.used_port_ids.len() {
+            return false;
+        }
+        for (slot, id) in self.plugin_port_slots.iter() {
+            if !self.used_port_ids.contains(id) {
+                return false;
+            }
+            let owns = self.port_owner[slot.index()].is_some_and(|(plugin_index, port_index)| {
+                self.plugins
+                    .get(plugin_index)
+                    .and_then(|p| p.ports().get(port_index))
+                    .is_some_and(|p| p.id == *id)
+            });
+            if !owns {
+                return false;
+            }
+        }
+        // Freed slots must not retain owners.
+        let live_owners = self.port_owner.iter().flatten().count();
+        if live_owners != self.plugin_port_slots.len() {
+            return false;
+        }
+        // The fan-out tables match a fresh compile.
+        let mut expected = vec![Vec::new(); self.virtual_slots.capacity()];
+        for (plugin_index, plugin) in self.plugins.iter().enumerate() {
+            for (port_index, port) in plugin.ports().iter().enumerate() {
+                if port.direction == PluginPortDirection::Required {
+                    if let LinkTarget::VirtualPort(virtual_id) = port.link {
+                        if let Some(virtual_slot) = self.virtual_slots.get(&virtual_id) {
+                            expected[virtual_slot.index()].push((plugin_index, port_index));
+                        }
+                    }
+                }
+            }
+        }
+        expected == self.virtual_fanout
+    }
+
+    /// Width of the dense plug-in-port slot table: bounded by the high-water
+    /// mark of simultaneously installed ports, not by install/uninstall churn
+    /// (exposed for the reinstall property tests).
+    pub fn plugin_port_slot_capacity(&self) -> usize {
+        self.plugin_port_slots.capacity()
     }
 
     /// Reads the last value a plug-in wrote on one of its ports (diagnostics
@@ -788,6 +916,22 @@ mod tests {
         assert_eq!(pirte.stats().installs, 2);
         assert_eq!(pirte.stats().uninstalls, 1);
         assert!(pirte.uninstall(&PluginId::new("ghost")).is_err());
+    }
+
+    #[test]
+    fn reinstall_cycles_leave_no_stale_slots() {
+        let mut pirte = pirte();
+        for _round in 0..20 {
+            pirte.install(forwarder_package("fwd")).unwrap();
+            assert!(pirte.verify_compiled_routes());
+            pirte.uninstall(&PluginId::new("fwd")).unwrap();
+            assert!(pirte.verify_compiled_routes());
+        }
+        assert_eq!(
+            pirte.plugin_port_slot_capacity(),
+            2,
+            "20 reinstall cycles reuse the same two port slots"
+        );
     }
 
     #[test]

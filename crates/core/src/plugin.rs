@@ -198,6 +198,12 @@ impl Plugin {
             .map(move |i| &mut self.ports[i])
     }
 
+    /// Mutable access to a port by its dense slot index (the order of
+    /// [`Plugin::ports`]), used by the PIRTE's compiled route tables.
+    pub fn port_at_mut(&mut self, index: usize) -> Option<&mut PluginPort> {
+        self.ports.get_mut(index)
+    }
+
     /// The virtual machine hosting the plug-in code.
     pub fn vm(&self) -> &Vm {
         &self.vm

@@ -27,6 +27,7 @@
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod log;
 pub mod time;
 pub mod value;
@@ -35,5 +36,6 @@ pub use error::{DynarError, Result};
 pub use ids::{
     AppId, EcuId, PluginId, PluginPortId, PortId, SwcId, UserId, VehicleId, VirtualPortId,
 };
+pub use intern::{Interner, Slot, SlotSet};
 pub use time::Tick;
 pub use value::Value;

@@ -1,0 +1,319 @@
+//! The fleet scheduler: many vehicles driven through one trusted server in
+//! batched simulation rounds.
+//!
+//! [`crate::world::World`] couples exactly one [`Vehicle`] to the server —
+//! enough for the paper's demonstrators, useless for federated-scale
+//! questions ("what happens when an install wave hits 50 vehicles whose
+//! signal chains are live?").  [`Fleet`] lifts the same pusher/uplink loop to
+//! N vehicles: one shared [`TrustedServer`], one shared external transport
+//! hub with a per-vehicle ECM endpoint, per-vehicle clocks (each [`Vehicle`]
+//! keeps its own), and a batched round that moves every vehicle one tick
+//! forward per [`Fleet::step`].
+//!
+//! Deployments can be staged in **install waves** ([`Fleet::deploy_wave`],
+//! [`Fleet::install_in_waves`]) so reconfiguration load is spread over the
+//! fleet instead of arriving everywhere at once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dynar_ecm::gateway::SharedHub;
+use dynar_fes::transport::{TransportConfig, TransportHub};
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::ids::{AppId, UserId, VehicleId};
+use dynar_foundation::time::{Clock, Tick};
+use dynar_server::server::{DeploymentStatus, TrustedServer};
+
+use crate::world::Vehicle;
+
+/// Counters describing fleet-level activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Batched rounds executed so far.
+    pub ticks: u64,
+    /// Downlink payloads pushed from the server into vehicle ECM endpoints.
+    pub downlink_messages: u64,
+    /// Uplink payloads the server received back from vehicles.
+    pub uplink_messages: u64,
+}
+
+#[derive(Debug)]
+struct FleetEntry {
+    id: VehicleId,
+    endpoint: String,
+    vehicle: Vehicle,
+}
+
+/// A fleet of vehicles federated through one trusted server.
+#[derive(Debug)]
+pub struct Fleet {
+    /// The shared trusted server.
+    pub server: TrustedServer,
+    /// The shared external transport hub (server endpoint + one ECM endpoint
+    /// per vehicle).
+    pub hub: SharedHub,
+    server_endpoint: String,
+    vehicles: Vec<FleetEntry>,
+    by_id: HashMap<VehicleId, usize>,
+    by_endpoint: HashMap<String, usize>,
+    clock: Clock,
+    stats: FleetStats,
+}
+
+impl Fleet {
+    /// Creates a fleet around a trusted server, with a fresh transport hub
+    /// built from `transport`.
+    pub fn new(
+        server: TrustedServer,
+        server_endpoint: impl Into<String>,
+        transport: TransportConfig,
+    ) -> Self {
+        let hub = Arc::new(Mutex::new(TransportHub::new(transport)));
+        Self::with_hub(server, server_endpoint, hub)
+    }
+
+    /// Creates a fleet sharing an existing transport hub (the same hub handed
+    /// to every vehicle's ECM and to external devices).
+    pub fn with_hub(
+        server: TrustedServer,
+        server_endpoint: impl Into<String>,
+        hub: SharedHub,
+    ) -> Self {
+        let server_endpoint = server_endpoint.into();
+        hub.lock().register(&server_endpoint);
+        Fleet {
+            server,
+            hub,
+            server_endpoint,
+            vehicles: Vec::new(),
+            by_id: HashMap::new(),
+            by_endpoint: HashMap::new(),
+            clock: Clock::new(),
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Adds a wired vehicle under its server-side id and ECM transport
+    /// endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Duplicate`] if the id or endpoint is taken.
+    pub fn add_vehicle(
+        &mut self,
+        id: VehicleId,
+        ecm_endpoint: impl Into<String>,
+        vehicle: Vehicle,
+    ) -> Result<()> {
+        let endpoint = ecm_endpoint.into();
+        if self.by_id.contains_key(&id) {
+            return Err(DynarError::duplicate("fleet vehicle", id));
+        }
+        if self.by_endpoint.contains_key(&endpoint) {
+            return Err(DynarError::duplicate("fleet endpoint", endpoint));
+        }
+        let index = self.vehicles.len();
+        self.by_id.insert(id.clone(), index);
+        self.by_endpoint.insert(endpoint.clone(), index);
+        self.vehicles.push(FleetEntry {
+            id,
+            endpoint,
+            vehicle,
+        });
+        Ok(())
+    }
+
+    /// Number of vehicles in the fleet.
+    pub fn len(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// Returns `true` if the fleet has no vehicles.
+    pub fn is_empty(&self) -> bool {
+        self.vehicles.is_empty()
+    }
+
+    /// The ids of every vehicle, in registration order.
+    pub fn vehicle_ids(&self) -> Vec<VehicleId> {
+        self.vehicles.iter().map(|e| e.id.clone()).collect()
+    }
+
+    /// Read access to a vehicle by id.
+    pub fn vehicle(&self, id: &VehicleId) -> Option<&Vehicle> {
+        self.by_id.get(id).map(|&i| &self.vehicles[i].vehicle)
+    }
+
+    /// Mutable access to a vehicle by id.
+    pub fn vehicle_mut(&mut self, id: &VehicleId) -> Option<&mut Vehicle> {
+        self.by_id.get(id).map(|&i| &mut self.vehicles[i].vehicle)
+    }
+
+    /// Current simulated fleet time.
+    pub fn now(&self) -> Tick {
+        self.clock.now()
+    }
+
+    /// Fleet-level activity counters.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// Advances the whole fleet by one batched round: server downlinks reach
+    /// every vehicle's ECM endpoint, the shared transport delivers, every
+    /// vehicle runs one tick, and uplink acknowledgements flow back into the
+    /// server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first vehicle step error.
+    pub fn step(&mut self) -> Result<()> {
+        let now = self.clock.step();
+
+        // Pusher: queued downlink messages leave the server, batched under a
+        // single hub lock.
+        {
+            let mut hub = self.hub.lock();
+            for entry in &self.vehicles {
+                for payload in self.server.poll_downlink(&entry.id) {
+                    self.stats.downlink_messages += 1;
+                    let _ = hub.send(&self.server_endpoint, &entry.endpoint, payload);
+                }
+            }
+            hub.step(now);
+        }
+
+        for entry in &mut self.vehicles {
+            entry.vehicle.step()?;
+        }
+
+        // Uplink: acknowledgements back into the server, attributed to the
+        // sending vehicle through its ECM endpoint.
+        let uplinks = self.hub.lock().receive(&self.server_endpoint);
+        for (from, payload) in uplinks {
+            if let Some(&index) = self.by_endpoint.get(&from) {
+                self.stats.uplink_messages += 1;
+                let _ = self
+                    .server
+                    .process_uplink(&self.vehicles[index].id, &payload);
+            }
+        }
+        self.stats.ticks += 1;
+        Ok(())
+    }
+
+    /// Runs [`Fleet::step`] `ticks` times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error.
+    pub fn run(&mut self, ticks: u64) -> Result<()> {
+        for _ in 0..ticks {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Deploys `app` to one wave of vehicles (without waiting), returning the
+    /// total number of installation packages pushed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's deployment rejections.
+    pub fn deploy_wave(
+        &mut self,
+        user: &UserId,
+        app: &AppId,
+        targets: &[VehicleId],
+    ) -> Result<usize> {
+        let mut packages = 0;
+        for vehicle in targets {
+            packages += self.server.deploy(user, vehicle, app)?;
+        }
+        Ok(packages)
+    }
+
+    /// Runs the fleet until `app` reaches `wanted` deployment status on every
+    /// target vehicle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] if the status is not reached
+    /// within `max_ticks`, and propagates step errors.
+    pub fn await_deployment(
+        &mut self,
+        app: &AppId,
+        targets: &[VehicleId],
+        wanted: &DeploymentStatus,
+        max_ticks: u64,
+    ) -> Result<()> {
+        let reached = |fleet: &Fleet| {
+            targets
+                .iter()
+                .all(|v| fleet.server.deployment_status(v, app) == *wanted)
+        };
+        for _ in 0..max_ticks {
+            if reached(self) {
+                return Ok(());
+            }
+            self.step()?;
+        }
+        // The final step may have been the one that completed the wave.
+        if reached(self) {
+            return Ok(());
+        }
+        Err(DynarError::ProtocolViolation(format!(
+            "deployment of {app} did not reach {wanted:?} on all {} targets within {max_ticks} ticks",
+            targets.len()
+        )))
+    }
+
+    /// Installs `app` across the whole fleet in staged waves of `wave_size`
+    /// vehicles, waiting for each wave to acknowledge before the next starts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment rejections and wave timeouts.
+    pub fn install_in_waves(
+        &mut self,
+        user: &UserId,
+        app: &AppId,
+        wave_size: usize,
+        max_ticks_per_wave: u64,
+    ) -> Result<()> {
+        let ids = self.vehicle_ids();
+        for wave in ids.chunks(wave_size.max(1)) {
+            self.deploy_wave(user, app, wave)?;
+            self.await_deployment(app, wave, &DeploymentStatus::Installed, max_ticks_per_wave)?;
+        }
+        Ok(())
+    }
+
+    /// Uninstalls `app` from the given vehicles in staged waves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rejections and wave timeouts.
+    pub fn uninstall_in_waves(
+        &mut self,
+        user: &UserId,
+        app: &AppId,
+        targets: &[VehicleId],
+        wave_size: usize,
+        max_ticks_per_wave: u64,
+    ) -> Result<()> {
+        for wave in targets.chunks(wave_size.max(1)) {
+            for vehicle in wave {
+                self.server.uninstall(user, vehicle, app)?;
+            }
+            self.await_deployment(
+                app,
+                wave,
+                &DeploymentStatus::NotInstalled,
+                max_ticks_per_wave,
+            )?;
+        }
+        Ok(())
+    }
+}

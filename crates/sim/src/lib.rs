@@ -3,17 +3,21 @@
 //! This crate wires the substrates together into runnable systems: ECUs
 //! (OSEK kernel + RTE) on a CAN-like bus form a [`world::Vehicle`]; a vehicle,
 //! the trusted server and external devices on the FES transport form a
-//! [`world::World`].  The [`scenario`] module builds concrete systems, most
-//! importantly [`scenario::remote_car`] — the remotely controlled model car
-//! of the paper's Section 4 (Figure 3) — which the examples, integration
-//! tests and benchmarks all reuse.
+//! [`world::World`]; many vehicles federated through one trusted server form
+//! a [`fleet::Fleet`], ticked in batched rounds with staged install waves.
+//! The [`scenario`] module builds concrete systems: [`scenario::remote_car`]
+//! — the remotely controlled model car of the paper's Section 4 (Figure 3) —
+//! and [`scenario::fleet`] — the federated-scale fleet — which the examples,
+//! integration tests and benchmarks all reuse.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod plant;
 pub mod scenario;
 pub mod world;
 
+pub use fleet::{Fleet, FleetStats};
 pub use plant::{CarPlant, PlantState, SharedPlantState};
 pub use world::{Vehicle, World};

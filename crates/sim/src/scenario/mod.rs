@@ -6,6 +6,9 @@
 //! * [`quickstart`] — the smallest useful system: one ECU, one plug-in SW-C,
 //!   one plug-in installed through the PIRTE, used by the quickstart example
 //!   and the documentation.
+//! * [`fleet`] — the federated-scale scenario: N four-ECU vehicles on one
+//!   trusted server, staged install/update waves over live signal chains.
 
+pub mod fleet;
 pub mod quickstart;
 pub mod remote_car;

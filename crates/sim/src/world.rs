@@ -1,6 +1,5 @@
 //! Vehicles (ECUs on a bus) and the world (vehicle + server + devices).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -11,6 +10,7 @@ use dynar_fes::transport::{TransportConfig, TransportHub};
 use dynar_foundation::codec;
 use dynar_foundation::error::Result;
 use dynar_foundation::ids::{EcuId, VehicleId};
+use dynar_foundation::intern::Interner;
 use dynar_foundation::time::{Clock, Tick};
 use dynar_rte::com_mapping::{Reassembler, Segmenter};
 use dynar_rte::ecu::Ecu;
@@ -21,9 +21,11 @@ use dynar_server::server::TrustedServer;
 #[derive(Debug)]
 pub struct Vehicle {
     ecus: Vec<Ecu>,
+    /// ECU id -> dense slot; slots index `ecus` and `reassemblers`.
+    ecu_slots: Interner<EcuId>,
     bus: Bus,
     segmenter: Segmenter,
-    reassemblers: HashMap<EcuId, Reassembler>,
+    reassemblers: Vec<Reassembler>,
     clock: Clock,
 }
 
@@ -32,13 +34,17 @@ impl Vehicle {
     /// every ECU to the bus.
     pub fn new(ecus: Vec<Ecu>, bus_config: BusConfig) -> Self {
         let mut bus = Bus::new(bus_config);
-        let mut reassemblers = HashMap::new();
+        let mut ecu_slots = Interner::new();
+        let mut reassemblers = Vec::with_capacity(ecus.len());
         for ecu in &ecus {
             bus.attach(ecu.id());
-            reassemblers.insert(ecu.id(), Reassembler::new());
+            let slot = ecu_slots.intern(ecu.id());
+            debug_assert_eq!(slot.index(), reassemblers.len(), "ECU ids are unique");
+            reassemblers.push(Reassembler::new());
         }
         Vehicle {
             ecus,
+            ecu_slots,
             bus,
             segmenter: Segmenter::new(),
             reassemblers,
@@ -51,14 +57,16 @@ impl Vehicle {
         &self.ecus
     }
 
-    /// Mutable access to an ECU by id.
+    /// Mutable access to an ECU by id (O(1) through the interned index).
     pub fn ecu_mut(&mut self, id: EcuId) -> Option<&mut Ecu> {
-        self.ecus.iter_mut().find(|e| e.id() == id)
+        let slot = self.ecu_slots.get(&id)?;
+        Some(&mut self.ecus[slot.index()])
     }
 
-    /// Read access to an ECU by id.
+    /// Read access to an ECU by id (O(1) through the interned index).
     pub fn ecu(&self, id: EcuId) -> Option<&Ecu> {
-        self.ecus.iter().find(|e| e.id() == id)
+        let slot = self.ecu_slots.get(&id)?;
+        Some(&self.ecus[slot.index()])
     }
 
     /// The in-vehicle bus.
@@ -113,10 +121,7 @@ impl Vehicle {
         for index in 0..self.ecus.len() {
             let receiver = self.ecus[index].id();
             let frames = self.bus.receive(receiver);
-            let reassembler = self
-                .reassemblers
-                .get_mut(&receiver)
-                .expect("reassembler created at attach time");
+            let reassembler = &mut self.reassemblers[index];
             for frame in frames {
                 if let Ok(Some((frame_id, payload))) = reassembler.accept(&frame) {
                     if let Ok(value) = codec::decode_value(&payload) {

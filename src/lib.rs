@@ -17,7 +17,8 @@
 //! * [`ecm`] — the external communication manager gateway.
 //! * [`server`] — the off-board trusted server managing the plug-in life cycle.
 //! * [`fes`] — federated-embedded-system transports and external devices.
-//! * [`sim`] — the vehicle/world simulator and demonstrator scenarios.
+//! * [`sim`] — the vehicle/world simulator, the fleet scheduler and the
+//!   demonstrator scenarios.
 //!
 //! # Example
 //!
