@@ -311,6 +311,39 @@ fn bench_fleet_tick(c: &mut Criterion) {
             b.iter(|| scenario.fleet.step().expect("fleet step"));
         });
     }
+    // Lossy hub: the same 50-vehicle tick over a transport losing 5 % of
+    // all federation messages, so the reliability plane's retransmission
+    // overhead (dedup window, outstanding scans, requeues) shows up in the
+    // perf trajectory next to the lossless datapoint.
+    {
+        use dynar_fes::transport::TransportConfig;
+        use dynar_sim::scenario::fleet::FleetScenarioConfig;
+        let mut scenario = FleetScenario::build_with(FleetScenarioConfig {
+            vehicles: 50,
+            transport: TransportConfig {
+                latency_ticks: 1,
+                loss_probability: 0.05,
+                seed: 0xBE7C,
+            },
+            ..FleetScenarioConfig::default()
+        })
+        .expect("lossy fleet builds");
+        let user = scenario.user.clone();
+        let app = dynar_foundation::ids::AppId::new(dynar_sim::scenario::fleet::APP_TELEMETRY);
+        let targets = scenario.fleet.vehicle_ids();
+        scenario
+            .fleet
+            .deploy_wave(&user, &app, &targets)
+            .expect("deploy wave");
+        let horizon = scenario.fleet.server.retry_horizon_ticks() + 120;
+        scenario
+            .fleet
+            .run(horizon)
+            .expect("lossy install converges");
+        group.bench_function("lossy_tick/50", |b| {
+            b.iter(|| scenario.fleet.step().expect("fleet step"));
+        });
+    }
     // End to end: build a 50-vehicle fleet, run the staged install wave and
     // drive 1000 ticks of mixed management + signal-chain load.
     group.bench_function("install_wave_plus_1000_ticks/50", |b| {

@@ -1,6 +1,15 @@
 //! The ECM gateway component behaviour.
+//!
+//! Besides relaying management messages and external data, the gateway is
+//! the vehicle-side half of the federation reliability plane: every downlink
+//! carries a sequence id, and the gateway keeps a bounded window of recently
+//! seen ids together with the acknowledgements they produced.  A duplicate
+//! delivery (the trusted server retransmitting an unacked package) is *not*
+//! re-applied — reinstall-on-retry stays idempotent — but its cached
+//! acknowledgements are replayed, so a lost uplink ack is recovered by the
+//! next retransmission.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -12,12 +21,32 @@ use dynar_core::swc::{PluginSwc, PluginSwcConfig, SharedPirte};
 use dynar_fes::device::{decode_device_message, encode_device_message};
 use dynar_fes::transport::TransportHub;
 use dynar_foundation::error::Result;
-use dynar_foundation::ids::{EcuId, PluginPortId};
+use dynar_foundation::ids::{EcuId, PluginId, PluginPortId};
 use dynar_rte::component::{ComponentBehavior, RteContext, SwcDescriptor};
 
 /// A shared handle to the external transport hub, used by the ECM and the
 /// simulation harness.
 pub type SharedHub = Arc<Mutex<TransportHub>>;
+
+/// How many downlink sequence ids the gateway remembers for deduplication;
+/// ids older than `highest_seen - DEDUP_WINDOW` are pruned.
+///
+/// The window is counted in *sequence ids*, not ticks: it must exceed the
+/// number of downlink packages the server can push to one vehicle while any
+/// earlier package is still being retransmitted (bounded by concurrent
+/// pending operations × plug-ins per operation, plus restore pushes — far
+/// below 1024 for every workload in this repository).  An evicted id would
+/// let a still-in-flight retransmission be re-applied as a fresh downlink.
+pub const DEDUP_WINDOW: u64 = 1024;
+
+/// Bookkeeping for one downlink sequence id the gateway has applied.
+#[derive(Debug, Clone)]
+struct SeenDownlink {
+    /// The plug-in the downlink addressed (used to attach remote acks).
+    plugin: Option<PluginId>,
+    /// Uplink responses the downlink produced, replayed on duplicates.
+    acks: Vec<ManagementMessage>,
+}
 
 /// Static configuration of the ECM SW-C.
 #[derive(Debug, Clone)]
@@ -99,6 +128,9 @@ pub struct EcmSwc {
     ecc_routes: Vec<ExternalRoute>,
     /// Uplink messages waiting for the next runnable pass.
     pending_uplink: Vec<ManagementMessage>,
+    /// Recently applied downlink sequence ids and their cached acks
+    /// (bounded by [`DEDUP_WINDOW`]).
+    seen_seqs: BTreeMap<u64, SeenDownlink>,
 }
 
 impl EcmSwc {
@@ -119,6 +151,7 @@ impl EcmSwc {
                 pirte_inputs,
                 ecc_routes: Vec::new(),
                 pending_uplink: Vec::new(),
+                seen_seqs: BTreeMap::new(),
             },
             pirte,
         )
@@ -165,46 +198,99 @@ impl EcmSwc {
         );
     }
 
-    fn handle_local_management(&mut self, message: ManagementMessage) {
-        let responses = self.pirte.lock().handle_management(message);
-        for response in responses {
-            self.send_uplink(&response);
+    /// The plug-in a management message addresses, if any.
+    fn plugin_of(message: &ManagementMessage) -> Option<PluginId> {
+        match message {
+            ManagementMessage::Install(package) => Some(package.plugin.clone()),
+            ManagementMessage::Uninstall { plugin }
+            | ManagementMessage::Stop { plugin }
+            | ManagementMessage::Start { plugin } => Some(plugin.clone()),
+            _ => None,
         }
     }
 
+    /// Applies a management message to the local PIRTE, returning the
+    /// responses it produced (already sent uplink).
+    fn handle_local_management(&mut self, message: ManagementMessage) -> Vec<ManagementMessage> {
+        let responses = self.pirte.lock().handle_management(message);
+        for response in &responses {
+            self.send_uplink(response);
+        }
+        responses
+    }
+
+    /// Relays a management message towards a remote plug-in SW-C.
+    ///
+    /// Returns `Some(acks)` when the downlink was applied — either relayed
+    /// (no synchronous acks) or answered with a failure acknowledgement
+    /// (sent and returned for the dedup cache) because no type I route
+    /// exists.  Returns `None` when the relay write failed transiently: the
+    /// downlink was *not* applied and its sequence id must not be marked as
+    /// seen, so the server's next retransmission gets to retry the relay.
     fn forward_to_remote(
         &mut self,
         ctx: &mut RteContext<'_>,
         target: EcuId,
         message: &ManagementMessage,
-    ) {
+    ) -> Option<Vec<ManagementMessage>> {
         match self.config.type_i_out.get(&target) {
             Some(port) => {
                 if let Err(err) = ctx.write(port, message.to_value()) {
                     self.pirte
                         .lock()
                         .log_warning(format!("failed to relay to {target}: {err}"));
+                    return None;
                 }
+                Some(Vec::new())
             }
             None => {
                 self.pirte
                     .lock()
                     .log_warning(format!("no type I port towards {target}"));
-                self.send_uplink(&ManagementMessage::Ack(dynar_core::message::Ack {
-                    plugin: match message {
-                        ManagementMessage::Install(p) => p.plugin.clone(),
-                        ManagementMessage::Uninstall { plugin }
-                        | ManagementMessage::Stop { plugin }
-                        | ManagementMessage::Start { plugin } => plugin.clone(),
-                        _ => dynar_foundation::ids::PluginId::new("unknown"),
+                let failure = ManagementMessage::Ack(dynar_core::message::Ack {
+                    plugin: Self::plugin_of(message).unwrap_or_else(|| PluginId::new("unknown")),
+                    app: match message {
+                        ManagementMessage::Install(p) => p.app.clone(),
+                        _ => dynar_foundation::ids::AppId::new(""),
                     },
-                    app: dynar_foundation::ids::AppId::new(""),
                     ecu: self.ecu,
                     status: dynar_core::message::AckStatus::Failed(format!(
                         "ECM has no route to {target}"
                     )),
-                }));
+                });
+                self.send_uplink(&failure);
+                Some(vec![failure])
             }
+        }
+    }
+
+    /// Records that `seq` was applied and prunes ids that fell out of the
+    /// dedup window.
+    fn remember_seq(&mut self, seq: u64, entry: SeenDownlink) {
+        self.seen_seqs.insert(seq, entry);
+        let horizon = seq.saturating_sub(DEDUP_WINDOW);
+        while let Some((&oldest, _)) = self.seen_seqs.first_key_value() {
+            if oldest >= horizon {
+                break;
+            }
+            self.seen_seqs.remove(&oldest);
+        }
+    }
+
+    /// Attaches an acknowledgement arriving from a remote SW-C to the most
+    /// recent downlink that addressed its plug-in and has no cached response
+    /// yet, so a later duplicate delivery can replay it.
+    fn cache_remote_ack(&mut self, message: &ManagementMessage) {
+        let ManagementMessage::Ack(ack) = message else {
+            return;
+        };
+        if let Some(entry) = self
+            .seen_seqs
+            .values_mut()
+            .rev()
+            .find(|e| e.plugin.as_ref() == Some(&ack.plugin) && e.acks.is_empty())
+        {
+            entry.acks.push(message.clone());
         }
     }
 
@@ -216,12 +302,27 @@ impl EcmSwc {
         for (from, payload) in messages {
             if from == self.config.server_endpoint {
                 match crate::protocol::decode_downlink(&payload) {
-                    Ok((target, message)) => {
+                    Ok((target, seq, message)) => {
+                        if let Some(seen) = self.seen_seqs.get(&seq) {
+                            // Duplicate delivery (server retransmission):
+                            // don't re-apply, replay the cached acks so a
+                            // lost uplink is recovered.
+                            for ack in seen.acks.clone() {
+                                self.send_uplink(&ack);
+                            }
+                            continue;
+                        }
                         self.remember_ecc(&message);
-                        if target == self.ecu {
-                            self.handle_local_management(message);
+                        let plugin = Self::plugin_of(&message);
+                        let applied = if target == self.ecu {
+                            Some(self.handle_local_management(message))
                         } else {
-                            self.forward_to_remote(ctx, target, &message);
+                            self.forward_to_remote(ctx, target, &message)
+                        };
+                        // A transiently failed relay leaves the seq unseen:
+                        // the next retransmission retries it.
+                        if let Some(acks) = applied {
+                            self.remember_seq(seq, SeenDownlink { plugin, acks });
                         }
                     }
                     Err(err) => self
@@ -246,7 +347,9 @@ impl EcmSwc {
                         if route.ecu == self.ecu {
                             self.handle_local_management(data);
                         } else {
-                            self.forward_to_remote(ctx, route.ecu, &data);
+                            // External data is fire-and-forget: no seq, no
+                            // retransmission, so a failed relay just drops.
+                            let _ = self.forward_to_remote(ctx, route.ecu, &data);
                         }
                     }
                     Err(err) => self
@@ -272,7 +375,10 @@ impl EcmSwc {
                     }
                 };
                 match ManagementMessage::from_value(&value) {
-                    Ok(message @ ManagementMessage::Ack(_)) => self.pending_uplink.push(message),
+                    Ok(message @ ManagementMessage::Ack(_)) => {
+                        self.cache_remote_ack(&message);
+                        self.pending_uplink.push(message);
+                    }
                     Ok(ManagementMessage::OutboundData {
                         message_id,
                         payload,
@@ -450,6 +556,7 @@ mod tests {
                 "vehicle-1",
                 crate::protocol::encode_downlink(
                     EcuId::new(1),
+                    0,
                     &ManagementMessage::Install(com_package()),
                 ),
             )
@@ -477,7 +584,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(EcuId::new(2), &package),
+                crate::protocol::encode_downlink(EcuId::new(2), 0, &package),
             )
             .unwrap();
         hub.lock().step(Tick::new(1));
@@ -498,6 +605,7 @@ mod tests {
                 "vehicle-1",
                 crate::protocol::encode_downlink(
                     EcuId::new(9),
+                    0,
                     &ManagementMessage::Install(com_package()),
                 ),
             )
@@ -524,6 +632,7 @@ mod tests {
                 "vehicle-1",
                 crate::protocol::encode_downlink(
                     EcuId::new(1),
+                    0,
                     &ManagementMessage::Install(com_package()),
                 ),
             )
@@ -573,5 +682,97 @@ mod tests {
         let uplink = hub.lock().receive("server");
         assert_eq!(uplink.len(), 1);
         assert_eq!(crate::protocol::decode_uplink(&uplink[0].1).unwrap(), ack);
+    }
+
+    #[test]
+    fn duplicate_downlinks_are_deduplicated_and_acks_replayed() {
+        let hub = hub();
+        let (mut ecu, pirte) = build_ecu(&hub);
+        let downlink = crate::protocol::encode_downlink(
+            EcuId::new(1),
+            7,
+            &ManagementMessage::Install(com_package()),
+        );
+
+        // First delivery installs and acks.
+        hub.lock()
+            .send("server", "vehicle-1", downlink.clone())
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+        assert_eq!(pirte.lock().plugin_count(), 1);
+        hub.lock().step(Tick::new(2));
+        let first = hub.lock().receive("server");
+        assert_eq!(first.len(), 1);
+
+        // A retransmission of the same sequence id must not reinstall — the
+        // PIRTE sees no second operation at all — but the cached ack is
+        // replayed so the server converges even if the first ack was lost.
+        hub.lock().send("server", "vehicle-1", downlink).unwrap();
+        hub.lock().step(Tick::new(3));
+        ecu.run(4).unwrap();
+        assert_eq!(pirte.lock().plugin_count(), 1);
+        assert_eq!(
+            pirte.lock().stats().rejected_operations,
+            0,
+            "dedup must keep the duplicate away from the PIRTE"
+        );
+        assert_eq!(pirte.lock().stats().installs, 1);
+        hub.lock().step(Tick::new(4));
+        let replayed = hub.lock().receive("server");
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(
+            crate::protocol::decode_uplink(&replayed[0].1).unwrap(),
+            crate::protocol::decode_uplink(&first[0].1).unwrap(),
+            "the replayed ack is byte-identical to the original"
+        );
+    }
+
+    #[test]
+    fn remote_acks_are_cached_for_replay_on_duplicates() {
+        let hub = hub();
+        let (mut ecu, _pirte) = build_ecu(&hub);
+        let package = ManagementMessage::Install(com_package());
+        let downlink = crate::protocol::encode_downlink(EcuId::new(2), 3, &package);
+
+        // First delivery relays towards ECU 2.
+        hub.lock()
+            .send("server", "vehicle-1", downlink.clone())
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+
+        // A duplicate before the remote ack exists is swallowed silently.
+        hub.lock()
+            .send("server", "vehicle-1", downlink.clone())
+            .unwrap();
+        hub.lock().step(Tick::new(2));
+        ecu.run(3).unwrap();
+        hub.lock().step(Tick::new(3));
+        assert!(hub.lock().receive("server").is_empty());
+
+        // The remote SW-C acks; the gateway forwards and caches it.
+        let ack = ManagementMessage::Ack(dynar_core::message::Ack {
+            plugin: PluginId::new("COM"),
+            app: AppId::new("remote-control"),
+            ecu: EcuId::new(2),
+            status: AckStatus::Installed,
+        });
+        let ecm_swc = ecu.component_by_name("ecm-swc").unwrap();
+        let frame = dynar_bus::frame::CanId::new(0x30).unwrap();
+        ecu.map_signal_in(frame, ecm_swc, "from_ecu2").unwrap();
+        ecu.deliver_inbound(frame, ack.to_value());
+        ecu.run(4).unwrap();
+        hub.lock().step(Tick::new(4));
+        assert_eq!(hub.lock().receive("server").len(), 1);
+
+        // Another duplicate now replays the cached remote ack.
+        hub.lock().send("server", "vehicle-1", downlink).unwrap();
+        hub.lock().step(Tick::new(5));
+        ecu.run(5).unwrap();
+        hub.lock().step(Tick::new(6));
+        let replayed = hub.lock().receive("server");
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(crate::protocol::decode_uplink(&replayed[0].1).unwrap(), ack);
     }
 }

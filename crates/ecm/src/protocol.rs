@@ -1,43 +1,32 @@
 //! The wire protocol between the trusted server and a vehicle's ECM.
 //!
-//! Downlink messages (server → vehicle) carry the id of the recipient ECU
-//! plus a management message, exactly the addressing described in §3.1.3
-//! ("an id of the recipient plug-in SW-C").  Uplink messages (vehicle →
+//! Downlink messages (server → vehicle) carry the id of the recipient ECU, a
+//! per-vehicle monotonically increasing sequence id, and a management message
+//! — the addressing described in §3.1.3 ("an id of the recipient plug-in
+//! SW-C") extended with the sequence id the federation reliability plane uses
+//! to deduplicate retransmitted deliveries.  Uplink messages (vehicle →
 //! server) are plain management messages — in practice acknowledgements.
 
-use dynar_core::message::ManagementMessage;
-use dynar_foundation::codec;
-use dynar_foundation::error::{DynarError, Result};
+use dynar_core::message::{DownlinkEnvelope, ManagementMessage};
+use dynar_foundation::error::Result;
 use dynar_foundation::ids::EcuId;
-use dynar_foundation::value::Value;
 
 /// Encodes a downlink message addressed to one ECU of the vehicle.
-pub fn encode_downlink(target: EcuId, message: &ManagementMessage) -> Vec<u8> {
-    codec::encode_value(&Value::List(vec![
-        Value::I64(i64::from(target.index())),
-        message.to_value(),
-    ]))
+pub fn encode_downlink(target: EcuId, seq: u64, message: &ManagementMessage) -> Vec<u8> {
+    DownlinkEnvelope::new(target, seq, message.clone()).to_bytes()
 }
 
-/// Decodes a downlink message into its target ECU and management message.
+/// Decodes a downlink message into its target ECU, sequence id and
+/// management message.
 ///
 /// # Errors
 ///
-/// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
-pub fn decode_downlink(bytes: &[u8]) -> Result<(EcuId, ManagementMessage)> {
-    let value = codec::decode_value(bytes)?;
-    let parts = value
-        .as_list()
-        .ok_or_else(|| DynarError::ProtocolViolation("downlink is not a list".into()))?;
-    let [target, message] = parts else {
-        return Err(DynarError::ProtocolViolation(
-            "downlink must carry a target and a message".into(),
-        ));
-    };
-    Ok((
-        EcuId::new(target.expect_i64()? as u16),
-        ManagementMessage::from_value(message)?,
-    ))
+/// Returns [`dynar_foundation::error::DynarError::ProtocolViolation`] for
+/// malformed encodings; target ids outside the `u16` ECU-id range and
+/// negative sequence ids are rejected, never silently truncated.
+pub fn decode_downlink(bytes: &[u8]) -> Result<(EcuId, u64, ManagementMessage)> {
+    let envelope = DownlinkEnvelope::from_bytes(bytes)?;
+    Ok((envelope.target, envelope.seq, envelope.message))
 }
 
 /// Encodes an uplink (vehicle → server) message.
@@ -49,7 +38,8 @@ pub fn encode_uplink(message: &ManagementMessage) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+/// Returns [`dynar_foundation::error::DynarError::ProtocolViolation`] for
+/// malformed encodings.
 pub fn decode_uplink(bytes: &[u8]) -> Result<ManagementMessage> {
     ManagementMessage::from_bytes(bytes)
 }
@@ -58,16 +48,20 @@ pub fn decode_uplink(bytes: &[u8]) -> Result<ManagementMessage> {
 mod tests {
     use super::*;
     use dynar_core::message::{Ack, AckStatus};
+    use dynar_foundation::codec;
+    use dynar_foundation::error::DynarError;
     use dynar_foundation::ids::{AppId, PluginId};
+    use dynar_foundation::value::Value;
 
     #[test]
     fn downlink_round_trip() {
         let message = ManagementMessage::Uninstall {
             plugin: PluginId::new("OP"),
         };
-        let bytes = encode_downlink(EcuId::new(2), &message);
-        let (target, decoded) = decode_downlink(&bytes).unwrap();
+        let bytes = encode_downlink(EcuId::new(2), 9, &message);
+        let (target, seq, decoded) = decode_downlink(&bytes).unwrap();
         assert_eq!(target, EcuId::new(2));
+        assert_eq!(seq, 9);
         assert_eq!(decoded, message);
     }
 
@@ -87,5 +81,37 @@ mod tests {
         assert!(decode_downlink(&[1, 2, 3]).is_err());
         assert!(decode_downlink(&codec::encode_value(&Value::I64(3))).is_err());
         assert!(decode_downlink(&codec::encode_value(&Value::List(vec![Value::I64(1)]))).is_err());
+    }
+
+    /// Regression: a target id outside the `u16` range used to be truncated
+    /// by an `as u16` cast into a *valid* — but wrong — ECU id.  It must be a
+    /// protocol violation instead.
+    #[test]
+    fn out_of_range_targets_are_rejected_not_truncated() {
+        let message = ManagementMessage::Uninstall {
+            plugin: PluginId::new("OP"),
+        };
+        // 0x1_0002 would truncate to ECU 2 under the old cast.
+        for bad_target in [-1i64, 0x1_0002, i64::from(u16::MAX) + 1] {
+            let bytes = codec::encode_value(&Value::List(vec![
+                Value::I64(bad_target),
+                Value::I64(0),
+                message.to_value(),
+            ]));
+            let err = decode_downlink(&bytes).unwrap_err();
+            assert!(
+                matches!(err, DynarError::ProtocolViolation(_)),
+                "target {bad_target}: expected protocol violation, got {err:?}"
+            );
+        }
+        let negative_seq = codec::encode_value(&Value::List(vec![
+            Value::I64(1),
+            Value::I64(-1),
+            message.to_value(),
+        ]));
+        assert!(matches!(
+            decode_downlink(&negative_seq).unwrap_err(),
+            DynarError::ProtocolViolation(_)
+        ));
     }
 }

@@ -5,6 +5,28 @@
 //! and the smart phone.  The transport hub keeps the same message semantics —
 //! addressed, ordered, possibly delayed or lost datagrams — without real
 //! sockets, so simulations stay deterministic.
+//!
+//! # Fault injection
+//!
+//! On top of the global [`TransportConfig`] loss model the hub supports
+//! per-link faults ([`LinkFault`]): asymmetric loss (a different probability
+//! per direction), latency jitter, and temporary partitions that heal at a
+//! configured tick.  All fault decisions are made **at delivery time** inside
+//! [`TransportHub::step`], never at send time, so every accepted message
+//! enters the in-flight set and faults compose deterministically with
+//! partitions under one seed.
+//!
+//! # Stats conservation
+//!
+//! Every accepted message is accounted for exactly once:
+//!
+//! ```text
+//! sent == delivered + lost + dropped + in_flight
+//! ```
+//!
+//! holds at every tick ([`TransportStats::is_conserved`]); once the hub is
+//! quiescent (`in_flight == 0`) this is the `sent == delivered + lost +
+//! dropped` identity the chaos scenarios assert.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -42,8 +64,59 @@ pub struct TransportStats {
     pub sent: u64,
     /// Messages delivered to their destination mailbox.
     pub delivered: u64,
-    /// Messages dropped by the loss model.
+    /// Messages removed by the loss model or a partition.
     pub lost: u64,
+    /// Messages that came due towards an unregistered mailbox.
+    pub dropped: u64,
+    /// Messages accepted but not yet due.
+    pub in_flight: u64,
+}
+
+impl TransportStats {
+    /// The conservation invariant: every accepted message is delivered, lost,
+    /// dropped or still in flight — nothing disappears silently.
+    pub fn is_conserved(&self) -> bool {
+        self.sent == self.delivered + self.lost + self.dropped + self.in_flight
+    }
+}
+
+/// Fault model of one directed link (`from` → `to`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkFault {
+    /// Loss probability override for this direction; `None` falls back to the
+    /// global [`TransportConfig::loss_probability`].  Setting different
+    /// values per direction models asymmetric loss.
+    pub loss_probability: Option<f64>,
+    /// Extra random latency in `[0, jitter_ticks]` added per message.
+    /// Per-link FIFO order is preserved regardless (TCP semantics: a later
+    /// message never overtakes an earlier one on the same link).
+    pub jitter_ticks: u64,
+    /// While set, every message coming due on this link is counted as lost.
+    /// The partition heals automatically once `step` reaches this tick.
+    pub partition_until: Option<Tick>,
+}
+
+impl LinkFault {
+    /// A fault that only overrides the loss probability.
+    pub fn lossy(probability: f64) -> Self {
+        LinkFault {
+            loss_probability: Some(probability),
+            ..LinkFault::default()
+        }
+    }
+
+    /// A fault that only adds latency jitter.
+    pub fn jittery(jitter_ticks: u64) -> Self {
+        LinkFault {
+            jitter_ticks,
+            ..LinkFault::default()
+        }
+    }
+
+    /// Returns `true` if the link is partitioned at `now`.
+    pub fn is_partitioned(&self, now: Tick) -> bool {
+        self.partition_until.is_some_and(|until| now < until)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -62,6 +135,10 @@ pub struct TransportHub {
     config: TransportConfig,
     mailboxes: HashMap<String, VecDeque<(String, Vec<u8>)>>,
     in_flight: Vec<InFlight>,
+    faults: HashMap<(String, String), LinkFault>,
+    /// Latest scheduled delivery per directed link, clamping jittered
+    /// latencies so per-link FIFO order always holds.
+    last_scheduled: HashMap<(String, String), Tick>,
     stats: TransportStats,
     rng: StdRng,
     now: Tick,
@@ -75,6 +152,8 @@ impl TransportHub {
             config,
             mailboxes: HashMap::new(),
             in_flight: Vec::new(),
+            faults: HashMap::new(),
+            last_scheduled: HashMap::new(),
             stats: TransportStats::default(),
             rng,
             now: Tick::ZERO,
@@ -96,7 +175,67 @@ impl TransportHub {
         self.mailboxes.contains_key(name)
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Installs (or replaces) the fault model of the directed link
+    /// `from → to`.
+    pub fn set_link_fault(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        fault: LinkFault,
+    ) {
+        self.faults.insert((from.into(), to.into()), fault);
+    }
+
+    /// Removes the fault model of the directed link `from → to`.
+    pub fn clear_link_fault(&mut self, from: &str, to: &str) {
+        self.faults.remove(&(from.to_owned(), to.to_owned()));
+    }
+
+    /// The fault currently installed on `from → to`, if any.
+    pub fn link_fault(&self, from: &str, to: &str) -> Option<&LinkFault> {
+        self.faults.get(&(from.to_owned(), to.to_owned()))
+    }
+
+    /// Partitions both directions between `a` and `b` until `heal_at`:
+    /// messages coming due while the partition holds are counted as lost.
+    /// Other fault parameters already installed on the links are kept.
+    pub fn partition(&mut self, a: &str, b: &str, heal_at: Tick) {
+        for (from, to) in [(a, b), (b, a)] {
+            self.faults
+                .entry((from.to_owned(), to.to_owned()))
+                .or_default()
+                .partition_until = Some(heal_at);
+        }
+    }
+
+    /// Heals a partition between `a` and `b` immediately (both directions).
+    pub fn heal(&mut self, a: &str, b: &str) {
+        for (from, to) in [(a, b), (b, a)] {
+            if let Some(fault) = self.faults.get_mut(&(from.to_owned(), to.to_owned())) {
+                fault.partition_until = None;
+            }
+        }
+    }
+
+    /// Returns `true` if `from → to` is partitioned at the hub's current time.
+    pub fn is_partitioned(&self, from: &str, to: &str) -> bool {
+        self.faults
+            .get(&(from.to_owned(), to.to_owned()))
+            .is_some_and(|f| f.is_partitioned(self.now))
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic
+    // ------------------------------------------------------------------
+
     /// Sends a message from one endpoint to another.
+    ///
+    /// The message always enters the in-flight set; loss and partitions are
+    /// applied when it comes due in [`TransportHub::step`].
     ///
     /// # Errors
     ///
@@ -109,34 +248,67 @@ impl TransportHub {
             return Err(DynarError::TransportClosed(to.to_owned()));
         }
         self.stats.sent += 1;
-        if self.config.loss_probability > 0.0
-            && self
-                .rng
-                .gen_bool(self.config.loss_probability.clamp(0.0, 1.0))
-        {
-            self.stats.lost += 1;
-            return Ok(());
+        self.stats.in_flight += 1;
+
+        let link = (from.to_owned(), to.to_owned());
+        let jitter = if self.faults.is_empty() {
+            0
+        } else {
+            match self.faults.get(&link).map(|f| f.jitter_ticks) {
+                Some(jitter) if jitter > 0 => self.rng.gen_range_u64(0, jitter + 1),
+                _ => 0,
+            }
+        };
+        let mut deliver_at = self.now.advance(self.config.latency_ticks + jitter);
+        if let Some(&last) = self.last_scheduled.get(&link) {
+            deliver_at = deliver_at.max(last);
         }
+        self.last_scheduled.insert(link, deliver_at);
         self.in_flight.push(InFlight {
             from: from.to_owned(),
             to: to.to_owned(),
             payload,
-            deliver_at: self.now.advance(self.config.latency_ticks),
+            deliver_at,
         });
         Ok(())
     }
 
-    /// Advances the hub to `now`, delivering every message whose latency has
-    /// elapsed.
+    /// Advances the hub to `now`, resolving every message whose latency has
+    /// elapsed: messages on a partitioned link or picked by the loss model
+    /// are counted as lost, messages towards an unregistered mailbox as
+    /// dropped, everything else is delivered.
     pub fn step(&mut self, now: Tick) {
         self.now = now;
         let (due, pending): (Vec<_>, Vec<_>) =
             self.in_flight.drain(..).partition(|m| m.deliver_at <= now);
         self.in_flight = pending;
+        let no_faults = self.faults.is_empty();
         for message in due {
-            if let Some(mailbox) = self.mailboxes.get_mut(&message.to) {
-                mailbox.push_back((message.from, message.payload));
-                self.stats.delivered += 1;
+            self.stats.in_flight -= 1;
+            // The fault lookup needs owned keys; skip it (and its two String
+            // allocations per message) on the common fault-free hub.
+            let fault = if no_faults {
+                None
+            } else {
+                self.faults.get(&(message.from.clone(), message.to.clone()))
+            };
+            if fault.is_some_and(|f| f.is_partitioned(now)) {
+                self.stats.lost += 1;
+                continue;
+            }
+            let loss = fault
+                .and_then(|f| f.loss_probability)
+                .unwrap_or(self.config.loss_probability);
+            if loss > 0.0 && self.rng.gen_bool(loss.clamp(0.0, 1.0)) {
+                self.stats.lost += 1;
+                continue;
+            }
+            match self.mailboxes.get_mut(&message.to) {
+                Some(mailbox) => {
+                    mailbox.push_back((message.from, message.payload));
+                    self.stats.delivered += 1;
+                }
+                None => self.stats.dropped += 1,
             }
         }
     }
@@ -153,6 +325,11 @@ impl TransportHub {
     /// Number of messages waiting for `endpoint`.
     pub fn pending_for(&self, endpoint: &str) -> usize {
         self.mailboxes.get(endpoint).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Number of accepted messages that have not come due yet.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
     }
 }
 
@@ -175,6 +352,7 @@ mod tests {
         assert_eq!(hub.receive("b"), vec![("a".to_string(), vec![1, 2])]);
         assert!(hub.receive("b").is_empty());
         assert_eq!(hub.stats().delivered, 1);
+        assert!(hub.stats().is_conserved());
     }
 
     #[test]
@@ -196,12 +374,14 @@ mod tests {
         hub.send("a", "b", vec![9]).unwrap();
         hub.step(Tick::new(4));
         assert_eq!(hub.pending_for("b"), 0);
+        assert_eq!(hub.in_flight_count(), 1);
         hub.step(Tick::new(5));
         assert_eq!(hub.pending_for("b"), 1);
+        assert_eq!(hub.in_flight_count(), 0);
     }
 
     #[test]
-    fn loss_model_is_reproducible() {
+    fn loss_model_is_reproducible_and_applied_at_delivery_time() {
         let run = |seed| {
             let mut hub = TransportHub::new(TransportConfig {
                 loss_probability: 0.5,
@@ -213,6 +393,13 @@ mod tests {
             for i in 0..100u8 {
                 hub.send("a", "b", vec![i]).unwrap();
             }
+            // Loss is decided at delivery time: everything accepted is in
+            // flight until the step resolves it.
+            assert_eq!(hub.stats().lost, 0);
+            assert_eq!(hub.stats().in_flight, 100);
+            hub.step(Tick::new(1));
+            assert!(hub.stats().is_conserved());
+            assert_eq!(hub.stats().in_flight, 0);
             hub.stats().lost
         };
         assert_eq!(run(3), run(3));
@@ -228,5 +415,127 @@ mod tests {
         hub.step(Tick::new(1));
         let payloads: Vec<u8> = hub.receive("b").into_iter().map(|(_, p)| p[0]).collect();
         assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jitter_never_reorders_a_link() {
+        let mut hub = TransportHub::new(TransportConfig {
+            latency_ticks: 1,
+            ..TransportConfig::default()
+        });
+        hub.register("a");
+        hub.register("b");
+        hub.set_link_fault("a", "b", LinkFault::jittery(7));
+        for i in 0..40u8 {
+            hub.send("a", "b", vec![i]).unwrap();
+        }
+        let mut received = Vec::new();
+        for t in 1..=16u64 {
+            hub.step(Tick::new(t));
+            received.extend(hub.receive("b").into_iter().map(|(_, p)| p[0]));
+        }
+        assert_eq!(received.len(), 40, "jitter only delays, never loses");
+        assert!(
+            received.windows(2).all(|w| w[0] < w[1]),
+            "per-link FIFO must survive jitter: {received:?}"
+        );
+        assert!(hub.stats().is_conserved());
+    }
+
+    #[test]
+    fn unregistered_destinations_count_as_dropped() {
+        // A mailbox that disappears between send and step: simulate by
+        // sending to an endpoint registered on a different hub view.  The
+        // hub cannot unregister today, so exercise the accounting through
+        // the internal path: send to "b", then steal its mailbox.
+        let mut hub = hub();
+        hub.send("a", "b", vec![1]).unwrap();
+        hub.mailboxes.remove("b");
+        hub.step(Tick::new(1));
+        let stats = hub.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.delivered, 0);
+        assert!(stats.is_conserved());
+    }
+
+    #[test]
+    fn partition_loses_due_messages_until_it_heals() {
+        let mut hub = hub();
+        hub.partition("a", "b", Tick::new(10));
+        hub.send("a", "b", vec![1]).unwrap();
+        hub.send("b", "a", vec![2]).unwrap();
+        hub.step(Tick::new(1));
+        assert_eq!(hub.stats().lost, 2, "both directions are cut");
+        assert!(hub.is_partitioned("a", "b"));
+
+        // After the heal tick traffic flows again (same fault entries).
+        hub.send("a", "b", vec![3]).unwrap();
+        hub.step(Tick::new(10));
+        assert!(!hub.is_partitioned("a", "b"));
+        assert_eq!(hub.receive("b"), vec![("a".to_string(), vec![3])]);
+        assert!(hub.stats().is_conserved());
+    }
+
+    #[test]
+    fn heal_clears_a_partition_early() {
+        let mut hub = hub();
+        hub.partition("a", "b", Tick::new(100));
+        hub.heal("a", "b");
+        hub.send("a", "b", vec![1]).unwrap();
+        hub.step(Tick::new(1));
+        assert_eq!(hub.stats().delivered, 1);
+    }
+
+    #[test]
+    fn asymmetric_loss_hits_only_the_configured_direction() {
+        let mut hub = hub();
+        hub.set_link_fault("a", "b", LinkFault::lossy(1.0));
+        for _ in 0..10 {
+            hub.send("a", "b", vec![1]).unwrap();
+            hub.send("b", "a", vec![2]).unwrap();
+        }
+        hub.step(Tick::new(1));
+        let stats = hub.stats();
+        assert_eq!(stats.lost, 10, "a→b drops everything");
+        assert_eq!(stats.delivered, 10, "b→a is untouched");
+        assert!(stats.is_conserved());
+    }
+
+    #[test]
+    fn clear_link_fault_restores_the_global_model() {
+        let mut hub = hub();
+        hub.set_link_fault("a", "b", LinkFault::lossy(1.0));
+        assert!(hub.link_fault("a", "b").is_some());
+        hub.clear_link_fault("a", "b");
+        hub.send("a", "b", vec![1]).unwrap();
+        hub.step(Tick::new(1));
+        assert_eq!(hub.stats().delivered, 1);
+    }
+
+    #[test]
+    fn conservation_holds_under_mixed_faults() {
+        let mut hub = TransportHub::new(TransportConfig {
+            latency_ticks: 2,
+            loss_probability: 0.3,
+            seed: 42,
+        });
+        hub.register("a");
+        hub.register("b");
+        hub.register("c");
+        hub.set_link_fault("a", "c", LinkFault::jittery(3));
+        hub.partition("b", "c", Tick::new(6));
+        for t in 1..=20u64 {
+            hub.send("a", "b", vec![t as u8]).unwrap();
+            hub.send("a", "c", vec![t as u8]).unwrap();
+            hub.send("b", "c", vec![t as u8]).unwrap();
+            hub.step(Tick::new(t));
+            assert!(hub.stats().is_conserved(), "tick {t}: {:?}", hub.stats());
+            hub.receive("b");
+            hub.receive("c");
+        }
+        hub.step(Tick::new(40));
+        let stats = hub.stats();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.sent, stats.delivered + stats.lost + stats.dropped);
     }
 }

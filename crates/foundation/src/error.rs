@@ -104,6 +104,14 @@ pub enum DynarError {
     TransportClosed(String),
     /// A message did not follow the ECM/trusted-server wire protocol.
     ProtocolViolation(String),
+    /// A management operation exhausted its retransmission budget without an
+    /// acknowledgement from the vehicle.
+    RetryExhausted {
+        /// The operation that was abandoned (e.g. `install of OP on ECU2`).
+        operation: String,
+        /// How many delivery attempts were made.
+        attempts: u32,
+    },
 }
 
 impl DynarError {
@@ -193,6 +201,13 @@ impl fmt::Display for DynarError {
             DynarError::VmFault(reason) => write!(f, "virtual machine fault: {reason}"),
             DynarError::TransportClosed(which) => write!(f, "transport closed: {which}"),
             DynarError::ProtocolViolation(reason) => write!(f, "protocol violation: {reason}"),
+            DynarError::RetryExhausted {
+                operation,
+                attempts,
+            } => write!(
+                f,
+                "retry budget exhausted after {attempts} attempts: {operation}"
+            ),
         }
     }
 }
@@ -243,6 +258,10 @@ mod tests {
             DynarError::VmFault("stack underflow".into()),
             DynarError::TransportClosed("phone".into()),
             DynarError::ProtocolViolation("unexpected ack".into()),
+            DynarError::RetryExhausted {
+                operation: "install of OP on ECU2".into(),
+                attempts: 8,
+            },
         ];
         for err in cases {
             let msg = err.to_string();

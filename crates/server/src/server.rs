@@ -1,18 +1,78 @@
 //! The trusted server: web-service operations, compatibility checks, context
-//! generation and the pusher.
+//! generation, the pusher — and the federation reliability plane that keeps
+//! pushed packages alive over a lossy transport.
+//!
+//! Every downlink package carries a per-vehicle monotonically increasing
+//! sequence id ([`DownlinkEnvelope`]).  Until the matching acknowledgement
+//! arrives the package stays *outstanding*: [`TrustedServer::tick`]
+//! retransmits it (same sequence id, so the ECM gateway deduplicates) each
+//! time its deadline lapses, and after [`RetryPolicy::max_attempts`]
+//! escalates into a typed [`DynarError::RetryExhausted`] plus a
+//! [`DeploymentStatus::Failed`] record — a lossy link degrades into an
+//! explicit failure, never a silent hang.
 
 use std::collections::{HashMap, HashSet};
 
 use dynar_core::context::{
     ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
 };
-use dynar_core::message::{Ack, AckStatus, InstallationPackage, ManagementMessage};
+use dynar_core::message::{
+    Ack, AckStatus, DownlinkEnvelope, InstallationPackage, ManagementMessage,
+};
 use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, UserId, VehicleId};
+use dynar_foundation::time::Tick;
 
 use crate::model::{
     AppDefinition, ConnectionDecl, HwConf, SwConf, SystemSwConf, VirtualPortKindDecl,
 };
+
+/// Retransmission parameters of the reliability plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Ticks a pushed package may stay unacknowledged before it is
+    /// retransmitted.
+    pub ack_deadline_ticks: u64,
+    /// Total delivery attempts (first push included) before the operation is
+    /// escalated as [`DynarError::RetryExhausted`].
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            ack_deadline_ticks: 25,
+            max_attempts: 8,
+        }
+    }
+}
+
+/// One escalated operation reported by [`TrustedServer::tick`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryFailure {
+    /// The vehicle whose link gave up.
+    pub vehicle: VehicleId,
+    /// The application the abandoned package belonged to.
+    pub app: AppId,
+    /// The plug-in the abandoned package addressed.
+    pub plugin: PluginId,
+    /// The typed reason ([`DynarError::RetryExhausted`]).
+    pub error: DynarError,
+}
+
+/// A pushed downlink package awaiting its acknowledgement.
+#[derive(Debug, Clone)]
+struct OutstandingDownlink {
+    seq: u64,
+    ecu: EcuId,
+    plugin: PluginId,
+    app: AppId,
+    kind: PendingKind,
+    /// The encoded envelope, retransmitted verbatim (same sequence id).
+    payload: Vec<u8>,
+    attempts: u32,
+    deadline: Tick,
+}
 
 /// The status of one application's deployment on one vehicle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +121,10 @@ struct VehicleRecord {
     failed: HashMap<AppId, String>,
     next_port_id: HashMap<EcuId, u32>,
     downlink: Vec<Vec<u8>>,
+    /// Next downlink sequence id (monotonically increasing per vehicle).
+    next_seq: u64,
+    /// Pushed packages whose acknowledgement is still outstanding.
+    outstanding: Vec<OutstandingDownlink>,
 }
 
 /// The trusted server of Figure 2.
@@ -75,6 +139,8 @@ pub struct TrustedServer {
     users: HashSet<UserId>,
     vehicles: HashMap<VehicleId, VehicleRecord>,
     apps: HashMap<AppId, AppDefinition>,
+    policy: RetryPolicy,
+    now: Tick,
 }
 
 impl TrustedServer {
@@ -125,6 +191,8 @@ impl TrustedServer {
                 failed: HashMap::new(),
                 next_port_id: HashMap::new(),
                 downlink: Vec::new(),
+                next_seq: 0,
+                outstanding: Vec::new(),
             },
         );
         Ok(())
@@ -455,10 +523,16 @@ impl TrustedServer {
                 .max()
                 .unwrap_or(*counter);
             *counter = (*counter).max(highest);
-            record.downlink.push(crate::server::encode_downlink_message(
+            Self::push_tracked(
+                record,
+                self.now,
+                &self.policy,
                 *ecu,
-                &ManagementMessage::Install(package.clone()),
-            ));
+                package.plugin.clone(),
+                app.clone(),
+                PendingKind::Install,
+                ManagementMessage::Install(package.clone()),
+            );
         }
         let count = packages.len();
         record.pending.insert(
@@ -514,12 +588,18 @@ impl TrustedServer {
         let mut awaiting = HashSet::new();
         for (plugin, ecu) in &installed.plugins {
             awaiting.insert(plugin.clone());
-            record.downlink.push(crate::server::encode_downlink_message(
+            Self::push_tracked(
+                record,
+                self.now,
+                &self.policy,
                 *ecu,
-                &ManagementMessage::Uninstall {
+                plugin.clone(),
+                app.clone(),
+                PendingKind::Uninstall,
+                ManagementMessage::Uninstall {
                     plugin: plugin.clone(),
                 },
-            ));
+            );
         }
         let count = installed.plugins.len();
         record.pending.insert(
@@ -547,18 +627,156 @@ impl TrustedServer {
             .get_mut(vehicle)
             .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
         let mut pushed = 0;
+        let mut repush = Vec::new();
         for installed in record.installed.values() {
             for (target, package) in &installed.packages {
                 if *target == ecu {
-                    record.downlink.push(crate::server::encode_downlink_message(
-                        *target,
-                        &ManagementMessage::Install(package.clone()),
-                    ));
-                    pushed += 1;
+                    repush.push((*target, package.clone()));
                 }
             }
         }
+        // Restore pushes are fire-and-forget (no pending operation records
+        // them), but they still consume sequence ids so gateway
+        // deduplication and ordering stay uniform.
+        for (target, package) in repush {
+            Self::queue_envelope(record, target, ManagementMessage::Install(package));
+            pushed += 1;
+        }
         Ok(pushed)
+    }
+
+    // ------------------------------------------------------------------
+    // Reliability plane: retransmission deadlines and bounded retries
+    // ------------------------------------------------------------------
+
+    /// Replaces the retransmission policy (applies to packages pushed from
+    /// now on; already-outstanding packages keep their deadlines).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active retransmission policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The retry horizon: worst-case ticks from first push to escalation.
+    pub fn retry_horizon_ticks(&self) -> u64 {
+        self.policy.ack_deadline_ticks * u64::from(self.policy.max_attempts)
+    }
+
+    /// Downlink packages of `vehicle` still awaiting an acknowledgement.
+    pub fn outstanding_count(&self, vehicle: &VehicleId) -> usize {
+        self.vehicles
+            .get(vehicle)
+            .map(|v| v.outstanding.len())
+            .unwrap_or(0)
+    }
+
+    /// Applications of `vehicle` with an operation still in flight.
+    pub fn pending_operations(&self, vehicle: &VehicleId) -> Vec<AppId> {
+        let mut apps: Vec<AppId> = self
+            .vehicles
+            .get(vehicle)
+            .map(|v| v.pending.keys().cloned().collect())
+            .unwrap_or_default();
+        apps.sort();
+        apps
+    }
+
+    /// Advances the reliability plane to `now`: every outstanding package
+    /// whose deadline lapsed is either retransmitted (same sequence id) or —
+    /// once its attempt budget is spent — escalated into a typed
+    /// [`DynarError::RetryExhausted`], failing the owning operation.  The
+    /// escalations are returned so harnesses can log or assert on them.
+    pub fn tick(&mut self, now: Tick) -> Vec<RetryFailure> {
+        self.now = now;
+        let policy = self.policy.clone();
+        let mut failures = Vec::new();
+        for (vehicle_id, record) in &mut self.vehicles {
+            // Phase 1: examine every entry before anything mutates the
+            // vector — escalations resolve operations, which removes other
+            // entries of the same app and would shift unexamined ones past
+            // an index-based scan.
+            let mut escalate = Vec::new();
+            for entry in &mut record.outstanding {
+                if now < entry.deadline {
+                    continue;
+                }
+                if entry.attempts >= policy.max_attempts {
+                    escalate.push(entry.seq);
+                } else {
+                    entry.attempts += 1;
+                    entry.deadline = now.advance(policy.ack_deadline_ticks);
+                    record.downlink.push(entry.payload.clone());
+                }
+            }
+            // Phase 2: escalate the exhausted entries (may remove further
+            // entries of the same app through operation resolution).
+            for seq in escalate {
+                let Some(position) = record.outstanding.iter().position(|o| o.seq == seq) else {
+                    continue;
+                };
+                let entry = record.outstanding.remove(position);
+                let error = DynarError::RetryExhausted {
+                    operation: format!(
+                        "delivery of management message seq {} for plug-in {} on {}",
+                        entry.seq, entry.plugin, entry.ecu
+                    ),
+                    attempts: entry.attempts,
+                };
+                Self::fail_awaiting(record, &entry.app, &entry.plugin, &error);
+                failures.push(RetryFailure {
+                    vehicle: vehicle_id.clone(),
+                    app: entry.app,
+                    plugin: entry.plugin,
+                    error,
+                });
+            }
+        }
+        failures
+    }
+
+    /// Assigns the next sequence id, encodes the envelope and queues it on
+    /// the vehicle's downlink (shared by tracked pushes and fire-and-forget
+    /// restore pushes).
+    fn queue_envelope(
+        record: &mut VehicleRecord,
+        ecu: EcuId,
+        message: ManagementMessage,
+    ) -> (u64, Vec<u8>) {
+        let seq = record.next_seq;
+        record.next_seq += 1;
+        let payload = DownlinkEnvelope::new(ecu, seq, message).to_bytes();
+        record.downlink.push(payload.clone());
+        (seq, payload)
+    }
+
+    /// Queues a tracked downlink package: assigns the next sequence id,
+    /// encodes the envelope and records the outstanding-acknowledgement
+    /// state used by [`TrustedServer::tick`].
+    #[allow(clippy::too_many_arguments)]
+    fn push_tracked(
+        record: &mut VehicleRecord,
+        now: Tick,
+        policy: &RetryPolicy,
+        ecu: EcuId,
+        plugin: PluginId,
+        app: AppId,
+        kind: PendingKind,
+        message: ManagementMessage,
+    ) {
+        let (seq, payload) = Self::queue_envelope(record, ecu, message);
+        record.outstanding.push(OutstandingDownlink {
+            seq,
+            ecu,
+            plugin,
+            app,
+            kind,
+            payload,
+            attempts: 1,
+            deadline: now.advance(policy.ack_deadline_ticks),
+        });
     }
 
     /// Drains the downlink messages queued for a vehicle (consumed by the
@@ -592,38 +810,119 @@ impl TrustedServer {
         Ok(())
     }
 
+    /// Applies one acknowledgement: settles the outstanding retransmission
+    /// state and the pending operation it belongs to.
+    ///
+    /// Settlement is *outcome-matched* — an `Installed` ack only settles
+    /// Install-kind state (and `Uninstalled` only Uninstall-kind), so a
+    /// stale success ack replayed by the gateway's dedup window cannot
+    /// silence a later operation's retransmissions.  `Failed` acks settle
+    /// either kind; a stale replayed `Failed` ack arriving in the short
+    /// in-flight window after a re-deploy of the same plug-in can therefore
+    /// fail the fresh operation early — acks carry no sequence id, so the
+    /// two are indistinguishable; the operation still resolves typed-failed
+    /// and can be retried.
     fn apply_ack(record: &mut VehicleRecord, ack: &Ack) {
+        let outcome_matches = |kind: &PendingKind, status: &AckStatus| {
+            matches!(
+                (kind, status),
+                (PendingKind::Install, AckStatus::Installed)
+                    | (PendingKind::Uninstall, AckStatus::Uninstalled)
+                    | (_, AckStatus::Failed(_))
+            )
+        };
+
+        // Failure acks generated by the ECM itself (e.g. "no route to ECU")
+        // may carry an empty app id.  Settle by plug-in through the
+        // outstanding entries instead, resolving each entry's own app — the
+        // pending operation must be updated too, or it would hang with its
+        // retransmission state gone.
+        if ack.app.name().is_empty() {
+            let mut settled = Vec::new();
+            record.outstanding.retain(|o| {
+                if o.plugin == ack.plugin && outcome_matches(&o.kind, &ack.status) {
+                    settled.push((o.app.clone(), o.plugin.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (app, plugin) in settled {
+                if let Some(pending) = record.pending.get_mut(&app) {
+                    pending.awaiting.remove(&plugin);
+                    if let AckStatus::Failed(reason) = &ack.status {
+                        pending.failure = Some(format!("{plugin}: {reason}"));
+                    }
+                }
+                Self::resolve_if_complete(record, &app);
+            }
+            return;
+        }
+
         let app = AppId::new(ack.app.name());
+        record.outstanding.retain(|o| {
+            o.plugin != ack.plugin || o.app != app || !outcome_matches(&o.kind, &ack.status)
+        });
         let Some(pending) = record.pending.get_mut(&app) else {
             return;
         };
         match &ack.status {
-            AckStatus::Installed | AckStatus::Uninstalled => {
-                pending.awaiting.remove(&ack.plugin);
-            }
             AckStatus::Failed(reason) => {
                 pending.awaiting.remove(&ack.plugin);
                 pending.failure = Some(format!("{}: {reason}", ack.plugin));
             }
+            status if outcome_matches(&pending.kind, status) => {
+                pending.awaiting.remove(&ack.plugin);
+            }
             _ => {}
         }
-        if pending.awaiting.is_empty() {
-            let done = record.pending.remove(&app).expect("entry present");
-            match (&done.kind, &done.failure) {
-                (PendingKind::Install, None) => {
-                    record.installed.insert(app, done.record);
-                }
-                (PendingKind::Install, Some(reason)) => {
-                    record.failed.insert(app, reason.clone());
-                }
-                (PendingKind::Uninstall, None) => {}
-                (PendingKind::Uninstall, Some(reason)) => {
-                    // Keep the record: the app is still (partially) present.
-                    record.failed.insert(app.clone(), reason.clone());
-                    record.installed.insert(app, done.record);
-                }
+        Self::resolve_if_complete(record, &app);
+    }
+
+    /// Finalises a pending operation once no acknowledgement is awaited any
+    /// more, applying the install/uninstall bookkeeping (shared by the ack
+    /// path and the retry-exhaustion path).
+    fn resolve_if_complete(record: &mut VehicleRecord, app: &AppId) {
+        let Some(pending) = record.pending.get(app) else {
+            return;
+        };
+        if !pending.awaiting.is_empty() {
+            return;
+        }
+        let done = record.pending.remove(app).expect("entry present");
+        // Whatever the outcome, abandon retransmissions tied to the settled
+        // operation (relevant when a retry exhaustion resolves it).
+        record.outstanding.retain(|o| &o.app != app);
+        match (&done.kind, &done.failure) {
+            (PendingKind::Install, None) => {
+                record.installed.insert(app.clone(), done.record);
+            }
+            (PendingKind::Install, Some(reason)) => {
+                record.failed.insert(app.clone(), reason.clone());
+            }
+            (PendingKind::Uninstall, None) => {}
+            (PendingKind::Uninstall, Some(reason)) => {
+                // Keep the record: the app is still (partially) present.
+                record.failed.insert(app.clone(), reason.clone());
+                record.installed.insert(app.clone(), done.record);
             }
         }
+    }
+
+    /// Marks one awaited plug-in of `app` as failed with `error` (used when
+    /// its retransmission budget is exhausted) and resolves the operation if
+    /// nothing else is awaited.
+    fn fail_awaiting(
+        record: &mut VehicleRecord,
+        app: &AppId,
+        plugin: &PluginId,
+        error: &DynarError,
+    ) {
+        if let Some(pending) = record.pending.get_mut(app) {
+            pending.awaiting.remove(plugin);
+            pending.failure = Some(format!("{plugin}: {error}"));
+        }
+        Self::resolve_if_complete(record, app);
     }
 
     fn check_owner(&self, user: &UserId, vehicle: &VehicleId) -> Result<()> {
@@ -639,18 +938,6 @@ impl TrustedServer {
         }
         Ok(())
     }
-}
-
-/// Encodes a downlink message (target ECU plus management message) in the
-/// same format the ECM decodes.  Kept here so the server crate does not
-/// depend on the ECM crate; the byte format is shared via the value codec.
-pub fn encode_downlink_message(target: EcuId, message: &ManagementMessage) -> Vec<u8> {
-    use dynar_foundation::codec;
-    use dynar_foundation::value::Value;
-    codec::encode_value(&Value::List(vec![
-        Value::I64(i64::from(target.index())),
-        message.to_value(),
-    ]))
 }
 
 #[cfg(test)]
@@ -1150,6 +1437,186 @@ mod tests {
         assert!(server
             .deploy(&mallory, &vehicle, &AppId::new("remote-control"))
             .is_err());
+    }
+
+    #[test]
+    fn unacked_packages_are_retransmitted_with_the_same_sequence_id() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        server.set_retry_policy(RetryPolicy {
+            ack_deadline_ticks: 10,
+            max_attempts: 3,
+        });
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        let first: Vec<_> = server.poll_downlink(&vehicle);
+        assert_eq!(first.len(), 2);
+
+        // Before the deadline nothing moves.
+        assert!(server.tick(dynar_foundation::time::Tick::new(9)).is_empty());
+        assert!(server.poll_downlink(&vehicle).is_empty());
+
+        // At the deadline both packages are pushed again, byte-identical
+        // (same sequence ids), so the ECM can deduplicate.
+        assert!(server
+            .tick(dynar_foundation::time::Tick::new(10))
+            .is_empty());
+        let retried = server.poll_downlink(&vehicle);
+        assert_eq!(retried, first);
+        assert_eq!(server.outstanding_count(&vehicle), 2);
+    }
+
+    #[test]
+    fn acks_settle_the_outstanding_state() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        server.poll_downlink(&vehicle);
+        assert_eq!(server.outstanding_count(&vehicle), 2);
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        assert_eq!(server.outstanding_count(&vehicle), 1);
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        assert_eq!(server.outstanding_count(&vehicle), 0);
+        // Once acked, deadlines can come and go without retransmissions.
+        assert!(server
+            .tick(dynar_foundation::time::Tick::new(1000))
+            .is_empty());
+        assert!(server.poll_downlink(&vehicle).is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_escalate_into_a_typed_failure() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        server.set_retry_policy(RetryPolicy {
+            ack_deadline_ticks: 5,
+            max_attempts: 2,
+        });
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        assert_eq!(server.retry_horizon_ticks(), 10);
+
+        // One ack arrives; the other package dies on the link forever.
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+
+        // First deadline: retransmission (attempt 2 of 2).
+        assert!(server.tick(dynar_foundation::time::Tick::new(5)).is_empty());
+        // Second deadline: the budget is spent — escalate.
+        let failures = server.tick(dynar_foundation::time::Tick::new(10));
+        assert_eq!(failures.len(), 1);
+        let failure = &failures[0];
+        assert_eq!(failure.vehicle, vehicle);
+        assert_eq!(failure.app, app);
+        assert_eq!(failure.plugin, PluginId::new("OP"));
+        assert!(matches!(
+            failure.error,
+            DynarError::RetryExhausted { attempts: 2, .. }
+        ));
+
+        // The operation resolves as failed — no silent hang, no pending op.
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Failed(reason) if reason.contains("retry budget exhausted")
+        ));
+        assert!(server.pending_operations(&vehicle).is_empty());
+        assert_eq!(server.outstanding_count(&vehicle), 0);
+        assert!(server.installed_apps(&vehicle).is_empty());
+
+        // The failure is not sticky: a fresh deploy is accepted.
+        server.deploy(&user, &vehicle, &app).unwrap();
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Pending { .. }
+        ));
+    }
+
+    /// Regression: the ECM's own failure acks (e.g. "no route to ECU")
+    /// carry an empty app id.  They must settle both the outstanding
+    /// retransmission state *and* the pending operation — clearing only the
+    /// former would leave the operation pending forever with nothing left
+    /// to retransmit or escalate.
+    #[test]
+    fn empty_app_failure_acks_resolve_the_pending_operation() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+
+        // The ECM reports it cannot reach OP's ECU, without knowing the app.
+        server
+            .process_uplink(
+                &vehicle,
+                &ack(
+                    "OP",
+                    "",
+                    1,
+                    AckStatus::Failed("ECM has no route to ECU2".into()),
+                ),
+            )
+            .unwrap();
+
+        assert_eq!(server.outstanding_count(&vehicle), 0);
+        assert!(server.pending_operations(&vehicle).is_empty(), "no hang");
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Failed(reason) if reason.contains("no route")
+        ));
+        // Nothing left to retransmit at any later deadline.
+        assert!(server
+            .tick(dynar_foundation::time::Tick::new(1000))
+            .is_empty());
+    }
+
+    #[test]
+    fn sequence_ids_increase_monotonically_per_vehicle() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        let seqs: Vec<u64> = server
+            .poll_downlink(&vehicle)
+            .iter()
+            .map(|bytes| DownlinkEnvelope::from_bytes(bytes).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1]);
+
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        server.uninstall(&user, &vehicle, &app).unwrap();
+        let seqs: Vec<u64> = server
+            .poll_downlink(&vehicle)
+            .iter()
+            .map(|bytes| DownlinkEnvelope::from_bytes(bytes).unwrap().seq)
+            .collect();
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs.iter().all(|&s| s >= 2), "fresh ids, never reused");
     }
 
     #[test]

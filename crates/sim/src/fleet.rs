@@ -33,10 +33,14 @@ use crate::world::Vehicle;
 pub struct FleetStats {
     /// Batched rounds executed so far.
     pub ticks: u64,
-    /// Downlink payloads pushed from the server into vehicle ECM endpoints.
+    /// Downlink payloads pushed from the server into vehicle ECM endpoints
+    /// (retransmissions included).
     pub downlink_messages: u64,
     /// Uplink payloads the server received back from vehicles.
     pub uplink_messages: u64,
+    /// Operations the server's reliability plane escalated after exhausting
+    /// their retransmission budget.
+    pub retry_failures: u64,
 }
 
 #[derive(Debug)]
@@ -145,6 +149,18 @@ impl Fleet {
         self.by_id.get(id).map(|&i| &self.vehicles[i].vehicle)
     }
 
+    /// The ECM transport endpoint of a vehicle.
+    pub fn endpoint_of(&self, id: &VehicleId) -> Option<&str> {
+        self.by_id
+            .get(id)
+            .map(|&i| self.vehicles[i].endpoint.as_str())
+    }
+
+    /// The trusted server's transport endpoint.
+    pub fn server_endpoint(&self) -> &str {
+        &self.server_endpoint
+    }
+
     /// Mutable access to a vehicle by id.
     pub fn vehicle_mut(&mut self, id: &VehicleId) -> Option<&mut Vehicle> {
         self.by_id.get(id).map(|&i| &mut self.vehicles[i].vehicle)
@@ -170,6 +186,9 @@ impl Fleet {
     /// Propagates the first vehicle step error.
     pub fn step(&mut self) -> Result<()> {
         let now = self.clock.step();
+
+        // Reliability plane: requeue overdue packages, escalate dead ones.
+        self.stats.retry_failures += self.server.tick(now).len() as u64;
 
         // Pusher: queued downlink messages leave the server, batched under a
         // single hub lock.

@@ -8,7 +8,11 @@
 //!   and the documentation.
 //! * [`fleet`] — the federated-scale scenario: N four-ECU vehicles on one
 //!   trusted server, staged install/update waves over live signal chains.
+//! * [`chaos`] — the fleet scenario over a lossy, jittery, partitioning
+//!   transport, asserting that the federation reliability plane converges
+//!   every operation without duplicate installs.
 
+pub mod chaos;
 pub mod fleet;
 pub mod quickstart;
 pub mod remote_car;

@@ -210,7 +210,8 @@ impl World {
         self.clock.now()
     }
 
-    /// Advances the whole federated system by one tick: server pushes reach
+    /// Advances the whole federated system by one tick: the server's
+    /// reliability plane retransmits overdue packages, queued pushes reach
     /// the transport, the transport delivers, the vehicle runs, and uplink
     /// acknowledgements flow back into the server.
     ///
@@ -219,6 +220,9 @@ impl World {
     /// Propagates vehicle step errors.
     pub fn step(&mut self) -> Result<()> {
         let now = self.clock.step();
+
+        // Reliability plane: requeue overdue packages, escalate dead ones.
+        let _ = self.server.tick(now);
 
         // Pusher: queued downlink messages leave the server.
         let downlinks = self.server.poll_downlink(&self.vehicle_id);

@@ -49,6 +49,11 @@ with open(raw_path, encoding="utf-8") as raw:
                 }
             )
 
+# The fleet-tick group must include the lossy-hub datapoint so the
+# reliability plane's retransmission overhead stays on the perf trajectory.
+if not any("lossy" in r["bench"] for r in results):
+    sys.exit("bench snapshot is missing the bench_fleet_tick lossy-hub datapoint")
+
 rev = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 ).stdout.strip()

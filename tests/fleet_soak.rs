@@ -28,6 +28,73 @@ use dynar::sim::scenario::remote_car::RemoteCarScenario;
 use dynar::sim::world::{Vehicle, World};
 use dynar::vm::assembler::assemble;
 
+mod lossy {
+    //! The lossy soak: a fleet installing over a transport that loses
+    //! messages, asserting that no management operation outlives the
+    //! server's retry horizon — it resolves (installed or typed-failed) or
+    //! the reliability plane has a bug.
+
+    use dynar::fes::transport::TransportConfig;
+    use dynar::foundation::ids::AppId;
+    use dynar::server::server::DeploymentStatus;
+    use dynar::sim::scenario::fleet::{FleetScenario, FleetScenarioConfig, APP_TELEMETRY};
+
+    #[test]
+    fn no_pending_operation_survives_the_retry_horizon() {
+        let mut scenario = FleetScenario::build_with(FleetScenarioConfig {
+            vehicles: 4,
+            transport: TransportConfig {
+                latency_ticks: 1,
+                loss_probability: 0.08,
+                seed: 0x50AC,
+            },
+            ..FleetScenarioConfig::default()
+        })
+        .unwrap();
+        let user = scenario.user.clone();
+        let app = AppId::new(APP_TELEMETRY);
+        let targets = scenario.fleet.vehicle_ids();
+        scenario.fleet.deploy_wave(&user, &app, &targets).unwrap();
+
+        // The horizon plus margin for transport latency and vehicle-internal
+        // relaying: past this point nothing may still be pending.
+        let horizon = scenario.fleet.server.retry_horizon_ticks() + 120;
+        scenario.fleet.run(horizon).unwrap();
+
+        for vehicle in &targets {
+            let status = scenario.fleet.server.deployment_status(vehicle, &app);
+            assert!(
+                !matches!(status, DeploymentStatus::Pending { .. }),
+                "{vehicle}: operation still pending after the retry horizon: {status:?}"
+            );
+            assert!(
+                scenario.fleet.server.pending_operations(vehicle).is_empty(),
+                "{vehicle}: pending operations survived the horizon"
+            );
+            assert_eq!(
+                scenario.fleet.server.outstanding_count(vehicle),
+                0,
+                "{vehicle}: outstanding retransmission state survived the horizon"
+            );
+        }
+        let transport = scenario.fleet.hub.lock().stats();
+        assert!(
+            transport.lost > 0,
+            "the loss model must bite: {transport:?}"
+        );
+        assert!(transport.is_conserved(), "{transport:?}");
+
+        // At 8 % loss with the default retry budget every install converges.
+        for vehicle in &targets {
+            assert_eq!(
+                scenario.fleet.server.deployment_status(vehicle, &app),
+                DeploymentStatus::Installed,
+                "retries recover every lost package at this loss rate"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scenario soaks: quickstart and the Figure 3 model car, run long.
 // ---------------------------------------------------------------------------

@@ -83,15 +83,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     /// Every management message survives the server → ECM downlink encoding,
-    /// and the recipient ECU address survives with it.
+    /// and the recipient ECU address and sequence id survive with it.
     #[test]
     fn downlink_round_trips(
         target in 0u16..64,
+        seq in 0u64..1_000_000,
         message in management_message_strategy(),
     ) {
-        let bytes = encode_downlink(EcuId::new(target), &message);
-        let (decoded_target, decoded) = decode_downlink(&bytes).unwrap();
+        let bytes = encode_downlink(EcuId::new(target), seq, &message);
+        let (decoded_target, decoded_seq, decoded) = decode_downlink(&bytes).unwrap();
         prop_assert_eq!(decoded_target, EcuId::new(target));
+        prop_assert_eq!(decoded_seq, seq);
         prop_assert_eq!(decoded, message);
     }
 
@@ -124,9 +126,10 @@ proptest! {
             InstallationContext::new(pic, plc),
         );
         let message = ManagementMessage::Install(package);
-        let bytes = encode_downlink(EcuId::new(target), &message);
-        let (decoded_target, decoded) = decode_downlink(&bytes).unwrap();
+        let bytes = encode_downlink(EcuId::new(target), 7, &message);
+        let (decoded_target, decoded_seq, decoded) = decode_downlink(&bytes).unwrap();
         prop_assert_eq!(decoded_target, EcuId::new(target));
+        prop_assert_eq!(decoded_seq, 7);
         prop_assert_eq!(decoded, message);
     }
 
@@ -265,5 +268,85 @@ proptest! {
         let decoded = dynar::vm::program::Program::from_bytes(&program.to_bytes()).unwrap();
         prop_assert_eq!(&decoded, &program);
         prop_assert!(!disassemble(&decoded).is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The transport hub's conservation invariant (`sent == delivered + lost
+    /// + dropped + in_flight`) and per-link FIFO order hold under arbitrary
+    /// interleavings of register/send/step/receive operations mixed with
+    /// fault injection (loss, jitter, partitions) — the stats ledger of the
+    /// federation reliability plane can never leak a message.
+    #[test]
+    fn transport_conservation_and_fifo_under_random_interleavings(
+        ops in proptest::collection::vec(
+            (0u8..6, 0usize..5, 0usize..5, 1u64..6),
+            1..160,
+        ),
+        seed in 0u64..1024,
+    ) {
+        use dynar::fes::transport::{LinkFault, TransportConfig, TransportHub};
+        use dynar::foundation::time::Tick;
+        use std::collections::HashMap;
+
+        let names = ["e0", "e1", "e2", "e3", "e4"];
+        let mut hub = TransportHub::new(TransportConfig {
+            latency_ticks: 1,
+            loss_probability: 0.15,
+            seed,
+        });
+        hub.register(names[0]);
+        hub.register(names[1]);
+
+        let mut now = 0u64;
+        // Per directed link: the next payload counter and the highest
+        // counter observed at the receiver (FIFO ⇒ strictly increasing).
+        let mut next_seq: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut last_seen: HashMap<(String, String), u64> = HashMap::new();
+
+        for (op, a, b, k) in ops {
+            match op {
+                0 => hub.register(names[a]),
+                1 => {
+                    let (from, to) = (names[a], names[b]);
+                    if hub.is_registered(from) && hub.is_registered(to) {
+                        let seq = next_seq.entry((a, b)).or_insert(0);
+                        *seq += 1;
+                        hub.send(from, to, seq.to_be_bytes().to_vec()).unwrap();
+                    } else {
+                        prop_assert!(hub.send(from, to, vec![]).is_err());
+                    }
+                }
+                2 => {
+                    now += k;
+                    hub.step(Tick::new(now));
+                }
+                3 => {
+                    for (sender, payload) in hub.receive(names[a]) {
+                        let seq = u64::from_be_bytes(payload.as_slice().try_into().unwrap());
+                        let key = (sender, names[a].to_owned());
+                        let last = last_seen.get(&key).copied().unwrap_or(0);
+                        prop_assert!(
+                            seq > last,
+                            "link {:?} delivered {seq} after {last}", key
+                        );
+                        last_seen.insert(key, seq);
+                    }
+                }
+                4 => hub.set_link_fault(names[a], names[b], LinkFault::jittery(k)),
+                _ => hub.partition(names[a], names[b], Tick::new(now + k)),
+            }
+            prop_assert!(hub.stats().is_conserved(), "after op {op}: {:?}", hub.stats());
+        }
+
+        // Drain: past every partition heal tick and jittered latency, the
+        // ledger closes with nothing in flight.
+        now += 64;
+        hub.step(Tick::new(now));
+        let stats = hub.stats();
+        prop_assert_eq!(stats.in_flight, 0);
+        prop_assert_eq!(stats.sent, stats.delivered + stats.lost + stats.dropped);
     }
 }
