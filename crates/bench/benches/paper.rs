@@ -302,24 +302,29 @@ fn multiplexing_pirte(ports: u32) -> Pirte {
 /// federated-scale experiment).
 fn bench_fleet_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("bench_fleet_tick");
-    for vehicles in [10usize, 50, 100] {
+    // 500 vehicles (2000 ECUs) is the "towards thousands of vehicles"
+    // datapoint: the tick must stay linear in fleet size, which only holds
+    // while the steady-state transport and server paths stay O(1) per
+    // vehicle and allocation-free.
+    for vehicles in [10usize, 50, 100, 500] {
         let mut scenario = FleetScenario::build(vehicles).expect("fleet builds");
+        let wave = if vehicles >= 500 { 50 } else { 10 };
         scenario
-            .install_telemetry(10)
+            .install_telemetry(wave)
             .expect("install waves complete");
         group.bench_with_input(BenchmarkId::new("tick", vehicles), &vehicles, |b, _| {
             b.iter(|| scenario.fleet.step().expect("fleet step"));
         });
     }
-    // Lossy hub: the same 50-vehicle tick over a transport losing 5 % of
-    // all federation messages, so the reliability plane's retransmission
-    // overhead (dedup window, outstanding scans, requeues) shows up in the
-    // perf trajectory next to the lossless datapoint.
-    {
+    // Lossy hub: the same tick over a transport losing 5 % of all
+    // federation messages, so the reliability plane's retransmission
+    // overhead (dedup window, deadline heap, requeues) shows up in the perf
+    // trajectory next to the lossless datapoints.
+    for vehicles in [50usize, 500] {
         use dynar_fes::transport::TransportConfig;
         use dynar_sim::scenario::fleet::FleetScenarioConfig;
         let mut scenario = FleetScenario::build_with(FleetScenarioConfig {
-            vehicles: 50,
+            vehicles,
             transport: TransportConfig {
                 latency_ticks: 1,
                 loss_probability: 0.05,
@@ -330,7 +335,7 @@ fn bench_fleet_tick(c: &mut Criterion) {
         .expect("lossy fleet builds");
         let user = scenario.user.clone();
         let app = dynar_foundation::ids::AppId::new(dynar_sim::scenario::fleet::APP_TELEMETRY);
-        let targets = scenario.fleet.vehicle_ids();
+        let targets = scenario.fleet.vehicle_ids().to_vec();
         scenario
             .fleet
             .deploy_wave(&user, &app, &targets)
@@ -340,9 +345,13 @@ fn bench_fleet_tick(c: &mut Criterion) {
             .fleet
             .run(horizon)
             .expect("lossy install converges");
-        group.bench_function("lossy_tick/50", |b| {
-            b.iter(|| scenario.fleet.step().expect("fleet step"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lossy_tick", vehicles),
+            &vehicles,
+            |b, _| {
+                b.iter(|| scenario.fleet.step().expect("fleet step"));
+            },
+        );
     }
     // End to end: build a 50-vehicle fleet, run the staged install wave and
     // drive 1000 ticks of mixed management + signal-chain load.

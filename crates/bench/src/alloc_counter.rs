@@ -1,0 +1,94 @@
+//! A counting global allocator for allocation-regression harnesses.
+//!
+//! The zero-allocation claims of the federation hot path ("a quiescent fleet
+//! tick touches the allocator zero times") are easy to regress silently: one
+//! stray `clone()` or `collect()` and the steady state allocates again
+//! without any test noticing.  [`CountingAllocator`] makes the claim
+//! checkable: install it as the `#[global_allocator]` of a test binary,
+//! wrap the code under measurement in [`CountingAllocator::count`], and
+//! assert on the returned allocation count.
+//!
+//! Counting is gated on an explicit enable flag so test-harness bookkeeping
+//! (output capture, panic machinery) outside the measured window does not
+//! pollute the numbers.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//!
+//! let (allocations, _) = CountingAllocator::count(|| fleet.step());
+//! assert_eq!(allocations, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocations while enabled.
+///
+/// Deallocations are intentionally not counted: the regression target is
+/// "no fresh heap traffic on the steady-state path", and frees of buffers
+/// acquired during warm-up are legitimate.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Starts counting allocations.
+    pub fn enable() {
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops counting allocations.
+    pub fn disable() {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+
+    /// Allocations observed since the last [`CountingAllocator::reset`].
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::SeqCst)
+    }
+
+    /// Resets the allocation counter to zero.
+    pub fn reset() {
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+    }
+
+    /// Runs `f` with counting enabled and returns `(allocations, result)`.
+    pub fn count<R>(f: impl FnOnce() -> R) -> (u64, R) {
+        Self::reset();
+        Self::enable();
+        let result = f();
+        Self::disable();
+        (Self::allocations(), result)
+    }
+}
+
+// SAFETY: every method delegates directly to `System`; the wrapper only
+// increments an atomic counter and never touches the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

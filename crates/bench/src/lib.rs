@@ -1,6 +1,14 @@
 //! Benchmark support crate.
 //!
-//! The actual benchmarks live in `benches/paper.rs`; this library only
-//! re-exports the workload builders they share with the integration tests.
+//! The actual benchmarks live in `benches/paper.rs`; this library holds the
+//! helpers they share with the integration tests, most notably the
+//! [`alloc_counter::CountingAllocator`] behind the zero-allocation
+//! regression harness.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+#[allow(unsafe_code)]
+pub mod alloc_counter;
+
+pub use alloc_counter::CountingAllocator;

@@ -90,6 +90,9 @@ pub struct Bus {
     arbitration_seq: u64,
     /// Frames transmitted and awaiting their delivery time.
     in_flight: Vec<PendingFrame>,
+    /// Scratch buffer `step` compacts `in_flight` through, so delivery never
+    /// reallocates the queue.
+    in_flight_scratch: Vec<PendingFrame>,
     /// ecu slot -> receive mailbox.
     mailboxes: Vec<VecDeque<Frame>>,
     stats: BusStats,
@@ -109,6 +112,7 @@ impl Bus {
             arbitration_queue: BTreeMap::new(),
             arbitration_seq: 0,
             in_flight: Vec::new(),
+            in_flight_scratch: Vec::new(),
             mailboxes: Vec::new(),
             stats: BusStats::default(),
             rng,
@@ -224,16 +228,17 @@ impl Bus {
             self.in_flight.push(pending);
         }
 
-        // Delivery of frames whose latency has elapsed.
-        let due: Vec<PendingFrame> = {
-            let (due, not_due): (Vec<_>, Vec<_>) = self
-                .in_flight
-                .drain(..)
-                .partition(|p| p.deliver_at <= now || p.deliver_at.elapsed_since(now) == 0);
-            self.in_flight = not_due;
-            due
-        };
-        for pending in due {
+        // Delivery of frames whose latency has elapsed: compact the
+        // in-flight queue in place through the reused scratch buffer
+        // (nothing reallocates on the per-tick path).
+        let mut scratch = std::mem::take(&mut self.in_flight_scratch);
+        debug_assert!(scratch.is_empty());
+        std::mem::swap(&mut self.in_flight, &mut scratch);
+        for pending in scratch.drain(..) {
+            if !(pending.deliver_at <= now || pending.deliver_at.elapsed_since(now) == 0) {
+                self.in_flight.push(pending);
+                continue;
+            }
             let latency = now.elapsed_since(pending.enqueued_at);
             if latency > self.stats.worst_latency {
                 self.stats.worst_latency = latency;
@@ -257,6 +262,7 @@ impl Bus {
                 self.stats.unrouted += 1;
             }
         }
+        self.in_flight_scratch = scratch;
     }
 
     /// Drains and returns every frame delivered to `ecu` so far.
@@ -265,6 +271,14 @@ impl Bus {
             .get(&ecu)
             .map(|slot| self.mailboxes[slot.index()].drain(..).collect())
             .unwrap_or_default()
+    }
+
+    /// Drains every frame delivered to `ecu` into a caller-owned buffer —
+    /// the allocation-free variant of [`Bus::receive`] for per-tick callers.
+    pub fn receive_into(&mut self, ecu: EcuId, into: &mut Vec<Frame>) {
+        if let Some(slot) = self.ecu_slots.get(&ecu) {
+            into.extend(self.mailboxes[slot.index()].drain(..));
+        }
     }
 
     /// Number of frames waiting in `ecu`'s mailbox.

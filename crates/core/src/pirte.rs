@@ -13,6 +13,7 @@
 //! per-signal dispatch never hashes over the plug-in list.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +31,15 @@ use crate::message::{Ack, AckStatus, InstallationPackage, ManagementMessage};
 use crate::plugin::{Plugin, PluginPort, PluginPortDirection, VmOutcome};
 use crate::swc::PluginSwcConfig;
 use crate::virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};
+
+/// Upper bound on the width of the direct-indexed plug-in-port owner table:
+/// ids below this index hit a flat `Vec` on the per-signal dispatch path,
+/// ids at or above it fall back to the interner lookup.  Port ids are
+/// assigned densely per ECU by the trusted server, so in practice every id
+/// sits far below this bound — it exists so a hostile or corrupted
+/// installation package carrying a huge id cannot make the table allocation
+/// explode.
+const DIRECT_PORT_OWNER_LIMIT: usize = 4096;
 
 /// Counters describing one PIRTE instance's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +70,11 @@ pub struct Pirte {
     ecu: EcuId,
     config: PluginSwcConfig,
     virtual_ports: HashMap<VirtualPortId, VirtualPortSpec>,
+    /// Virtual port -> shared SW-C port name, so every outbox entry is an
+    /// `Arc<str>` clone instead of a fresh `String` per routed signal.
+    swc_port_shared: HashMap<VirtualPortId, Arc<str>>,
+    /// The type I outbound port as a shared name (management ack path).
+    type_i_out_shared: Option<Arc<str>>,
     swc_port_to_virtual: HashMap<String, VirtualPortId>,
     plugins: Vec<Plugin>,
     plugin_index: HashMap<PluginId, usize>,
@@ -74,8 +89,16 @@ pub struct Pirte {
     /// plug-in-port slot -> `(plugin index, port index)` of the owning port
     /// (compiled on (un)install).
     port_owner: Vec<Option<(usize, usize)>>,
-    /// Values to be written on SW-C ports by the hosting component behaviour.
-    outbox: Vec<(String, Value)>,
+    /// Plug-in port id (raw index) -> owning `(plugin index, port index)`,
+    /// compiled on (un)install.  Port ids are SW-C-scope dense (the server
+    /// assigns them sequentially), so the per-signal dispatch indexes this
+    /// table directly instead of hashing the id through the interner; its
+    /// width is capped at [`DIRECT_PORT_OWNER_LIMIT`] (larger ids use the
+    /// interner fallback).
+    port_owner_by_id: Vec<Option<(usize, usize)>>,
+    /// Values to be written on SW-C ports by the hosting component behaviour
+    /// (`Arc<str>` port names shared with the static configuration).
+    outbox: Vec<(Arc<str>, Value)>,
     /// Values written by plug-ins on direct-linked (PLC `{Px-}`) ports,
     /// consumed by the embedding SW-C (the ECM uses this for outbound
     /// external data).
@@ -89,18 +112,23 @@ impl Pirte {
     /// Creates a PIRTE from the OEM-provided static configuration.
     pub fn new(ecu: EcuId, config: PluginSwcConfig) -> Self {
         let mut virtual_ports = HashMap::new();
+        let mut swc_port_shared = HashMap::new();
         let mut swc_port_to_virtual = HashMap::new();
         let mut virtual_slots = Interner::new();
         for spec in config.virtual_ports() {
             swc_port_to_virtual.insert(spec.swc_port().to_owned(), spec.id());
+            swc_port_shared.insert(spec.id(), Arc::<str>::from(spec.swc_port()));
             virtual_ports.insert(spec.id(), spec.clone());
             virtual_slots.intern(spec.id());
         }
+        let type_i_out_shared = config.type_i_out().map(Arc::<str>::from);
         let virtual_fanout = vec![Vec::new(); virtual_slots.capacity()];
         Pirte {
             ecu,
             config,
             virtual_ports,
+            swc_port_shared,
+            type_i_out_shared,
             swc_port_to_virtual,
             plugins: Vec::new(),
             plugin_index: HashMap::new(),
@@ -109,6 +137,7 @@ impl Pirte {
             virtual_fanout,
             plugin_port_slots: Interner::new(),
             port_owner: Vec::new(),
+            port_owner_by_id: Vec::new(),
             outbox: Vec::new(),
             direct_outputs: Vec::new(),
             log: EventLog::new(),
@@ -391,9 +420,10 @@ impl Pirte {
         if self.config.is_type_i_in(swc_port) {
             let message = ManagementMessage::from_value(&value)?;
             let responses = self.handle_management(message);
-            if let Some(out_port) = self.config.type_i_out().map(str::to_owned) {
+            if let Some(out_port) = self.type_i_out_shared.clone() {
                 for response in responses {
-                    self.outbox.push((out_port.clone(), response.to_value()));
+                    self.outbox
+                        .push((Arc::clone(&out_port), response.to_value()));
                 }
             }
             return Ok(());
@@ -412,24 +442,38 @@ impl Pirte {
             PortKind::TypeI => {
                 let message = ManagementMessage::from_value(&value)?;
                 let responses = self.handle_management(message);
-                if let Some(out_port) = self.config.type_i_out().map(str::to_owned) {
+                if let Some(out_port) = self.type_i_out_shared.clone() {
                     for response in responses {
-                        self.outbox.push((out_port.clone(), response.to_value()));
+                        self.outbox
+                            .push((Arc::clone(&out_port), response.to_value()));
                     }
                 }
                 Ok(())
             }
             PortKind::TypeII => {
-                let parts = value.as_list().ok_or_else(|| {
-                    DynarError::ProtocolViolation("type II payload is not a list".into())
-                })?;
-                let [recipient, payload] = parts else {
+                // Take the payload out of the envelope by value: the hot
+                // multiplexing path never clones the carried signal.
+                let Value::List(mut parts) = value else {
+                    return Err(DynarError::ProtocolViolation(
+                        "type II payload is not a list".into(),
+                    ));
+                };
+                if parts.len() != 2 {
                     return Err(DynarError::ProtocolViolation(
                         "type II payload must carry a recipient id and a value".into(),
                     ));
-                };
-                let recipient = PluginPortId::new(recipient.expect_i64()? as u32);
-                self.deliver_to_port(recipient, transform.apply(payload.clone()))
+                }
+                let payload = parts.pop().expect("length checked");
+                let recipient = parts.pop().expect("length checked").expect_i64()?;
+                // Same discipline as the downlink decoder: out-of-range ids
+                // are protocol violations, never silent truncations that
+                // could misdeliver into an unrelated port.
+                let recipient = u32::try_from(recipient).map_err(|_| {
+                    DynarError::ProtocolViolation(format!(
+                        "type II recipient id {recipient} out of range"
+                    ))
+                })?;
+                self.deliver_to_port(PluginPortId::new(recipient), transform.apply(payload))
             }
             PortKind::TypeIII => {
                 let transformed = transform.apply(value);
@@ -466,10 +510,16 @@ impl Pirte {
     /// Returns [`DynarError::NotFound`] if no installed plug-in owns the port
     /// and [`DynarError::PortDirection`] if the port is not a required port.
     pub fn deliver_to_port(&mut self, port: PluginPortId, value: Value) -> Result<()> {
-        let owner = self
-            .plugin_port_slots
-            .get(&port)
-            .and_then(|slot| self.port_owner[slot.index()]);
+        // The direct table covers the dense id range every realistic SW-C
+        // lives in; ids beyond [`DIRECT_PORT_OWNER_LIMIT`] fall back to the
+        // interner (correct for arbitrarily sparse ids, one hash slower).
+        let owner = if (port.index() as usize) < self.port_owner_by_id.len() {
+            self.port_owner_by_id[port.index() as usize]
+        } else {
+            self.plugin_port_slots
+                .get(&port)
+                .and_then(|slot| self.port_owner[slot.index()])
+        };
         let Some((plugin_index, port_index)) = owner else {
             return Err(DynarError::not_found("plug-in port", port));
         };
@@ -508,7 +558,15 @@ impl Pirte {
             }
         }
 
+        let id_width = self
+            .used_port_ids
+            .iter()
+            .map(|id| id.index() as usize + 1)
+            .filter(|&width| width <= DIRECT_PORT_OWNER_LIMIT)
+            .max()
+            .unwrap_or(0);
         self.port_owner = vec![None; self.plugin_port_slots.capacity()];
+        self.port_owner_by_id = vec![None; id_width];
         self.virtual_fanout = vec![Vec::new(); self.virtual_slots.capacity()];
         for (plugin_index, plugin) in self.plugins.iter().enumerate() {
             for (port_index, port) in plugin.ports().iter().enumerate() {
@@ -517,6 +575,9 @@ impl Pirte {
                     .get(&port.id)
                     .expect("interned above");
                 self.port_owner[slot.index()] = Some((plugin_index, port_index));
+                if let Some(entry) = self.port_owner_by_id.get_mut(port.id.index() as usize) {
+                    *entry = Some((plugin_index, port_index));
+                }
                 if port.direction == PluginPortDirection::Required {
                     if let LinkTarget::VirtualPort(virtual_id) = port.link {
                         if let Some(virtual_slot) = self.virtual_slots.get(&virtual_id) {
@@ -555,6 +616,34 @@ impl Pirte {
         let live_owners = self.port_owner.iter().flatten().count();
         if live_owners != self.plugin_port_slots.len() {
             return false;
+        }
+        // The direct-indexed owner table mirrors the slot-indexed one for
+        // every live id inside the direct range: exactly those ids own
+        // entries, each pointing at its port (ids beyond the range are
+        // served by the interner fallback checked above).
+        let direct_ids = self
+            .used_port_ids
+            .iter()
+            .filter(|id| (id.index() as usize) < self.port_owner_by_id.len())
+            .count();
+        if self.port_owner_by_id.iter().flatten().count() != direct_ids {
+            return false;
+        }
+        for id in &self.used_port_ids {
+            if (id.index() as usize) >= self.port_owner_by_id.len() {
+                continue;
+            }
+            let owns = self.port_owner_by_id[id.index() as usize].is_some_and(
+                |(plugin_index, port_index)| {
+                    self.plugins
+                        .get(plugin_index)
+                        .and_then(|p| p.ports().get(port_index))
+                        .is_some_and(|p| p.id == *id)
+                },
+            );
+            if !owns {
+                return false;
+            }
         }
         // The fan-out tables match a fresh compile.
         let mut expected = vec![Vec::new(); self.virtual_slots.capacity()];
@@ -595,9 +684,21 @@ impl Pirte {
     }
 
     /// Drains the SW-C port writes produced by plug-ins (and management
-    /// acknowledgements) since the last call.
+    /// acknowledgements) since the last call.  Allocates a `String` per
+    /// entry for convenience; the per-tick management pass uses
+    /// [`Pirte::drain_outbox_into`] instead.
     pub fn drain_outbox(&mut self) -> Vec<(String, Value)> {
-        std::mem::take(&mut self.outbox)
+        self.outbox
+            .drain(..)
+            .map(|(port, value)| (port.as_ref().to_owned(), value))
+            .collect()
+    }
+
+    /// Drains the outbox into a caller-owned buffer (swap when empty, append
+    /// otherwise) — the allocation-free variant of [`Pirte::drain_outbox`]
+    /// for the per-tick management pass.
+    pub fn drain_outbox_into(&mut self, into: &mut Vec<(Arc<str>, Value)>) {
+        dynar_foundation::buffers::drain_swap(&mut self.outbox, into);
     }
 
     /// Drains the values plug-ins wrote on directly linked ports.
@@ -618,13 +719,15 @@ impl Pirte {
                 continue;
             }
             slots += 1;
-            let plugin_id = self.plugins[index].id().clone();
             let outcome = {
-                let (vm, ports) = self.plugins[index].split_for_run();
+                // The plug-in id is borrowed for the host, not cloned — a
+                // slot grant must not allocate.
+                let (plugin_id, vm, ports) = self.plugins[index].split_for_run();
                 let mut host = PirteHost {
-                    plugin: &plugin_id,
+                    plugin: plugin_id,
                     ports,
                     virtual_ports: &self.virtual_ports,
+                    swc_ports: &self.swc_port_shared,
                     outbox: &mut self.outbox,
                     direct_outputs: &mut self.direct_outputs,
                     log: &mut self.log,
@@ -648,7 +751,7 @@ impl Pirte {
                         self.now,
                         Severity::Error,
                         "pirte",
-                        format!("plug-in {} faulted: {err}", plugin_id.name()),
+                        format!("plug-in {} faulted: {err}", self.plugins[index].id().name()),
                     );
                     self.plugins[index].record_vm_outcome(VmOutcome::Faulted);
                 }
@@ -672,7 +775,8 @@ struct PirteHost<'a> {
     plugin: &'a PluginId,
     ports: &'a mut [PluginPort],
     virtual_ports: &'a HashMap<VirtualPortId, VirtualPortSpec>,
-    outbox: &'a mut Vec<(String, Value)>,
+    swc_ports: &'a HashMap<VirtualPortId, Arc<str>>,
+    outbox: &'a mut Vec<(Arc<str>, Value)>,
     direct_outputs: &'a mut Vec<(PluginId, PluginPortId, Value)>,
     log: &'a mut EventLog,
     stats: &'a mut PirteStats,
@@ -732,8 +836,8 @@ impl PortHost for PirteHost<'_> {
                         expected: "to-system",
                     });
                 }
-                self.outbox
-                    .push((spec.swc_port().to_owned(), spec.transform().apply(value)));
+                let port = Arc::clone(&self.swc_ports[&virtual_id]);
+                self.outbox.push((port, spec.transform().apply(value)));
             }
             LinkTarget::RemotePluginPort { via, remote } => {
                 let spec = self
@@ -744,7 +848,8 @@ impl PortHost for PirteHost<'_> {
                     Value::I64(i64::from(remote.index())),
                     spec.transform().apply(value),
                 ]);
-                self.outbox.push((spec.swc_port().to_owned(), wrapped));
+                self.outbox
+                    .push((Arc::clone(&self.swc_ports[&via]), wrapped));
             }
         }
         Ok(())
@@ -932,6 +1037,63 @@ mod tests {
             2,
             "20 reinstall cycles reuse the same two port slots"
         );
+    }
+
+    /// Regression: the direct-indexed owner table is capped — a package
+    /// carrying an enormous port id (hostile or corrupted) must neither
+    /// explode the table allocation nor lose routability: such ids are
+    /// served by the interner fallback.
+    #[test]
+    fn huge_port_ids_use_the_interner_fallback_not_a_huge_table() {
+        let mut pirte = pirte();
+        let huge = PluginPortId::new(u32::MAX - 1);
+        let binary = assemble("big", "yield\nhalt").unwrap().to_bytes();
+        let context = InstallationContext::new(
+            PortInitContext::new().with_port("ext", huge, PluginPortDirection::Required),
+            PortLinkContext::new().with_link(huge, LinkTarget::Direct),
+        );
+        pirte
+            .install(InstallationPackage::new(
+                PluginId::new("big"),
+                AppId::new("a"),
+                binary,
+                context,
+            ))
+            .unwrap();
+        assert!(
+            pirte.verify_compiled_routes(),
+            "tables stay consistent with an out-of-range id"
+        );
+        pirte.deliver_to_port(huge, Value::I64(1)).unwrap();
+        assert_eq!(
+            pirte.read_plugin_port(&PluginId::new("big"), huge),
+            Some(Value::I64(1)),
+            "delivery works through the fallback path"
+        );
+        assert!(
+            pirte
+                .deliver_to_port(PluginPortId::new(u32::MAX), Value::I64(2))
+                .is_err(),
+            "unknown huge ids still report not-found"
+        );
+    }
+
+    /// Regression: a negative (or > `u32::MAX`) type II recipient id must be
+    /// a protocol violation, not an `as u32` wrap into a *valid* — but
+    /// wrong — port id (the same hardening the downlink decoder has).
+    #[test]
+    fn out_of_range_type_ii_recipients_are_rejected_not_truncated() {
+        let mut pirte = pirte();
+        pirte.install(forwarder_package("fwd")).unwrap();
+        for bad in [-1i64, i64::from(u32::MAX) + 11] {
+            let err = pirte
+                .dispatch_swc_input("s3_in", Value::List(vec![Value::I64(bad), Value::I64(7)]))
+                .unwrap_err();
+            assert!(
+                matches!(err, DynarError::ProtocolViolation(_)),
+                "recipient {bad}: expected protocol violation, got {err:?}"
+            );
+        }
     }
 
     #[test]

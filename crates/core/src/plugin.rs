@@ -225,8 +225,8 @@ impl Plugin {
 
     /// Splits the plug-in into the parts needed to run one VM slot: the
     /// machine itself and the port table the host adapter works on.
-    pub(crate) fn split_for_run(&mut self) -> (&mut Vm, &mut [PluginPort]) {
-        (&mut self.vm, &mut self.ports)
+    pub(crate) fn split_for_run(&mut self) -> (&PluginId, &mut Vm, &mut [PluginPort]) {
+        (&self.id, &mut self.vm, &mut self.ports)
     }
 
     /// Records that the VM faulted or finished, updating the life-cycle

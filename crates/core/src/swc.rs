@@ -14,7 +14,8 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use dynar_foundation::error::{DynarError, Result};
-use dynar_foundation::ids::EcuId;
+use dynar_foundation::ids::{EcuId, PortId};
+use dynar_foundation::value::Value;
 use dynar_rte::component::{ComponentBehavior, RteContext, RunnableSpec, SwcDescriptor, Trigger};
 use dynar_rte::port::{PortDirection, PortSpec};
 use dynar_vm::budget::Budget;
@@ -220,6 +221,11 @@ impl PluginSwcConfig {
 pub struct PluginSwc {
     pirte: SharedPirte,
     input_ports: Vec<String>,
+    /// Input ports resolved to their RTE ids on the first runnable pass, so
+    /// the per-tick drain skips the name lookup.
+    resolved_inputs: Option<Vec<(String, PortId)>>,
+    /// Reused outbox drain buffer (ping-pongs with the PIRTE's outbox).
+    outbox_scratch: Vec<(Arc<str>, Value)>,
 }
 
 impl PluginSwc {
@@ -232,6 +238,8 @@ impl PluginSwc {
             PluginSwc {
                 pirte: Arc::clone(&pirte),
                 input_ports,
+                resolved_inputs: None,
+                outbox_scratch: Vec::new(),
             },
             pirte,
         )
@@ -242,23 +250,44 @@ impl PluginSwc {
         Arc::clone(&self.pirte)
     }
 
+    /// Resolves input port names to their RTE port ids, for the id-based
+    /// [`PluginSwc::pirte_pass`].  Called once per behaviour instance (the
+    /// wiring never changes after registration).
+    pub fn resolve_inputs(
+        input_ports: &[String],
+        ctx: &RteContext<'_>,
+    ) -> Result<Vec<(String, PortId)>> {
+        input_ports
+            .iter()
+            .map(|name| Ok((name.clone(), ctx.port_id(name)?)))
+            .collect()
+    }
+
     /// One management pass: feed inputs to the PIRTE, grant execution slots,
     /// flush outputs.  Exposed for reuse by the ECM behaviour.
+    ///
+    /// `input_ports` carries pre-resolved port ids (see
+    /// [`PluginSwc::resolve_inputs`]) and `outbox_scratch` a reusable drain
+    /// buffer, keeping the steady-state pass free of allocations and name
+    /// lookups.
     pub fn pirte_pass(
         pirte: &SharedPirte,
-        input_ports: &[String],
+        input_ports: &[(String, PortId)],
+        outbox_scratch: &mut Vec<(Arc<str>, Value)>,
         ctx: &mut RteContext<'_>,
     ) -> Result<()> {
         let mut pirte = pirte.lock();
-        for port in input_ports {
-            while let Some(value) = ctx.receive(port)? {
-                if let Err(err) = pirte.dispatch_swc_input(port, value) {
-                    pirte.log_warning(format!("dropped input on {port}: {err}"));
+        for (name, port_id) in input_ports {
+            while let Some(value) = ctx.receive_by_id(*port_id)? {
+                if let Err(err) = pirte.dispatch_swc_input(name, value) {
+                    pirte.log_warning(format!("dropped input on {name}: {err}"));
                 }
             }
         }
         pirte.run_plugins();
-        for (port, value) in pirte.drain_outbox() {
+        debug_assert!(outbox_scratch.is_empty());
+        pirte.drain_outbox_into(outbox_scratch);
+        for (port, value) in outbox_scratch.drain(..) {
             if let Err(err) = ctx.write(&port, value) {
                 pirte.log_warning(format!("failed to write SW-C port {port}: {err}"));
             }
@@ -269,7 +298,13 @@ impl PluginSwc {
 
 impl ComponentBehavior for PluginSwc {
     fn on_runnable(&mut self, _runnable: &str, ctx: &mut RteContext<'_>) -> Result<()> {
-        Self::pirte_pass(&self.pirte, &self.input_ports, ctx)
+        if self.resolved_inputs.is_none() {
+            self.resolved_inputs = Some(Self::resolve_inputs(&self.input_ports, ctx)?);
+        }
+        let resolved = self.resolved_inputs.take().expect("resolved above");
+        let result = Self::pirte_pass(&self.pirte, &resolved, &mut self.outbox_scratch, ctx);
+        self.resolved_inputs = Some(resolved);
+        result
     }
 }
 

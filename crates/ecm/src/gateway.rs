@@ -8,6 +8,12 @@
 //! re-applied — reinstall-on-retry stays idempotent — but its cached
 //! acknowledgements are replayed, so a lost uplink ack is recovered by the
 //! next retransmission.
+//!
+//! Cached acknowledgements are stored as already-encoded [`Payload`] buffers:
+//! caching, queueing and every replay share one allocation, and a replayed
+//! ack is byte-identical to the original by construction.  The per-tick poll
+//! paths drain the transport through a reused buffer and read SW-C ports by
+//! pre-resolved ids, so a quiescent gateway pass allocates nothing.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -19,9 +25,11 @@ use dynar_core::message::ManagementMessage;
 use dynar_core::pirte::Pirte;
 use dynar_core::swc::{PluginSwc, PluginSwcConfig, SharedPirte};
 use dynar_fes::device::{decode_device_message, encode_device_message};
-use dynar_fes::transport::TransportHub;
+use dynar_fes::transport::{EndpointName, TransportHub};
 use dynar_foundation::error::Result;
-use dynar_foundation::ids::{EcuId, PluginId, PluginPortId};
+use dynar_foundation::ids::{EcuId, PluginId, PluginPortId, PortId};
+use dynar_foundation::payload::Payload;
+use dynar_foundation::value::Value;
 use dynar_rte::component::{ComponentBehavior, RteContext, SwcDescriptor};
 
 /// A shared handle to the external transport hub, used by the ECM and the
@@ -44,8 +52,9 @@ pub const DEDUP_WINDOW: u64 = 1024;
 struct SeenDownlink {
     /// The plug-in the downlink addressed (used to attach remote acks).
     plugin: Option<PluginId>,
-    /// Uplink responses the downlink produced, replayed on duplicates.
-    acks: Vec<ManagementMessage>,
+    /// Encoded uplink responses the downlink produced, replayed verbatim on
+    /// duplicates (same shared buffer as the original send).
+    acks: Vec<Payload>,
 }
 
 /// Static configuration of the ECM SW-C.
@@ -124,10 +133,19 @@ pub struct EcmSwc {
     pirte: SharedPirte,
     hub: SharedHub,
     pirte_inputs: Vec<String>,
+    /// `pirte_inputs` resolved to RTE port ids on the first runnable pass.
+    resolved_inputs: Option<Vec<(String, PortId)>>,
+    /// `EcmConfig::type_i_in` resolved to `(config index, port id)` pairs on
+    /// the first pass (unresolvable ports are warned about and skipped).
+    resolved_type_i_in: Option<Vec<(usize, PortId)>>,
+    /// Reused drain buffer for the external transport mailbox.
+    rx_scratch: Vec<(EndpointName, Payload)>,
+    /// Reused drain buffer for the PIRTE outbox.
+    outbox_scratch: Vec<(std::sync::Arc<str>, Value)>,
     /// External routes learned from the ECCs of installed plug-ins.
     ecc_routes: Vec<ExternalRoute>,
-    /// Uplink messages waiting for the next runnable pass.
-    pending_uplink: Vec<ManagementMessage>,
+    /// Encoded uplink messages waiting for the next runnable pass.
+    pending_uplink: Vec<Payload>,
     /// Recently applied downlink sequence ids and their cached acks
     /// (bounded by [`DEDUP_WINDOW`]).
     seen_seqs: BTreeMap<u64, SeenDownlink>,
@@ -149,6 +167,10 @@ impl EcmSwc {
                 pirte: Arc::clone(&pirte),
                 hub,
                 pirte_inputs,
+                resolved_inputs: None,
+                resolved_type_i_in: None,
+                rx_scratch: Vec::new(),
+                outbox_scratch: Vec::new(),
                 ecc_routes: Vec::new(),
                 pending_uplink: Vec::new(),
                 seen_seqs: BTreeMap::new(),
@@ -189,12 +211,21 @@ impl EcmSwc {
             .find(|r| r.ecu == ecu && r.port == port)
     }
 
-    fn send_uplink(&self, message: &ManagementMessage) {
+    /// Encodes `message` once, sends it uplink and returns the shared buffer
+    /// (for the dedup-replay cache).
+    fn send_uplink(&self, message: &ManagementMessage) -> Payload {
+        let payload: Payload = crate::protocol::encode_uplink(message).into();
+        self.send_uplink_payload(&payload);
+        payload
+    }
+
+    /// Sends an already-encoded uplink payload (a refcount bump, no copy).
+    fn send_uplink_payload(&self, payload: &Payload) {
         let mut hub = self.hub.lock();
         let _ = hub.send(
             &self.config.own_endpoint,
             &self.config.server_endpoint,
-            crate::protocol::encode_uplink(message),
+            payload.clone(),
         );
     }
 
@@ -210,13 +241,13 @@ impl EcmSwc {
     }
 
     /// Applies a management message to the local PIRTE, returning the
-    /// responses it produced (already sent uplink).
-    fn handle_local_management(&mut self, message: ManagementMessage) -> Vec<ManagementMessage> {
+    /// encoded responses it produced (already sent uplink).
+    fn handle_local_management(&mut self, message: ManagementMessage) -> Vec<Payload> {
         let responses = self.pirte.lock().handle_management(message);
-        for response in &responses {
-            self.send_uplink(response);
-        }
         responses
+            .iter()
+            .map(|response| self.send_uplink(response))
+            .collect()
     }
 
     /// Relays a management message towards a remote plug-in SW-C.
@@ -232,7 +263,7 @@ impl EcmSwc {
         ctx: &mut RteContext<'_>,
         target: EcuId,
         message: &ManagementMessage,
-    ) -> Option<Vec<ManagementMessage>> {
+    ) -> Option<Vec<Payload>> {
         match self.config.type_i_out.get(&target) {
             Some(port) => {
                 if let Err(err) = ctx.write(port, message.to_value()) {
@@ -258,8 +289,7 @@ impl EcmSwc {
                         "ECM has no route to {target}"
                     )),
                 });
-                self.send_uplink(&failure);
-                Some(vec![failure])
+                Some(vec![self.send_uplink(&failure)])
             }
         }
     }
@@ -279,8 +309,9 @@ impl EcmSwc {
 
     /// Attaches an acknowledgement arriving from a remote SW-C to the most
     /// recent downlink that addressed its plug-in and has no cached response
-    /// yet, so a later duplicate delivery can replay it.
-    fn cache_remote_ack(&mut self, message: &ManagementMessage) {
+    /// yet, so a later duplicate delivery can replay it (`encoded` is the
+    /// buffer the ack was — or is about to be — sent uplink as).
+    fn cache_remote_ack(&mut self, message: &ManagementMessage, encoded: &Payload) {
         let ManagementMessage::Ack(ack) = message else {
             return;
         };
@@ -290,25 +321,30 @@ impl EcmSwc {
             .rev()
             .find(|e| e.plugin.as_ref() == Some(&ack.plugin) && e.acks.is_empty())
         {
-            entry.acks.push(message.clone());
+            entry.acks.push(encoded.clone());
         }
     }
 
     fn poll_external(&mut self, ctx: &mut RteContext<'_>) {
-        let messages = {
+        // Drain through the reused scratch buffer: an idle tick touches no
+        // allocator, a busy one reuses last tick's capacity.
+        let mut messages = std::mem::take(&mut self.rx_scratch);
+        debug_assert!(messages.is_empty());
+        {
             let mut hub = self.hub.lock();
-            hub.receive(&self.config.own_endpoint)
-        };
-        for (from, payload) in messages {
-            if from == self.config.server_endpoint {
+            hub.drain_into(&self.config.own_endpoint, &mut messages);
+        }
+        for (from, payload) in messages.drain(..) {
+            if *from == *self.config.server_endpoint {
                 match crate::protocol::decode_downlink(&payload) {
                     Ok((target, seq, message)) => {
                         if let Some(seen) = self.seen_seqs.get(&seq) {
                             // Duplicate delivery (server retransmission):
                             // don't re-apply, replay the cached acks so a
-                            // lost uplink is recovered.
-                            for ack in seen.acks.clone() {
-                                self.send_uplink(&ack);
+                            // lost uplink is recovered (byte-identical shared
+                            // buffers, no re-encoding).
+                            for ack in &seen.acks {
+                                self.send_uplink_payload(ack);
                             }
                             continue;
                         }
@@ -359,15 +395,37 @@ impl EcmSwc {
                 }
             }
         }
+        self.rx_scratch = messages;
     }
 
     fn poll_remote_swcs(&mut self, ctx: &mut RteContext<'_>) {
-        for port in self.config.type_i_in.clone() {
+        if self.resolved_type_i_in.is_none() {
+            // Resolve once, keeping the configuration index alongside each
+            // id so diagnostics name the right port; a port that fails to
+            // resolve (a configuration error) is reported instead of being
+            // silently dropped.
+            let mut resolved = Vec::with_capacity(self.config.type_i_in.len());
+            for (index, port) in self.config.type_i_in.iter().enumerate() {
+                match ctx.port_id(port) {
+                    Ok(id) => resolved.push((index, id)),
+                    Err(err) => self
+                        .pirte
+                        .lock()
+                        .log_warning(format!("cannot resolve type I port {port}: {err}")),
+                }
+            }
+            self.resolved_type_i_in = Some(resolved);
+        }
+        // Take/restore around the loop: the resolved list cannot stay
+        // borrowed while `self` handles the received messages.
+        let resolved = self.resolved_type_i_in.take().expect("resolved above");
+        for &(index, port_id) in &resolved {
             loop {
-                let value = match ctx.receive(&port) {
+                let value = match ctx.receive_by_id(port_id) {
                     Ok(Some(value)) => value,
                     Ok(None) => break,
                     Err(err) => {
+                        let port = &self.config.type_i_in[index];
                         self.pirte
                             .lock()
                             .log_warning(format!("failed to read {port}: {err}"));
@@ -376,8 +434,9 @@ impl EcmSwc {
                 };
                 match ManagementMessage::from_value(&value) {
                     Ok(message @ ManagementMessage::Ack(_)) => {
-                        self.cache_remote_ack(&message);
-                        self.pending_uplink.push(message);
+                        let encoded: Payload = crate::protocol::encode_uplink(&message).into();
+                        self.cache_remote_ack(&message, &encoded);
+                        self.pending_uplink.push(encoded);
                     }
                     Ok(ManagementMessage::OutboundData {
                         message_id,
@@ -387,15 +446,18 @@ impl EcmSwc {
                         "unexpected uplink message type {}",
                         other.type_id()
                     )),
-                    Err(err) => self
-                        .pirte
-                        .lock()
-                        .log_warning(format!("malformed uplink on {port}: {err}")),
+                    Err(err) => {
+                        let port = &self.config.type_i_in[index];
+                        self.pirte
+                            .lock()
+                            .log_warning(format!("malformed uplink on {port}: {err}"));
+                    }
                 }
             }
         }
-        for message in std::mem::take(&mut self.pending_uplink) {
-            self.send_uplink(&message);
+        self.resolved_type_i_in = Some(resolved);
+        for payload in std::mem::take(&mut self.pending_uplink) {
+            self.send_uplink_payload(&payload);
         }
     }
 
@@ -436,7 +498,13 @@ impl ComponentBehavior for EcmSwc {
         // 2. Acks and outbound data from remote plug-in SW-Cs.
         self.poll_remote_swcs(ctx);
         // 3. The ECM's own plug-ins (it is a plug-in SW-C itself).
-        PluginSwc::pirte_pass(&self.pirte, &self.pirte_inputs, ctx)?;
+        if self.resolved_inputs.is_none() {
+            self.resolved_inputs = Some(PluginSwc::resolve_inputs(&self.pirte_inputs, ctx)?);
+        }
+        let resolved = self.resolved_inputs.take().expect("resolved above");
+        let result = PluginSwc::pirte_pass(&self.pirte, &resolved, &mut self.outbox_scratch, ctx);
+        self.resolved_inputs = Some(resolved);
+        result?;
         // 4. Outbound external data produced by local plug-ins.
         self.flush_local_direct_outputs();
         Ok(())

@@ -22,7 +22,10 @@
 //!
 //! hub.send("server", "vehicle-1", b"hello".to_vec())?;
 //! hub.step(Tick::new(1));
-//! assert_eq!(hub.receive("vehicle-1"), vec![(String::from("server"), b"hello".to_vec())]);
+//! let delivered = hub.receive("vehicle-1");
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].0, "server");
+//! assert_eq!(delivered[0].1, b"hello".to_vec());
 //! # Ok(())
 //! # }
 //! ```

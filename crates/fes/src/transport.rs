@@ -6,6 +6,21 @@
 //! addressed, ordered, possibly delayed or lost datagrams — without real
 //! sockets, so simulations stay deterministic.
 //!
+//! # The two planes
+//!
+//! Like the signal-routing planes of the RTE and the PIRTE, the hub separates
+//! a **slow registration plane** from the **fast delivery plane**:
+//!
+//! * Registration, unregistration and fault installation are keyed by
+//!   endpoint *names* (`&str`) — the API the trusted server, ECMs and
+//!   devices use.  Each registered endpoint is interned onto a dense
+//!   [`Slot`].
+//! * Every per-message operation works on slots: mailboxes are a flat
+//!   `Vec` indexed by endpoint slot, the fault table is keyed by
+//!   `(Slot, Slot)` link pairs, and payloads are shared [`Payload`]
+//!   buffers.  A steady-state `send`/`step`/[`TransportHub::drain_into`]
+//!   round allocates nothing.
+//!
 //! # Fault injection
 //!
 //! On top of the global [`TransportConfig`] loss model the hub supports
@@ -26,15 +41,25 @@
 //!
 //! holds at every tick ([`TransportStats::is_conserved`]); once the hub is
 //! quiescent (`in_flight == 0`) this is the `sent == delivered + lost +
-//! dropped` identity the chaos scenarios assert.
+//! dropped` identity the chaos scenarios assert.  Unregistering an endpoint
+//! voids the messages still in flight towards it: they are counted as
+//! `dropped` when they come due, and a later re-registration (which may reuse
+//! the freed slot) never receives them.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::intern::Slot;
+use dynar_foundation::payload::Payload;
 use dynar_foundation::time::Tick;
+
+/// The shared endpoint name attached to delivered messages (an `Arc<str>`
+/// clone of the name captured at send time — no allocation per message).
+pub type EndpointName = Arc<str>;
 
 /// Configuration of the simulated external network.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,10 +146,75 @@ impl LinkFault {
 
 #[derive(Debug, Clone)]
 struct InFlight {
-    from: String,
-    to: String,
-    payload: Vec<u8>,
+    /// The sender's name, captured at send time (survives unregistration).
+    from_name: EndpointName,
+    from: Slot,
+    to: Slot,
+    /// Destination-slot generation at send time: if the endpoint unregisters
+    /// (and the slot is possibly reused), the generations no longer match and
+    /// the message is counted as dropped instead of delivered to a stranger.
+    to_generation: u32,
+    payload: Payload,
     deliver_at: Tick,
+}
+
+/// The slow-plane endpoint registry: names interned onto dense slots, with a
+/// per-slot generation so in-flight traffic cannot leak across
+/// unregister/re-register cycles.
+#[derive(Debug, Default)]
+struct EndpointRegistry {
+    by_name: HashMap<EndpointName, Slot>,
+    /// slot -> name (`None` for freed slots).
+    names: Vec<Option<EndpointName>>,
+    /// slot -> generation, bumped on unregister.
+    generations: Vec<u32>,
+    free: Vec<Slot>,
+}
+
+impl EndpointRegistry {
+    fn get(&self, name: &str) -> Option<Slot> {
+        self.by_name.get(name).copied()
+    }
+
+    fn name_of(&self, slot: Slot) -> Option<&EndpointName> {
+        self.names.get(slot.index()).and_then(Option::as_ref)
+    }
+
+    fn generation(&self, slot: Slot) -> u32 {
+        self.generations[slot.index()]
+    }
+
+    fn register(&mut self, name: &str) -> (Slot, bool) {
+        if let Some(slot) = self.get(name) {
+            return (slot, false);
+        }
+        let name: EndpointName = Arc::from(name);
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = Slot::from_raw(u32::try_from(self.names.len()).expect("slot overflow"));
+                self.names.push(None);
+                self.generations.push(0);
+                slot
+            }
+        };
+        self.names[slot.index()] = Some(Arc::clone(&name));
+        self.by_name.insert(name, slot);
+        (slot, true)
+    }
+
+    fn unregister(&mut self, name: &str) -> Option<Slot> {
+        let slot = self.by_name.remove(name)?;
+        self.names[slot.index()] = None;
+        self.generations[slot.index()] += 1;
+        self.free.push(slot);
+        Some(slot)
+    }
+
+    /// Width of the dense tables (live + freed slots).
+    fn capacity(&self) -> usize {
+        self.names.len()
+    }
 }
 
 /// A hub of named endpoints exchanging addressed byte messages.
@@ -133,12 +223,27 @@ struct InFlight {
 #[derive(Debug)]
 pub struct TransportHub {
     config: TransportConfig,
-    mailboxes: HashMap<String, VecDeque<(String, Vec<u8>)>>,
+    endpoints: EndpointRegistry,
+    /// endpoint slot -> mailbox (`None` for unregistered slots).
+    mailboxes: Vec<Option<VecDeque<(EndpointName, Payload)>>>,
     in_flight: Vec<InFlight>,
+    /// Scratch buffer `step` compacts `in_flight` through, so the fast plane
+    /// never reallocates the queue.
+    in_flight_scratch: Vec<InFlight>,
+    /// Earliest `deliver_at` of any in-flight message: lets a quiescent
+    /// `step` return in O(1).
+    next_due: Option<Tick>,
+    /// Slow plane: faults keyed by endpoint names (installable before the
+    /// endpoints register).
     faults: HashMap<(String, String), LinkFault>,
+    /// Fast plane: faults of currently registered link pairs, compiled from
+    /// `faults` on every registration or fault change.
+    compiled_faults: HashMap<(Slot, Slot), LinkFault>,
     /// Latest scheduled delivery per directed link, clamping jittered
-    /// latencies so per-link FIFO order always holds.
-    last_scheduled: HashMap<(String, String), Tick>,
+    /// latencies so per-link FIFO order always holds.  Only consulted while
+    /// faults are installed — without jitter, constant latency keeps
+    /// per-link schedules monotone by construction.
+    last_scheduled: HashMap<(Slot, Slot), Tick>,
     stats: TransportStats,
     rng: StdRng,
     now: Tick,
@@ -150,9 +255,13 @@ impl TransportHub {
         let rng = StdRng::seed_from_u64(config.seed);
         TransportHub {
             config,
-            mailboxes: HashMap::new(),
+            endpoints: EndpointRegistry::default(),
+            mailboxes: Vec::new(),
             in_flight: Vec::new(),
+            in_flight_scratch: Vec::new(),
+            next_due: None,
             faults: HashMap::new(),
+            compiled_faults: HashMap::new(),
             last_scheduled: HashMap::new(),
             stats: TransportStats::default(),
             rng,
@@ -165,22 +274,63 @@ impl TransportHub {
         self.stats
     }
 
-    /// Registers an endpoint (idempotent).
-    pub fn register(&mut self, name: impl Into<String>) {
-        self.mailboxes.entry(name.into()).or_default();
+    /// Registers an endpoint (idempotent), assigning it a dense slot.
+    pub fn register(&mut self, name: impl AsRef<str>) {
+        let (slot, fresh) = self.endpoints.register(name.as_ref());
+        if slot.index() >= self.mailboxes.len() {
+            self.mailboxes.resize_with(slot.index() + 1, || None);
+        }
+        if fresh {
+            self.mailboxes[slot.index()] = Some(VecDeque::new());
+            self.recompile_faults();
+        }
+    }
+
+    /// Unregisters an endpoint, voiding the messages still in flight towards
+    /// it (they count as `dropped` when they come due) and discarding
+    /// whatever sat undrained in its mailbox.  Returns `true` if the
+    /// endpoint was registered.
+    ///
+    /// The freed slot may be reused by a later registration; the per-slot
+    /// generation guarantees the new tenant never sees the old tenant's
+    /// traffic.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let Some(slot) = self.endpoints.unregister(name) else {
+            return false;
+        };
+        self.mailboxes[slot.index()] = None;
+        // The slot may be reused by a later registration: purge the per-link
+        // FIFO clamps keyed by it, or the next tenant's traffic would be
+        // clamped against the departed endpoint's delivery schedule.
+        self.last_scheduled
+            .retain(|(from, to), _| *from != slot && *to != slot);
+        self.recompile_faults();
+        true
     }
 
     /// Returns `true` if the endpoint is registered.
     pub fn is_registered(&self, name: &str) -> bool {
-        self.mailboxes.contains_key(name)
+        self.endpoints.get(name).is_some()
     }
 
     // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
 
+    /// Recompiles the slot-keyed fault table from the name-keyed slow plane.
+    /// Called on registration changes and fault changes only.
+    fn recompile_faults(&mut self) {
+        self.compiled_faults.clear();
+        for ((from, to), fault) in &self.faults {
+            if let (Some(f), Some(t)) = (self.endpoints.get(from), self.endpoints.get(to)) {
+                self.compiled_faults.insert((f, t), fault.clone());
+            }
+        }
+    }
+
     /// Installs (or replaces) the fault model of the directed link
-    /// `from → to`.
+    /// `from → to`.  The endpoints do not need to be registered yet; the
+    /// fault applies once they are.
     pub fn set_link_fault(
         &mut self,
         from: impl Into<String>,
@@ -188,11 +338,13 @@ impl TransportHub {
         fault: LinkFault,
     ) {
         self.faults.insert((from.into(), to.into()), fault);
+        self.recompile_faults();
     }
 
     /// Removes the fault model of the directed link `from → to`.
     pub fn clear_link_fault(&mut self, from: &str, to: &str) {
         self.faults.remove(&(from.to_owned(), to.to_owned()));
+        self.recompile_faults();
     }
 
     /// The fault currently installed on `from → to`, if any.
@@ -210,6 +362,7 @@ impl TransportHub {
                 .or_default()
                 .partition_until = Some(heal_at);
         }
+        self.recompile_faults();
     }
 
     /// Heals a partition between `a` and `b` immediately (both directions).
@@ -219,6 +372,7 @@ impl TransportHub {
                 fault.partition_until = None;
             }
         }
+        self.recompile_faults();
     }
 
     /// Returns `true` if `from → to` is partitioned at the hub's current time.
@@ -235,39 +389,65 @@ impl TransportHub {
     /// Sends a message from one endpoint to another.
     ///
     /// The message always enters the in-flight set; loss and partitions are
-    /// applied when it comes due in [`TransportHub::step`].
+    /// applied when it comes due in [`TransportHub::step`].  Pass a
+    /// [`Payload`] directly to share an already-encoded buffer (the
+    /// retransmission path does), or a `Vec<u8>` to wrap fresh bytes.
     ///
     /// # Errors
     ///
     /// Returns [`DynarError::TransportClosed`] if either endpoint is unknown.
-    pub fn send(&mut self, from: &str, to: &str, payload: Vec<u8>) -> Result<()> {
-        if !self.mailboxes.contains_key(from) {
+    pub fn send(&mut self, from: &str, to: &str, payload: impl Into<Payload>) -> Result<()> {
+        let Some(from_slot) = self.endpoints.get(from) else {
             return Err(DynarError::TransportClosed(from.to_owned()));
-        }
-        if !self.mailboxes.contains_key(to) {
+        };
+        let Some(to_slot) = self.endpoints.get(to) else {
             return Err(DynarError::TransportClosed(to.to_owned()));
-        }
+        };
         self.stats.sent += 1;
         self.stats.in_flight += 1;
 
-        let link = (from.to_owned(), to.to_owned());
-        let jitter = if self.faults.is_empty() {
+        let link = (from_slot, to_slot);
+        let no_faults = self.compiled_faults.is_empty();
+        let jitter = if no_faults {
             0
         } else {
-            match self.faults.get(&link).map(|f| f.jitter_ticks) {
+            match self.compiled_faults.get(&link).map(|f| f.jitter_ticks) {
                 Some(jitter) if jitter > 0 => self.rng.gen_range_u64(0, jitter + 1),
                 _ => 0,
             }
         };
         let mut deliver_at = self.now.advance(self.config.latency_ticks + jitter);
-        if let Some(&last) = self.last_scheduled.get(&link) {
-            deliver_at = deliver_at.max(last);
+        // FIFO clamp: needed once jitter can reorder a link — and kept alive
+        // after the last fault clears, while jittered messages scheduled
+        // into the future may still be in flight (the map only ever gains
+        // entries while faults are installed, so the never-faulted fast path
+        // skips it entirely).
+        if !no_faults || !self.last_scheduled.is_empty() {
+            match self.last_scheduled.entry(link) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    deliver_at = deliver_at.max(*entry.get());
+                    entry.insert(deliver_at);
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    // Only track fresh links while faults are installed; a
+                    // fault-free link's schedule is monotone by construction.
+                    if !no_faults {
+                        entry.insert(deliver_at);
+                    }
+                }
+            }
         }
-        self.last_scheduled.insert(link, deliver_at);
+        self.next_due = Some(match self.next_due {
+            Some(due) => due.min(deliver_at),
+            None => deliver_at,
+        });
+        let from_name = Arc::clone(self.endpoints.name_of(from_slot).expect("slot is live"));
         self.in_flight.push(InFlight {
-            from: from.to_owned(),
-            to: to.to_owned(),
-            payload,
+            from_name,
+            from: from_slot,
+            to: to_slot,
+            to_generation: self.endpoints.generation(to_slot),
+            payload: payload.into(),
             deliver_at,
         });
         Ok(())
@@ -277,20 +457,59 @@ impl TransportHub {
     /// elapsed: messages on a partitioned link or picked by the loss model
     /// are counted as lost, messages towards an unregistered mailbox as
     /// dropped, everything else is delivered.
+    ///
+    /// A quiescent step — nothing due — is O(1) and allocation-free; a busy
+    /// step compacts the in-flight queue in place through a reused scratch
+    /// buffer instead of reallocating it.
     pub fn step(&mut self, now: Tick) {
         self.now = now;
-        let (due, pending): (Vec<_>, Vec<_>) =
-            self.in_flight.drain(..).partition(|m| m.deliver_at <= now);
-        self.in_flight = pending;
-        let no_faults = self.faults.is_empty();
-        for message in due {
+        if self.in_flight.is_empty() {
+            // Quiescent: retire fault entries that can never act again — a
+            // healed or expired partition with no loss/jitter override is a
+            // structural no-op (heal() clears the field; expiry is decided
+            // against the monotone clock).  Without this, one partition
+            // would keep `compiled_faults` non-empty forever and the
+            // clamp-free send fast path would never return.
+            if !self.faults.is_empty() {
+                let before = self.faults.len();
+                self.faults.retain(|_, fault| {
+                    fault.loss_probability.is_some()
+                        || fault.jitter_ticks > 0
+                        || fault.partition_until.is_some_and(|until| until > now)
+                });
+                if self.faults.len() != before {
+                    self.recompile_faults();
+                }
+            }
+            // Any surviving FIFO-clamp entries are provably inert (every
+            // recorded delivery time has passed), so drop them too.
+            if self.compiled_faults.is_empty() && !self.last_scheduled.is_empty() {
+                self.last_scheduled.clear();
+            }
+            return;
+        }
+        if self.next_due.is_some_and(|due| due > now) {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.in_flight_scratch);
+        debug_assert!(scratch.is_empty());
+        std::mem::swap(&mut self.in_flight, &mut scratch);
+        let mut next_due: Option<Tick> = None;
+        let no_faults = self.compiled_faults.is_empty();
+        for message in scratch.drain(..) {
+            if message.deliver_at > now {
+                next_due = Some(match next_due {
+                    Some(due) => due.min(message.deliver_at),
+                    None => message.deliver_at,
+                });
+                self.in_flight.push(message);
+                continue;
+            }
             self.stats.in_flight -= 1;
-            // The fault lookup needs owned keys; skip it (and its two String
-            // allocations per message) on the common fault-free hub.
             let fault = if no_faults {
                 None
             } else {
-                self.faults.get(&(message.from.clone(), message.to.clone()))
+                self.compiled_faults.get(&(message.from, message.to))
             };
             if fault.is_some_and(|f| f.is_partitioned(now)) {
                 self.stats.lost += 1;
@@ -303,33 +522,70 @@ impl TransportHub {
                 self.stats.lost += 1;
                 continue;
             }
-            match self.mailboxes.get_mut(&message.to) {
+            let live = self.endpoints.generation(message.to) == message.to_generation;
+            match self.mailboxes[message.to.index()].as_mut().filter(|_| live) {
                 Some(mailbox) => {
-                    mailbox.push_back((message.from, message.payload));
+                    mailbox.push_back((message.from_name, message.payload));
                     self.stats.delivered += 1;
                 }
                 None => self.stats.dropped += 1,
             }
         }
+        self.next_due = next_due;
+        self.in_flight_scratch = scratch;
+    }
+
+    /// Drains every message delivered to `endpoint` into `into`, as
+    /// `(sender, payload)` pairs in delivery order, without allocating:
+    /// callers reuse their buffer across ticks.  An empty mailbox leaves
+    /// `into` untouched.
+    pub fn drain_into(&mut self, endpoint: &str, into: &mut Vec<(EndpointName, Payload)>) {
+        let Some(slot) = self.endpoints.get(endpoint) else {
+            return;
+        };
+        if let Some(mailbox) = self.mailboxes[slot.index()].as_mut() {
+            into.extend(mailbox.drain(..));
+        }
     }
 
     /// Drains every message delivered to `endpoint`, as `(sender, payload)`
     /// pairs in delivery order.
-    pub fn receive(&mut self, endpoint: &str) -> Vec<(String, Vec<u8>)> {
-        self.mailboxes
-            .get_mut(endpoint)
-            .map(|mb| mb.drain(..).collect())
-            .unwrap_or_default()
+    ///
+    /// Convenience wrapper over [`TransportHub::drain_into`] that allocates a
+    /// fresh vector (and a `String` per sender); steady-state consumers — the
+    /// fleet scheduler, the ECM gateway — use `drain_into` instead.
+    pub fn receive(&mut self, endpoint: &str) -> Vec<(String, Payload)> {
+        let Some(slot) = self.endpoints.get(endpoint) else {
+            return Vec::new();
+        };
+        match self.mailboxes[slot.index()].as_mut() {
+            Some(mailbox) => mailbox
+                .drain(..)
+                .map(|(from, payload)| (from.as_ref().to_owned(), payload))
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Number of messages waiting for `endpoint`.
     pub fn pending_for(&self, endpoint: &str) -> usize {
-        self.mailboxes.get(endpoint).map(VecDeque::len).unwrap_or(0)
+        self.endpoints
+            .get(endpoint)
+            .and_then(|slot| self.mailboxes[slot.index()].as_ref())
+            .map(VecDeque::len)
+            .unwrap_or(0)
     }
 
     /// Number of accepted messages that have not come due yet.
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Width of the dense endpoint tables (live + freed slots): bounded by
+    /// the high-water mark of simultaneously registered endpoints, not by
+    /// register/unregister churn.
+    pub fn endpoint_slot_capacity(&self) -> usize {
+        self.endpoints.capacity()
     }
 }
 
@@ -344,12 +600,19 @@ mod tests {
         hub
     }
 
+    fn received(hub: &mut TransportHub, endpoint: &str) -> Vec<(String, Vec<u8>)> {
+        hub.receive(endpoint)
+            .into_iter()
+            .map(|(from, payload)| (from, payload.as_slice().to_vec()))
+            .collect()
+    }
+
     #[test]
     fn messages_flow_between_registered_endpoints() {
         let mut hub = hub();
         hub.send("a", "b", vec![1, 2]).unwrap();
         hub.step(Tick::new(1));
-        assert_eq!(hub.receive("b"), vec![("a".to_string(), vec![1, 2])]);
+        assert_eq!(received(&mut hub, "b"), vec![("a".to_string(), vec![1, 2])]);
         assert!(hub.receive("b").is_empty());
         assert_eq!(hub.stats().delivered, 1);
         assert!(hub.stats().is_conserved());
@@ -444,18 +707,77 @@ mod tests {
 
     #[test]
     fn unregistered_destinations_count_as_dropped() {
-        // A mailbox that disappears between send and step: simulate by
-        // sending to an endpoint registered on a different hub view.  The
-        // hub cannot unregister today, so exercise the accounting through
-        // the internal path: send to "b", then steal its mailbox.
         let mut hub = hub();
         hub.send("a", "b", vec![1]).unwrap();
-        hub.mailboxes.remove("b");
+        assert!(hub.unregister("b"));
         hub.step(Tick::new(1));
         let stats = hub.stats();
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.delivered, 0);
         assert!(stats.is_conserved());
+        assert!(!hub.unregister("b"), "already unregistered");
+    }
+
+    #[test]
+    fn unregister_voids_in_flight_traffic_for_the_slot_successor() {
+        let mut hub = hub();
+        hub.send("a", "b", vec![0xB]).unwrap();
+
+        // "b" leaves; "c" registers and (with slot reuse) may take b's slot.
+        hub.unregister("b");
+        hub.register("c");
+        hub.send("a", "c", vec![0xC]).unwrap();
+        hub.step(Tick::new(1));
+
+        // The in-flight message for the departed "b" never reaches "c".
+        assert_eq!(
+            received(&mut hub, "c"),
+            vec![("a".to_string(), vec![0xC])],
+            "only c's own traffic arrives"
+        );
+        let stats = hub.stats();
+        assert_eq!(stats.dropped, 1, "b's message is dropped, not misrouted");
+        assert!(stats.is_conserved());
+    }
+
+    #[test]
+    fn reregistered_endpoint_gets_a_fresh_mailbox_not_stale_messages() {
+        let mut hub = hub();
+        hub.send("a", "b", vec![1]).unwrap();
+        hub.step(Tick::new(1));
+        assert_eq!(hub.pending_for("b"), 1, "delivered but not yet drained");
+
+        // Unregister with an undrained mailbox, then re-register: the new
+        // incarnation must not see the old tenant's messages…
+        hub.unregister("b");
+        hub.register("b");
+        assert_eq!(hub.pending_for("b"), 0);
+        assert!(hub.receive("b").is_empty());
+
+        // …but fresh traffic flows normally again.
+        hub.send("a", "b", vec![2]).unwrap();
+        hub.step(Tick::new(2));
+        assert_eq!(received(&mut hub, "b"), vec![("a".to_string(), vec![2])]);
+        assert!(hub.stats().is_conserved());
+    }
+
+    #[test]
+    fn register_unregister_churn_keeps_slot_tables_bounded() {
+        let mut hub = hub();
+        for round in 0..100u32 {
+            let name = format!("ecm-{round}");
+            hub.register(&name);
+            hub.send("a", &name, vec![round as u8]).unwrap();
+            hub.step(Tick::new(u64::from(round) + 1));
+            assert_eq!(hub.pending_for(&name), 1);
+            hub.unregister(&name);
+        }
+        assert!(
+            hub.endpoint_slot_capacity() <= 3,
+            "churn reuses freed slots: capacity {}",
+            hub.endpoint_slot_capacity()
+        );
+        assert!(hub.stats().is_conserved());
     }
 
     #[test]
@@ -472,7 +794,7 @@ mod tests {
         hub.send("a", "b", vec![3]).unwrap();
         hub.step(Tick::new(10));
         assert!(!hub.is_partitioned("a", "b"));
-        assert_eq!(hub.receive("b"), vec![("a".to_string(), vec![3])]);
+        assert_eq!(received(&mut hub, "b"), vec![("a".to_string(), vec![3])]);
         assert!(hub.stats().is_conserved());
     }
 
@@ -502,6 +824,76 @@ mod tests {
     }
 
     #[test]
+    fn fifo_clamp_survives_clearing_the_jitter_fault() {
+        let mut hub = TransportHub::new(TransportConfig {
+            latency_ticks: 1,
+            ..TransportConfig::default()
+        });
+        hub.register("a");
+        hub.register("b");
+        hub.set_link_fault("a", "b", LinkFault::jittery(20));
+        // Jittered sends may be scheduled well into the future...
+        for i in 0..10u8 {
+            hub.send("a", "b", vec![i]).unwrap();
+        }
+        // ...then the fault is cleared while they are still in flight.  The
+        // messages sent now (base latency only) must not overtake them.
+        hub.clear_link_fault("a", "b");
+        for i in 10..20u8 {
+            hub.send("a", "b", vec![i]).unwrap();
+        }
+        let mut received = Vec::new();
+        for t in 1..=32u64 {
+            hub.step(Tick::new(t));
+            received.extend(hub.receive("b").into_iter().map(|(_, p)| p[0]));
+        }
+        assert_eq!(received.len(), 20);
+        assert!(
+            received.windows(2).all(|w| w[0] < w[1]),
+            "per-link FIFO must survive fault clearing: {received:?}"
+        );
+    }
+
+    #[test]
+    fn slot_reuse_does_not_inherit_the_predecessors_fifo_clamp() {
+        let mut hub = TransportHub::new(TransportConfig {
+            latency_ticks: 1,
+            ..TransportConfig::default()
+        });
+        hub.register("a");
+        hub.register("b");
+        // Keep some fault installed so the clamp path stays active, and
+        // schedule a far-future delivery on a -> b.
+        hub.set_link_fault("a", "b", LinkFault::jittery(50));
+        for _ in 0..32 {
+            hub.send("a", "b", vec![1]).unwrap();
+        }
+        // b departs; c reuses the freed slot.  c's first message must be
+        // delivered at base latency, not clamped to b's schedule.
+        hub.unregister("b");
+        hub.register("c");
+        hub.send("a", "c", vec![9]).unwrap();
+        hub.step(Tick::new(1));
+        assert_eq!(
+            hub.pending_for("c"),
+            1,
+            "c's traffic is not delayed by the departed endpoint's clamp"
+        );
+        assert!(hub.stats().is_conserved());
+    }
+
+    #[test]
+    fn faults_installed_before_registration_apply_after_it() {
+        let mut hub = TransportHub::new(TransportConfig::default());
+        hub.set_link_fault("x", "y", LinkFault::lossy(1.0));
+        hub.register("x");
+        hub.register("y");
+        hub.send("x", "y", vec![1]).unwrap();
+        hub.step(Tick::new(1));
+        assert_eq!(hub.stats().lost, 1, "pre-installed fault is live");
+    }
+
+    #[test]
     fn clear_link_fault_restores_the_global_model() {
         let mut hub = hub();
         hub.set_link_fault("a", "b", LinkFault::lossy(1.0));
@@ -510,6 +902,40 @@ mod tests {
         hub.send("a", "b", vec![1]).unwrap();
         hub.step(Tick::new(1));
         assert_eq!(hub.stats().delivered, 1);
+    }
+
+    #[test]
+    fn drain_into_reuses_the_caller_buffer() {
+        let mut hub = hub();
+        let mut buffer = Vec::new();
+        hub.drain_into("b", &mut buffer);
+        assert!(buffer.is_empty(), "empty mailbox leaves the buffer alone");
+
+        hub.send("a", "b", vec![7]).unwrap();
+        hub.step(Tick::new(1));
+        hub.drain_into("b", &mut buffer);
+        assert_eq!(buffer.len(), 1);
+        assert_eq!(buffer[0].0.as_ref(), "a");
+        assert_eq!(buffer[0].1, vec![7u8]);
+
+        buffer.clear();
+        hub.drain_into("ghost", &mut buffer);
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn payloads_are_shared_not_copied() {
+        let mut hub = hub();
+        let payload = Payload::from(vec![1, 2, 3]);
+        hub.send("a", "b", payload.clone()).unwrap();
+        hub.step(Tick::new(1));
+        let delivered = hub.receive("b");
+        assert_eq!(delivered[0].1, payload);
+        assert_eq!(
+            delivered[0].1.as_slice().as_ptr(),
+            payload.as_slice().as_ptr(),
+            "delivery hands back the same buffer"
+        );
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Scratch-buffer helpers for allocation-free per-tick drains.
+//!
+//! The hot paths drain producer queues into caller-owned buffers every tick.
+//! Swapping the two vectors (instead of moving elements or collecting a
+//! fresh vector) lets the buffers ping-pong: both keep their capacity, and a
+//! steady-state drain never touches the allocator.
+
+/// Drains `src` into `into`: swaps the buffers when `into` is empty (the
+/// steady-state, allocation-free path), appends otherwise.
+///
+/// Callers that reuse `into` across ticks and drain it fully between calls
+/// get the ping-pong behaviour automatically.
+///
+/// # Example
+/// ```
+/// use dynar_foundation::buffers::drain_swap;
+///
+/// let mut queue = vec![1, 2, 3];
+/// let mut scratch: Vec<i32> = Vec::new();
+/// drain_swap(&mut queue, &mut scratch);
+/// assert_eq!(scratch, [1, 2, 3]);
+/// assert!(queue.is_empty());
+/// ```
+pub fn drain_swap<T>(src: &mut Vec<T>, into: &mut Vec<T>) {
+    if into.is_empty() {
+        std::mem::swap(src, into);
+    } else {
+        into.append(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swaps_into_an_empty_buffer_without_moving_elements() {
+        let mut src = vec![1, 2];
+        let capacity = src.capacity();
+        let mut into: Vec<i32> = Vec::new();
+        drain_swap(&mut src, &mut into);
+        assert_eq!(into, [1, 2]);
+        assert_eq!(into.capacity(), capacity, "the buffer itself moved");
+        assert!(src.is_empty());
+    }
+
+    #[test]
+    fn appends_into_a_non_empty_buffer() {
+        let mut src = vec![3, 4];
+        let mut into = vec![1, 2];
+        drain_swap(&mut src, &mut into);
+        assert_eq!(into, [1, 2, 3, 4]);
+        assert!(src.is_empty());
+    }
+}

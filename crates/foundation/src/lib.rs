@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffers;
 pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod intern;
 pub mod log;
+pub mod payload;
 pub mod time;
 pub mod value;
 
@@ -37,5 +39,6 @@ pub use ids::{
     AppId, EcuId, PluginId, PluginPortId, PortId, SwcId, UserId, VehicleId, VirtualPortId,
 };
 pub use intern::{Interner, Slot, SlotSet};
+pub use payload::Payload;
 pub use time::Tick;
 pub use value::Value;

@@ -5,7 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use dynar_foundation::error::{DynarError, Result};
-use dynar_foundation::ids::SwcId;
+use dynar_foundation::ids::{PortId, SwcId};
 use dynar_foundation::value::Value;
 
 use crate::port::PortSpec;
@@ -290,6 +290,53 @@ impl<'a> RteContext<'a> {
     pub fn pending(&mut self, port: &str) -> Result<usize> {
         let port_id = self.rte.port_id(self.swc, port)?;
         self.rte.pending_on(port_id)
+    }
+
+    // ------------------------------------------------------------------
+    // Pre-resolved port access
+    //
+    // The name-based calls above resolve `port name -> PortId` on every
+    // invocation.  Behaviours on the per-tick hot path (the plug-in SW-C's
+    // PIRTE pass, the ECM gateway) resolve their ports once and then use the
+    // id-based variants, skipping the name hash entirely.
+    // ------------------------------------------------------------------
+
+    /// Resolves one of the component's ports to its stable [`PortId`], for
+    /// use with the `*_by_id` calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown port name.
+    pub fn port_id(&self, port: &str) -> Result<PortId> {
+        self.rte.port_id(self.swc, port)
+    }
+
+    /// Writes a value on a pre-resolved provided port (`Rte_Write`).
+    ///
+    /// # Errors
+    ///
+    /// As [`RteContext::write`].
+    pub fn write_by_id(&mut self, port: PortId, value: Value) -> Result<()> {
+        self.rte.write_port(port, value)
+    }
+
+    /// Consumes the next value of a pre-resolved required port
+    /// (`Rte_Receive`).
+    ///
+    /// # Errors
+    ///
+    /// As [`RteContext::receive`].
+    pub fn receive_by_id(&mut self, port: PortId) -> Result<Option<Value>> {
+        self.rte.take_port(port)
+    }
+
+    /// Number of values waiting on a pre-resolved port.
+    ///
+    /// # Errors
+    ///
+    /// As [`RteContext::pending`].
+    pub fn pending_by_id(&mut self, port: PortId) -> Result<usize> {
+        self.rte.pending_on(port)
     }
 }
 

@@ -1,6 +1,14 @@
 //! One simulated electronic control unit: kernel, RTE and trigger wiring.
+//!
+//! The trigger/dispatch plane is wired for a steady state that allocates
+//! nothing: runnable names are shared `Arc<str>`s (activating a periodic
+//! runnable is a refcount bump, not a `String` clone), pending runnables
+//! live in per-component vectors indexed by component slot, and the
+//! data-received scan reuses scratch buffers instead of collecting fresh
+//! ones every tick.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dynar_bus::frame::CanId;
 use dynar_foundation::error::{DynarError, Result};
@@ -37,8 +45,9 @@ impl std::fmt::Debug for ComponentEntry {
 
 #[derive(Debug, Clone)]
 struct PeriodicRunnable {
-    swc: SwcId,
-    runnable: String,
+    /// Index into `components` (and `pending_runnables`).
+    component: usize,
+    runnable: Arc<str>,
     period: u64,
     next_due: Tick,
 }
@@ -57,8 +66,15 @@ pub struct Ecu {
     component_of_swc: HashMap<SwcId, usize>,
     component_by_name: HashMap<String, SwcId>,
     periodic: Vec<PeriodicRunnable>,
-    data_triggers: HashMap<PortId, Vec<(SwcId, String)>>,
-    pending_runnables: HashMap<SwcId, Vec<String>>,
+    /// Port -> runnables it triggers, as `(component index, runnable name)`.
+    data_triggers: HashMap<PortId, Vec<(usize, Arc<str>)>>,
+    /// Pending runnable activations per component (indexed like
+    /// `components`); drained through `dispatch_scratch` so the buffers
+    /// ping-pong instead of reallocating.
+    pending_runnables: Vec<Vec<Arc<str>>>,
+    dispatch_scratch: Vec<Arc<str>>,
+    /// Reused buffer for the data-received port scan.
+    ports_scratch: Vec<PortId>,
     clock: Clock,
     started: bool,
     next_local: u16,
@@ -79,7 +95,9 @@ impl Ecu {
             component_by_name: HashMap::new(),
             periodic: Vec::new(),
             data_triggers: HashMap::new(),
-            pending_runnables: HashMap::new(),
+            pending_runnables: Vec::new(),
+            dispatch_scratch: Vec::new(),
+            ports_scratch: Vec::new(),
             clock: Clock::new(),
             started: false,
             next_local: 0,
@@ -151,33 +169,42 @@ impl Ecu {
             .with_max_activations(16),
         )?;
 
+        // Stage the trigger wiring first: `component` indices must only be
+        // committed once the whole descriptor resolved.
+        let index = self.components.len();
+        let mut staged_periodic = Vec::new();
+        let mut staged_data = Vec::new();
         for runnable in descriptor.runnables() {
             match runnable.trigger() {
                 Trigger::Periodic(period) => {
                     let period = (*period).max(1);
-                    self.periodic.push(PeriodicRunnable {
-                        swc,
-                        runnable: runnable.name().to_owned(),
+                    staged_periodic.push(PeriodicRunnable {
+                        component: index,
+                        runnable: Arc::from(runnable.name()),
                         period,
                         next_due: self.clock.now().advance(period),
                     });
                 }
                 Trigger::DataReceived(port) => {
                     let port_id = self.rte.port_id(swc, port)?;
-                    self.data_triggers
-                        .entry(port_id)
-                        .or_default()
-                        .push((swc, runnable.name().to_owned()));
+                    staged_data.push((port_id, Arc::<str>::from(runnable.name())));
                 }
                 Trigger::OnDemand => {}
             }
         }
+        self.periodic.append(&mut staged_periodic);
+        for (port_id, runnable) in staged_data {
+            self.data_triggers
+                .entry(port_id)
+                .or_default()
+                .push((index, runnable));
+        }
 
-        let index = self.components.len();
         self.component_of_task.insert(task, index);
         self.component_of_swc.insert(swc, index);
         self.component_by_name
             .insert(descriptor.name().to_owned(), swc);
+        self.pending_runnables.push(Vec::new());
         self.components.push(ComponentEntry {
             swc,
             name: descriptor.name().to_owned(),
@@ -282,6 +309,13 @@ impl Ecu {
         self.rte.drain_outbound()
     }
 
+    /// Drains the outbound values into a caller-owned buffer — the
+    /// allocation-free variant of [`Ecu::drain_outbound`] for per-tick
+    /// callers.
+    pub fn drain_outbound_into(&mut self, into: &mut Vec<(CanId, Value)>) {
+        self.rte.drain_outbound_into(into);
+    }
+
     /// Advances the ECU by one tick: start-up on the first call, periodic
     /// trigger evaluation, data-received trigger evaluation and dispatching
     /// of all activated tasks.
@@ -316,17 +350,15 @@ impl Ecu {
         let now = self.clock.step();
         self.kernel.advance(now);
 
-        // Periodic triggers.
+        // Periodic triggers: activating a runnable clones an `Arc<str>` into
+        // the component's pending vector — no `String` allocation per tick.
         for periodic in &mut self.periodic {
             if periodic.next_due <= now {
                 periodic.next_due = periodic.next_due.advance(periodic.period);
-                self.pending_runnables
-                    .entry(periodic.swc)
-                    .or_default()
-                    .push(periodic.runnable.clone());
-                if let Some(&index) = self.component_of_swc.get(&periodic.swc) {
-                    let _ = self.kernel.activate(self.components[index].task);
-                }
+                self.pending_runnables[periodic.component].push(Arc::clone(&periodic.runnable));
+                let _ = self
+                    .kernel
+                    .activate(self.components[periodic.component].task);
             }
         }
 
@@ -343,20 +375,35 @@ impl Ecu {
                 continue;
             };
             let swc = self.components[index].swc;
-            let runnables = self.pending_runnables.remove(&swc).unwrap_or_default();
-            for runnable in runnables {
-                let entry = &mut self.components[index];
-                let mut ctx = RteContext::new(&mut self.rte, swc);
-                if let Err(err) = entry.behavior.on_runnable(&runnable, &mut ctx) {
+            // Drain the component's pending runnables through the scratch
+            // buffer: the two vectors ping-pong, so neither reallocates in
+            // steady state (a runnable may re-trigger its own component; the
+            // fresh activations land in the now-empty pending vector exactly
+            // as the old remove-then-run flow did).
+            let mut scratch = std::mem::take(&mut self.dispatch_scratch);
+            debug_assert!(scratch.is_empty());
+            std::mem::swap(&mut scratch, &mut self.pending_runnables[index]);
+            for runnable in scratch.drain(..) {
+                let result = {
+                    let entry = &mut self.components[index];
+                    let mut ctx = RteContext::new(&mut self.rte, swc);
+                    entry.behavior.on_runnable(&runnable, &mut ctx)
+                };
+                if let Err(err) = result {
                     self.log.record(
                         now,
                         Severity::Error,
                         "ecu",
-                        format!("runnable {runnable} of {} failed: {err}", entry.name),
+                        format!(
+                            "runnable {runnable} of {} failed: {err}",
+                            self.components[index].name
+                        ),
                     );
-                    self.behaviour_errors.push((swc, runnable.clone(), err));
+                    self.behaviour_errors
+                        .push((swc, runnable.as_ref().to_owned(), err));
                 }
             }
+            self.dispatch_scratch = scratch;
             self.kernel.terminate(task)?;
             // Runnables may have produced data for other local components.
             self.collect_data_triggers();
@@ -377,19 +424,22 @@ impl Ecu {
     }
 
     fn collect_data_triggers(&mut self) {
-        for port in self.rte.drain_data_received() {
-            if let Some(triggers) = self.data_triggers.get(&port) {
-                for (swc, runnable) in triggers.clone() {
-                    let pending = self.pending_runnables.entry(swc).or_default();
-                    if !pending.contains(&runnable) {
-                        pending.push(runnable);
-                    }
-                    if let Some(&index) = self.component_of_swc.get(&swc) {
-                        let _ = self.kernel.activate(self.components[index].task);
-                    }
+        debug_assert!(self.ports_scratch.is_empty());
+        self.rte.drain_data_received_into(&mut self.ports_scratch);
+        for i in 0..self.ports_scratch.len() {
+            let port = self.ports_scratch[i];
+            let Some(triggers) = self.data_triggers.get(&port) else {
+                continue;
+            };
+            for (component, runnable) in triggers {
+                let pending = &mut self.pending_runnables[*component];
+                if !pending.iter().any(|r| **r == **runnable) {
+                    pending.push(Arc::clone(runnable));
                 }
+                let _ = self.kernel.activate(self.components[*component].task);
             }
         }
+        self.ports_scratch.clear();
     }
 }
 

@@ -62,7 +62,10 @@ struct PortRuntime {
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Rte {
     components: HashMap<SwcId, SwcDescriptor>,
-    port_names: HashMap<(SwcId, String), PortId>,
+    /// SW-C -> port name -> port id.  Nested (rather than keyed by a
+    /// `(SwcId, String)` pair) so name-based lookups on the signal path
+    /// borrow the query string instead of allocating a key per call.
+    port_names: HashMap<SwcId, HashMap<String, PortId>>,
     // --- Slow plane: the declarative wiring -----------------------------
     /// provided port -> locally connected required ports.
     connections: HashMap<PortId, Vec<PortId>>,
@@ -126,7 +129,9 @@ impl Rte {
             self.local_routes.push(Vec::new());
             self.tx_routes.push(None);
             self.port_names
-                .insert((swc, spec.name().to_owned()), port_id);
+                .entry(swc)
+                .or_default()
+                .insert(spec.name().to_owned(), port_id);
         }
         self.components.insert(swc, descriptor.clone());
         Ok(())
@@ -157,7 +162,8 @@ impl Rte {
     /// Returns [`DynarError::NotFound`] if the SW-C or port is unknown.
     pub fn port_id(&self, swc: SwcId, name: &str) -> Result<PortId> {
         self.port_names
-            .get(&(swc, name.to_owned()))
+            .get(&swc)
+            .and_then(|ports| ports.get(name))
             .copied()
             .ok_or_else(|| DynarError::not_found("port", format!("{swc}:{name}")))
     }
@@ -432,10 +438,25 @@ impl Rte {
         std::mem::take(&mut self.outbound)
     }
 
+    /// Drains the values queued for off-ECU transmission into a caller-owned
+    /// buffer.  When `into` is empty the buffers are swapped, so a caller
+    /// that reuses its buffer across ticks keeps both allocations warm and
+    /// the per-tick drain allocation-free.
+    pub fn drain_outbound_into(&mut self, into: &mut Vec<(CanId, Value)>) {
+        dynar_foundation::buffers::drain_swap(&mut self.outbound, into);
+    }
+
     /// Drains the list of required ports that received data since the last
     /// call (used by the ECU to fire data-received triggers).
     pub fn drain_data_received(&mut self) -> Vec<PortId> {
         std::mem::take(&mut self.data_received)
+    }
+
+    /// Drains the data-received port list into a caller-owned buffer (swap
+    /// when empty, append otherwise) — the allocation-free variant of
+    /// [`Rte::drain_data_received`].
+    pub fn drain_data_received_into(&mut self, into: &mut Vec<PortId>) {
+        dynar_foundation::buffers::drain_swap(&mut self.data_received, into);
     }
 
     /// Recompiles the fast plane from the slow plane.  Called on every

@@ -10,8 +10,19 @@
 //! escalates into a typed [`DynarError::RetryExhausted`] plus a
 //! [`DeploymentStatus::Failed`] record — a lossy link degrades into an
 //! explicit failure, never a silent hang.
+//!
+//! # Hot-path discipline
+//!
+//! [`TrustedServer::tick`] runs once per fleet tick for every vehicle, so its
+//! steady state must not scale with the number of outstanding operations:
+//! each vehicle keeps a deadline-ordered min-heap over its outstanding
+//! packages (lazily invalidated when acknowledgements settle entries), and a
+//! quiescent vehicle costs one heap peek.  Encoded downlink payloads are
+//! shared [`Payload`] buffers: the retransmission cache, the downlink queue
+//! and the transport all hold the same allocation.
 
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use dynar_core::context::{
     ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
@@ -21,6 +32,7 @@ use dynar_core::message::{
 };
 use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, UserId, VehicleId};
+use dynar_foundation::payload::Payload;
 use dynar_foundation::time::Tick;
 
 use crate::model::{
@@ -68,8 +80,9 @@ struct OutstandingDownlink {
     plugin: PluginId,
     app: AppId,
     kind: PendingKind,
-    /// The encoded envelope, retransmitted verbatim (same sequence id).
-    payload: Vec<u8>,
+    /// The encoded envelope, retransmitted verbatim (same sequence id) — a
+    /// shared buffer, so caching and every retransmission are refcount bumps.
+    payload: Payload,
     attempts: u32,
     deadline: Tick,
 }
@@ -120,11 +133,18 @@ struct VehicleRecord {
     pending: HashMap<AppId, PendingOperation>,
     failed: HashMap<AppId, String>,
     next_port_id: HashMap<EcuId, u32>,
-    downlink: Vec<Vec<u8>>,
+    downlink: Vec<Payload>,
     /// Next downlink sequence id (monotonically increasing per vehicle).
     next_seq: u64,
     /// Pushed packages whose acknowledgement is still outstanding.
     outstanding: Vec<OutstandingDownlink>,
+    /// Deadline-ordered view over `outstanding`: `(deadline, seq)` pairs,
+    /// lazily invalidated.  An entry is live only while `outstanding` still
+    /// holds its `seq` with exactly that deadline; acknowledgements simply
+    /// remove from `outstanding` and let the heap entry die on pop.  A
+    /// quiescent [`TrustedServer::tick`] is therefore one `peek` per vehicle,
+    /// independent of how many packages are outstanding.
+    deadlines: BinaryHeap<Reverse<(Tick, u64)>>,
 }
 
 /// The trusted server of Figure 2.
@@ -193,6 +213,7 @@ impl TrustedServer {
                 downlink: Vec::new(),
                 next_seq: 0,
                 outstanding: Vec::new(),
+                deadlines: BinaryHeap::new(),
             },
         );
         Ok(())
@@ -356,9 +377,11 @@ impl TrustedServer {
     ) -> Result<Vec<(EcuId, InstallationPackage)>> {
         // First pass: assign SW-C-scope unique plug-in port ids per target ECU
         // (continuing after ids already handed out to previously installed
-        // plug-ins on that ECU).
+        // plug-ins on that ECU).  The assignment map borrows its keys from
+        // the app definition — no `(PluginId, String)` pair is cloned per
+        // port or per lookup.
         let mut next_id: HashMap<EcuId, u32> = record.next_port_id.clone();
-        let mut assigned: HashMap<(PluginId, String), PluginPortId> = HashMap::new();
+        let mut assigned: HashMap<(&PluginId, &str), PluginPortId> = HashMap::new();
         for placement in &conf.placements {
             let artifact = definition
                 .plugin(&placement.plugin)
@@ -366,7 +389,7 @@ impl TrustedServer {
             let counter = next_id.entry(placement.ecu).or_insert(0);
             for port in &artifact.ports {
                 assigned.insert(
-                    (placement.plugin.clone(), port.name.clone()),
+                    (&placement.plugin, port.name.as_str()),
                     PluginPortId::new(*counter),
                 );
                 *counter += 1;
@@ -386,7 +409,7 @@ impl TrustedServer {
 
             let mut pic = PortInitContext::new();
             for port in &artifact.ports {
-                let id = assigned[&(placement.plugin.clone(), port.name.clone())];
+                let id = assigned[&(&placement.plugin, port.name.as_str())];
                 pic = pic.with_port(&port.name, id, port.direction);
             }
 
@@ -398,7 +421,7 @@ impl TrustedServer {
                 .iter()
                 .filter(|c| c.plugin == placement.plugin)
             {
-                let port_id = assigned[&(placement.plugin.clone(), connection.port.clone())];
+                let port_id = assigned[&(&placement.plugin, connection.port.as_str())];
                 match &connection.target {
                     ConnectionDecl::Direct => {
                         plc = plc.with_link(port_id, LinkTarget::Direct);
@@ -418,7 +441,7 @@ impl TrustedServer {
                     }
                     ConnectionDecl::RemotePlugin { plugin, port } => {
                         let remote_id = assigned
-                            .get(&(plugin.clone(), port.clone()))
+                            .get(&(plugin, port.as_str()))
                             .copied()
                             .ok_or_else(|| {
                                 DynarError::Incompatible(format!(
@@ -689,49 +712,64 @@ impl TrustedServer {
     /// once its attempt budget is spent — escalated into a typed
     /// [`DynarError::RetryExhausted`], failing the owning operation.  The
     /// escalations are returned so harnesses can log or assert on them.
+    ///
+    /// Deadlines are tracked in a per-vehicle min-heap with lazy
+    /// invalidation: a vehicle with nothing due costs a single peek, so a
+    /// quiescent fleet tick is O(1) in the number of outstanding packages.
     pub fn tick(&mut self, now: Tick) -> Vec<RetryFailure> {
         self.now = now;
         let policy = self.policy.clone();
         let mut failures = Vec::new();
         for (vehicle_id, record) in &mut self.vehicles {
-            // Phase 1: examine every entry before anything mutates the
-            // vector — escalations resolve operations, which removes other
-            // entries of the same app and would shift unexamined ones past
-            // an index-based scan.
-            let mut escalate = Vec::new();
-            for entry in &mut record.outstanding {
-                if now < entry.deadline {
-                    continue;
-                }
-                if entry.attempts >= policy.max_attempts {
-                    escalate.push(entry.seq);
-                } else {
-                    entry.attempts += 1;
-                    entry.deadline = now.advance(policy.ack_deadline_ticks);
-                    record.downlink.push(entry.payload.clone());
-                }
+            if record.outstanding.is_empty() {
+                // Every entry settled: drop whatever stale heap entries the
+                // acknowledgements left behind.
+                record.deadlines.clear();
+                continue;
             }
-            // Phase 2: escalate the exhausted entries (may remove further
-            // entries of the same app through operation resolution).
-            for seq in escalate {
+            while let Some(&Reverse((deadline, seq))) = record.deadlines.peek() {
+                if deadline > now {
+                    break;
+                }
+                record.deadlines.pop();
+                // Lazy invalidation: the entry may have been settled by an
+                // acknowledgement, or rescheduled by an earlier
+                // retransmission (its live deadline then differs).
                 let Some(position) = record.outstanding.iter().position(|o| o.seq == seq) else {
                     continue;
                 };
-                let entry = record.outstanding.remove(position);
-                let error = DynarError::RetryExhausted {
-                    operation: format!(
-                        "delivery of management message seq {} for plug-in {} on {}",
-                        entry.seq, entry.plugin, entry.ecu
-                    ),
-                    attempts: entry.attempts,
-                };
-                Self::fail_awaiting(record, &entry.app, &entry.plugin, &error);
-                failures.push(RetryFailure {
-                    vehicle: vehicle_id.clone(),
-                    app: entry.app,
-                    plugin: entry.plugin,
-                    error,
-                });
+                if record.outstanding[position].deadline != deadline {
+                    continue;
+                }
+                if record.outstanding[position].attempts >= policy.max_attempts {
+                    let entry = record.outstanding.remove(position);
+                    let error = DynarError::RetryExhausted {
+                        operation: format!(
+                            "delivery of management message seq {} for plug-in {} on {}",
+                            entry.seq, entry.plugin, entry.ecu
+                        ),
+                        attempts: entry.attempts,
+                    };
+                    // Resolving the operation may settle further entries of
+                    // the same app; their heap entries die lazily.
+                    Self::fail_awaiting(record, &entry.app, &entry.plugin, &error);
+                    failures.push(RetryFailure {
+                        vehicle: vehicle_id.clone(),
+                        app: entry.app,
+                        plugin: entry.plugin,
+                        error,
+                    });
+                } else {
+                    let entry = &mut record.outstanding[position];
+                    entry.attempts += 1;
+                    // Re-arm at least one tick ahead: a zero ack deadline
+                    // must retransmit once per tick (as the per-tick scan it
+                    // replaced did), not spin the heap loop through the whole
+                    // attempt budget within this tick.
+                    entry.deadline = now.advance(policy.ack_deadline_ticks.max(1));
+                    record.downlink.push(entry.payload.clone());
+                    record.deadlines.push(Reverse((entry.deadline, seq)));
+                }
             }
         }
         failures
@@ -744,10 +782,10 @@ impl TrustedServer {
         record: &mut VehicleRecord,
         ecu: EcuId,
         message: ManagementMessage,
-    ) -> (u64, Vec<u8>) {
+    ) -> (u64, Payload) {
         let seq = record.next_seq;
         record.next_seq += 1;
-        let payload = DownlinkEnvelope::new(ecu, seq, message).to_bytes();
+        let payload: Payload = DownlinkEnvelope::new(ecu, seq, message).to_bytes().into();
         record.downlink.push(payload.clone());
         (seq, payload)
     }
@@ -767,6 +805,7 @@ impl TrustedServer {
         message: ManagementMessage,
     ) {
         let (seq, payload) = Self::queue_envelope(record, ecu, message);
+        let deadline = now.advance(policy.ack_deadline_ticks);
         record.outstanding.push(OutstandingDownlink {
             seq,
             ecu,
@@ -775,13 +814,16 @@ impl TrustedServer {
             kind,
             payload,
             attempts: 1,
-            deadline: now.advance(policy.ack_deadline_ticks),
+            deadline,
         });
+        record.deadlines.push(Reverse((deadline, seq)));
     }
 
     /// Drains the downlink messages queued for a vehicle (consumed by the
     /// simulation harness, which feeds them to the vehicle's ECM endpoint).
-    pub fn poll_downlink(&mut self, vehicle: &VehicleId) -> Vec<Vec<u8>> {
+    /// The returned payloads share their buffers with the retransmission
+    /// cache — nothing is copied.
+    pub fn poll_downlink(&mut self, vehicle: &VehicleId) -> Vec<Payload> {
         self.vehicles
             .get_mut(vehicle)
             .map(|v| std::mem::take(&mut v.downlink))

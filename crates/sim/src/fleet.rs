@@ -20,9 +20,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dynar_ecm::gateway::SharedHub;
-use dynar_fes::transport::{TransportConfig, TransportHub};
+use dynar_fes::transport::{EndpointName, TransportConfig, TransportHub};
 use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::ids::{AppId, UserId, VehicleId};
+use dynar_foundation::payload::Payload;
 use dynar_foundation::time::{Clock, Tick};
 use dynar_server::server::{DeploymentStatus, TrustedServer};
 
@@ -60,8 +61,13 @@ pub struct Fleet {
     pub hub: SharedHub,
     server_endpoint: String,
     vehicles: Vec<FleetEntry>,
+    /// Vehicle ids in registration order (what [`Fleet::vehicle_ids`]
+    /// borrows, so callers do not clone the whole fleet's ids per call).
+    ids: Vec<VehicleId>,
     by_id: HashMap<VehicleId, usize>,
     by_endpoint: HashMap<String, usize>,
+    /// Reused drain buffer for the server-endpoint mailbox.
+    uplink_scratch: Vec<(EndpointName, Payload)>,
     clock: Clock,
     stats: FleetStats,
 }
@@ -92,8 +98,10 @@ impl Fleet {
             hub,
             server_endpoint,
             vehicles: Vec::new(),
+            ids: Vec::new(),
             by_id: HashMap::new(),
             by_endpoint: HashMap::new(),
+            uplink_scratch: Vec::new(),
             clock: Clock::new(),
             stats: FleetStats::default(),
         }
@@ -121,6 +129,7 @@ impl Fleet {
         let index = self.vehicles.len();
         self.by_id.insert(id.clone(), index);
         self.by_endpoint.insert(endpoint.clone(), index);
+        self.ids.push(id.clone());
         self.vehicles.push(FleetEntry {
             id,
             endpoint,
@@ -139,9 +148,10 @@ impl Fleet {
         self.vehicles.is_empty()
     }
 
-    /// The ids of every vehicle, in registration order.
-    pub fn vehicle_ids(&self) -> Vec<VehicleId> {
-        self.vehicles.iter().map(|e| e.id.clone()).collect()
+    /// The ids of every vehicle, in registration order — borrowed from the
+    /// fleet's cached list (callers that need ownership clone explicitly).
+    pub fn vehicle_ids(&self) -> &[VehicleId] {
+        &self.ids
     }
 
     /// Read access to a vehicle by id.
@@ -208,16 +218,22 @@ impl Fleet {
         }
 
         // Uplink: acknowledgements back into the server, attributed to the
-        // sending vehicle through its ECM endpoint.
-        let uplinks = self.hub.lock().receive(&self.server_endpoint);
-        for (from, payload) in uplinks {
-            if let Some(&index) = self.by_endpoint.get(&from) {
+        // sending vehicle through its ECM endpoint.  The mailbox drains into
+        // a reused buffer — a quiet tick allocates nothing.
+        let mut uplinks = std::mem::take(&mut self.uplink_scratch);
+        debug_assert!(uplinks.is_empty());
+        self.hub
+            .lock()
+            .drain_into(&self.server_endpoint, &mut uplinks);
+        for (from, payload) in uplinks.drain(..) {
+            if let Some(&index) = self.by_endpoint.get(from.as_ref()) {
                 self.stats.uplink_messages += 1;
                 let _ = self
                     .server
                     .process_uplink(&self.vehicles[index].id, &payload);
             }
         }
+        self.uplink_scratch = uplinks;
         self.stats.ticks += 1;
         Ok(())
     }
@@ -301,10 +317,16 @@ impl Fleet {
         wave_size: usize,
         max_ticks_per_wave: u64,
     ) -> Result<()> {
-        let ids = self.vehicle_ids();
-        for wave in ids.chunks(wave_size.max(1)) {
-            self.deploy_wave(user, app, wave)?;
-            self.await_deployment(app, wave, &DeploymentStatus::Installed, max_ticks_per_wave)?;
+        let wave_size = wave_size.max(1);
+        let mut start = 0;
+        while start < self.ids.len() {
+            let end = (start + wave_size).min(self.ids.len());
+            // One small clone per wave: stepping the fleet needs `&mut self`
+            // while the wave is awaited.
+            let wave: Vec<VehicleId> = self.ids[start..end].to_vec();
+            self.deploy_wave(user, app, &wave)?;
+            self.await_deployment(app, &wave, &DeploymentStatus::Installed, max_ticks_per_wave)?;
+            start = end;
         }
         Ok(())
     }

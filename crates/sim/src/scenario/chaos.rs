@@ -262,7 +262,7 @@ impl ChaosScenario {
         let user = self.inner.user.clone();
         let v1 = AppId::new(APP_TELEMETRY);
         let v2 = AppId::new(APP_TELEMETRY_V2);
-        let all = self.inner.fleet.vehicle_ids();
+        let all: Vec<VehicleId> = self.inner.fleet.vehicle_ids().to_vec();
         let mut report = ChaosReport::default();
 
         // --- Wave 1: install v1 everywhere, partition mid-flight ----------

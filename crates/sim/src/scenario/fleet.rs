@@ -495,7 +495,13 @@ mod tests {
         scenario.fleet.run(40).unwrap();
 
         // Update the first two vehicles to v2; the others stay on v1.
-        let targets: Vec<VehicleId> = scenario.fleet.vehicle_ids().into_iter().take(2).collect();
+        let targets: Vec<VehicleId> = scenario
+            .fleet
+            .vehicle_ids()
+            .iter()
+            .take(2)
+            .cloned()
+            .collect();
         scenario.update_telemetry(&targets, 2).unwrap();
         scenario.fleet.run(60).unwrap();
 

@@ -26,6 +26,10 @@ pub struct Vehicle {
     bus: Bus,
     segmenter: Segmenter,
     reassemblers: Vec<Reassembler>,
+    /// Reused per-tick drain buffers (outbound signals, received frames), so
+    /// a steady-state vehicle tick does not allocate on the comms path.
+    outbound_scratch: Vec<(dynar_bus::frame::CanId, dynar_foundation::value::Value)>,
+    frames_scratch: Vec<dynar_bus::frame::Frame>,
     clock: Clock,
 }
 
@@ -48,6 +52,8 @@ impl Vehicle {
             bus,
             segmenter: Segmenter::new(),
             reassemblers,
+            outbound_scratch: Vec::new(),
+            frames_scratch: Vec::new(),
             clock: Clock::new(),
         }
     }
@@ -103,11 +109,13 @@ impl Vehicle {
     pub fn step(&mut self) -> Result<()> {
         let now = self.clock.step();
 
-        // Outbound: SW-C signals onto the bus.
+        // Outbound: SW-C signals onto the bus (drained through a reused
+        // buffer — quiet ECUs cost nothing).
         for index in 0..self.ecus.len() {
             let sender = self.ecus[index].id();
-            let outbound = self.ecus[index].drain_outbound();
-            for (frame_id, value) in outbound {
+            debug_assert!(self.outbound_scratch.is_empty());
+            self.ecus[index].drain_outbound_into(&mut self.outbound_scratch);
+            for (frame_id, value) in self.outbound_scratch.drain(..) {
                 let payload = codec::encode_value(&value);
                 for frame in self.segmenter.segment(frame_id, &payload)? {
                     self.bus.send(sender, frame, now)?;
@@ -120,9 +128,10 @@ impl Vehicle {
         // Inbound: reassemble and deliver.
         for index in 0..self.ecus.len() {
             let receiver = self.ecus[index].id();
-            let frames = self.bus.receive(receiver);
+            debug_assert!(self.frames_scratch.is_empty());
+            self.bus.receive_into(receiver, &mut self.frames_scratch);
             let reassembler = &mut self.reassemblers[index];
-            for frame in frames {
+            for frame in self.frames_scratch.drain(..) {
                 if let Ok(Some((frame_id, payload))) = reassembler.accept(&frame) {
                     if let Ok(value) = codec::decode_value(&payload) {
                         self.ecus[index].deliver_inbound(frame_id, value);
@@ -151,6 +160,11 @@ pub struct World {
     vehicle_id: VehicleId,
     server_endpoint: String,
     ecm_endpoint: String,
+    /// Reused drain buffer for the server-endpoint mailbox.
+    uplink_scratch: Vec<(
+        dynar_fes::transport::EndpointName,
+        dynar_foundation::payload::Payload,
+    )>,
     clock: Clock,
 }
 
@@ -175,6 +189,7 @@ impl World {
             vehicle_id,
             server_endpoint,
             ecm_endpoint: ecm_endpoint.into(),
+            uplink_scratch: Vec::new(),
             clock: Clock::new(),
         }
     }
@@ -236,11 +251,17 @@ impl World {
 
         self.vehicle.step()?;
 
-        // Uplink: acknowledgements back into the server.
-        let uplinks = self.hub.lock().receive(&self.server_endpoint);
-        for (_, payload) in uplinks {
+        // Uplink: acknowledgements back into the server (drained through a
+        // reused buffer — a quiet tick allocates nothing).
+        let mut uplinks = std::mem::take(&mut self.uplink_scratch);
+        debug_assert!(uplinks.is_empty());
+        self.hub
+            .lock()
+            .drain_into(&self.server_endpoint, &mut uplinks);
+        for (_, payload) in uplinks.drain(..) {
             let _ = self.server.process_uplink(&self.vehicle_id, &payload);
         }
+        self.uplink_scratch = uplinks;
         Ok(())
     }
 

@@ -100,6 +100,10 @@ pub struct Vm {
     status: VmStatus,
     total_instructions: u64,
     slots_run: u64,
+    /// Running total of `payload_size` over stack and locals, maintained
+    /// incrementally so the per-instruction memory check is O(1) instead of
+    /// rescanning the whole machine state on every push.
+    used_bytes: usize,
 }
 
 impl Vm {
@@ -114,6 +118,7 @@ impl Vm {
             status: VmStatus::Runnable,
             total_instructions: 0,
             slots_run: 0,
+            used_bytes: 0,
         }
     }
 
@@ -149,6 +154,7 @@ impl Vm {
         self.stack.clear();
         self.locals = vec![Value::Void; self.budget.local_count()];
         self.status = VmStatus::Runnable;
+        self.used_bytes = 0;
     }
 
     /// Runs one best-effort execution slot against `host`.
@@ -248,7 +254,11 @@ impl Vm {
                     .locals
                     .get_mut(*index as usize)
                     .ok_or_else(|| DynarError::VmFault(format!("local {index} out of range")))?;
+                // Replace the local's contribution to the running footprint.
+                let delta_out = slot.payload_size();
+                let delta_in = value.payload_size();
                 *slot = value;
+                self.used_bytes = self.used_bytes.saturating_sub(delta_out) + delta_in;
                 self.check_memory()?;
             }
             Instruction::Add
@@ -338,6 +348,10 @@ impl Vm {
                     return Err(DynarError::VmFault("stack underflow in make_list".into()));
                 }
                 let items = self.stack.split_off(self.stack.len() - count);
+                // The items leave the stack (their bytes move into the list
+                // the push below accounts for).
+                let moved: usize = items.iter().map(Value::payload_size).sum();
+                self.used_bytes = self.used_bytes.saturating_sub(moved);
                 self.push(Value::List(items))?;
             }
             Instruction::ListGet => {
@@ -390,14 +404,18 @@ impl Vm {
                 what: "stack",
             });
         }
+        self.used_bytes += value.payload_size();
         self.stack.push(value);
         self.check_memory()
     }
 
     fn pop(&mut self) -> Result<Value> {
-        self.stack
+        let value = self
+            .stack
             .pop()
-            .ok_or_else(|| DynarError::VmFault("stack underflow".into()))
+            .ok_or_else(|| DynarError::VmFault("stack underflow".into()))?;
+        self.used_bytes = self.used_bytes.saturating_sub(value.payload_size());
+        Ok(value)
     }
 
     fn peek(&self) -> Result<&Value> {
@@ -407,13 +425,16 @@ impl Vm {
     }
 
     fn check_memory(&self) -> Result<()> {
-        let used: usize = self
-            .stack
-            .iter()
-            .chain(self.locals.iter())
-            .map(Value::payload_size)
-            .sum();
-        if used > self.budget.max_memory_bytes() {
+        debug_assert_eq!(
+            self.used_bytes,
+            self.stack
+                .iter()
+                .chain(self.locals.iter())
+                .map(Value::payload_size)
+                .sum::<usize>(),
+            "incremental memory accounting drifted"
+        );
+        if self.used_bytes > self.budget.max_memory_bytes() {
             return Err(DynarError::BudgetExhausted {
                 plugin: self.program.name().to_owned(),
                 what: "memory",

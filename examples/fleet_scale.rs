@@ -36,8 +36,9 @@ fn main() {
     let targets: Vec<_> = scenario
         .fleet
         .vehicle_ids()
-        .into_iter()
+        .iter()
         .take(vehicles / 2)
+        .cloned()
         .collect();
     scenario
         .update_telemetry(&targets, 10)

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Compares two benchmark snapshots produced by scripts/bench_snapshot.sh and
+# fails when any pinned benchmark's mean regressed by more than the allowed
+# tolerance (default 15 %).
+#
+# Usage: scripts/bench_compare.sh <baseline.json> <candidate.json>
+#
+# Environment:
+#   BENCH_COMPARE_TOLERANCE_PCT  maximum allowed mean regression per pinned
+#                                benchmark, in percent (default: 15)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 <baseline.json> <candidate.json>" >&2
+    exit 2
+fi
+
+baseline="$1" candidate="$2" \
+tolerance="${BENCH_COMPARE_TOLERANCE_PCT:-15}" \
+python3 - <<'PY'
+import json
+import os
+import sys
+
+baseline_path = os.environ["baseline"]
+candidate_path = os.environ["candidate"]
+tolerance = float(os.environ["tolerance"])
+
+# The hot paths whose trajectory is pinned PR over PR.  New benchmarks (and
+# retired ones) are reported but never fail the comparison: only a pinned
+# benchmark present in BOTH snapshots can regress.
+PINNED = [
+    "fig3_signal_chain/drive_10_ticks",
+    "e1_deployment/plan_remote_control_app",
+    "e2_mediation_overhead/direct_rte_route",
+    "e2_mediation_overhead/pirte_mediated_route",
+    "e6_port_multiplexing/dispatch_type_ii/1",
+    "e6_port_multiplexing/dispatch_type_ii/16",
+    "e6_port_multiplexing/dispatch_type_ii/64",
+    "bench_fleet_tick/tick/10",
+    "bench_fleet_tick/tick/50",
+    "bench_fleet_tick/tick/100",
+    "bench_fleet_tick/lossy_tick/50",
+]
+
+
+def means(path):
+    with open(path, encoding="utf-8") as f:
+        snapshot = json.load(f)
+    return {r["bench"]: r["mean_ns"] for r in snapshot.get("results", [])}
+
+
+base = means(baseline_path)
+cand = means(candidate_path)
+
+failures = []
+print(f"comparing {candidate_path} against {baseline_path} "
+      f"(tolerance {tolerance:.0f}%)")
+for bench in sorted(set(base) | set(cand)):
+    b, c = base.get(bench), cand.get(bench)
+    if b is None or c is None:
+        print(f"  {bench}: only in {'candidate' if b is None else 'baseline'} — skipped")
+        continue
+    delta_pct = (c - b) / b * 100.0
+    pinned = bench in PINNED
+    marker = " "
+    if pinned and delta_pct > tolerance:
+        failures.append((bench, b, c, delta_pct))
+        marker = "!"
+    print(f"  {marker} {bench}: {b:.0f} ns -> {c:.0f} ns ({delta_pct:+.1f}%"
+          f"{', pinned' if pinned else ''})")
+
+if failures:
+    print(f"\nFAIL: {len(failures)} pinned benchmark(s) regressed beyond "
+          f"{tolerance:.0f}%:", file=sys.stderr)
+    for bench, b, c, delta in failures:
+        print(f"  {bench}: {b:.0f} ns -> {c:.0f} ns ({delta:+.1f}%)", file=sys.stderr)
+    sys.exit(1)
+print("OK: no pinned benchmark regressed beyond the tolerance")
+PY

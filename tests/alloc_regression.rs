@@ -1,0 +1,98 @@
+//! Allocation-regression harness for the federation hot path.
+//!
+//! PR 4 made the steady-state transport and tick paths allocation-free:
+//! interned endpoint slots, shared [`Payload`] buffers, swap-drained scratch
+//! queues and `Arc<str>` runnable activations.  This test pins that down
+//! with a counting global allocator, so a stray `clone()`/`collect()` on the
+//! hot path fails CI instead of silently re-inflating the tick.
+//!
+//! Both levels are asserted from a single `#[test]`: the counting allocator
+//! is process-global, and a second test thread (or the libtest harness
+//! reporting another test's result) would pollute the measurement window.
+//!
+//! * **Transport path** — a warm `send → step → drain_into` round on the
+//!   hub performs exactly zero allocations (payload sharing means the only
+//!   allocation of a message's life is its original encoding).
+//! * **Fleet tick** — a management-quiescent 10-vehicle fleet with the
+//!   telemetry app live on every worker ECU allocates nothing on the ticks
+//!   where its built-in periodic sensors are idle.  Sensor broadcast ticks
+//!   still allocate (value codec + frame segmentation), which bounds how
+//!   many of a window's ticks may touch the allocator at all.
+
+use dynar::fes::transport::{TransportConfig, TransportHub};
+use dynar::foundation::payload::Payload;
+use dynar::foundation::time::Tick;
+use dynar::sim::scenario::fleet::{FleetScenario, SENSOR_PERIOD};
+use dynar_bench::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn warm_transport_round_is_allocation_free() {
+    let mut hub = TransportHub::new(TransportConfig::default());
+    hub.register("server");
+    hub.register("vehicle-0");
+    let payload = Payload::from(vec![7u8; 64]);
+    let mut inbox = Vec::new();
+
+    // Warm-up: grow the in-flight queue, mailbox deque and drain buffer.
+    for t in 1..=32u64 {
+        hub.send("server", "vehicle-0", payload.clone()).unwrap();
+        hub.step(Tick::new(t));
+        hub.drain_into("vehicle-0", &mut inbox);
+        inbox.clear();
+    }
+
+    let (allocations, ()) = CountingAllocator::count(|| {
+        for t in 33..=64u64 {
+            hub.send("server", "vehicle-0", payload.clone()).unwrap();
+            hub.step(Tick::new(t));
+            hub.drain_into("vehicle-0", &mut inbox);
+            inbox.clear();
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "32 warm send/step/drain rounds must not allocate"
+    );
+    assert!(hub.stats().is_conserved());
+}
+
+fn quiescent_fleet_tick_is_allocation_free() {
+    let mut scenario = FleetScenario::build(10).expect("fleet builds");
+    // The strong version of the claim: even with the telemetry app live on
+    // every worker ECU (plug-in VMs scheduled each tick), a management-
+    // quiescent tick touches the allocator only where the built-in speed
+    // sensor's broadcast crosses the value codec.
+    scenario.install_telemetry(5).expect("install waves");
+    // Warm every per-tick buffer: scratch queues, mailboxes, port buffers.
+    scenario.fleet.run(256).expect("warm-up");
+
+    let periods = 4usize;
+    let window = periods * SENSOR_PERIOD as usize;
+    let mut per_tick = Vec::with_capacity(window);
+    for _ in 0..window {
+        let (allocations, result) = CountingAllocator::count(|| scenario.fleet.step());
+        result.expect("fleet step");
+        per_tick.push(allocations);
+    }
+
+    // The sensor fires every SENSOR_PERIOD ticks; its broadcast allocates on
+    // exactly two ticks per period (codec encode onto the bus, then
+    // reassemble + decode at delivery).  Every other tick — transport poll,
+    // server tick, kernel dispatch, plug-in VM slots — must be completely
+    // allocation-free.
+    let zero_ticks = per_tick.iter().filter(|&&count| count == 0).count();
+    let expected_zero = window - 2 * periods;
+    assert!(
+        zero_ticks >= expected_zero,
+        "expected at least {expected_zero}/{window} allocation-free ticks in a quiescent \
+         fleet, got {zero_ticks} (per-tick allocation counts: {per_tick:?})"
+    );
+}
+
+#[test]
+fn steady_state_hot_paths_are_allocation_free() {
+    warm_transport_round_is_allocation_free();
+    quiescent_fleet_tick_is_allocation_free();
+}

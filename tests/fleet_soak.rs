@@ -53,7 +53,7 @@ mod lossy {
         .unwrap();
         let user = scenario.user.clone();
         let app = AppId::new(APP_TELEMETRY);
-        let targets = scenario.fleet.vehicle_ids();
+        let targets = scenario.fleet.vehicle_ids().to_vec();
         scenario.fleet.deploy_wave(&user, &app, &targets).unwrap();
 
         // The horizon plus margin for transport latency and vehicle-internal
