@@ -48,6 +48,10 @@ pub struct PirteStats {
     pub installs: u64,
     /// Successful plug-in uninstallations.
     pub uninstalls: u64,
+    /// Installs over the management path that *replaced* an already-present
+    /// plug-in of the same id (server-driven resync after a lost
+    /// acknowledgement or a reboot; never a deduplicated retransmission).
+    pub reinstalls: u64,
     /// Installation or management operations that were rejected.
     pub rejected_operations: u64,
     /// Values delivered into plug-in ports.
@@ -212,8 +216,31 @@ impl Pirte {
             self.stats.rejected_operations += 1;
             return Err(DynarError::duplicate("plug-in", &package.plugin));
         }
+        let plugin = self.validate_and_instantiate(&package, None)?;
+        self.commit_install(plugin, &package);
+        self.log.record(
+            self.now,
+            Severity::Info,
+            "pirte",
+            format!("installed and started plug-in {}", package.plugin.name()),
+        );
+        Ok(())
+    }
+
+    /// Validates a package against the current PIRTE state — port-id
+    /// collisions (ids in `reusable` excluded: a replacement may take over
+    /// the outgoing instance's own ids), virtual-port references, binary and
+    /// context — and returns the instantiated, started plug-in.  Nothing is
+    /// mutated besides the rejection counter, so a failure leaves the PIRTE
+    /// untouched (shared by [`Pirte::install`] and [`Pirte::reinstall`]).
+    fn validate_and_instantiate(
+        &mut self,
+        package: &InstallationPackage,
+        reusable: Option<&HashSet<PluginPortId>>,
+    ) -> Result<Plugin> {
         for init in package.context.pic.ports() {
-            if self.used_port_ids.contains(&init.id) {
+            let reused = reusable.is_some_and(|ids| ids.contains(&init.id));
+            if self.used_port_ids.contains(&init.id) && !reused {
                 self.stats.rejected_operations += 1;
                 return Err(DynarError::duplicate("plug-in port id", init.id));
             }
@@ -231,7 +258,6 @@ impl Pirte {
                 }
             }
         }
-
         let mut plugin = Plugin::instantiate(
             package.plugin.clone(),
             package.app.clone(),
@@ -240,7 +266,13 @@ impl Pirte {
             self.config.plugin_budget(),
         )?;
         plugin.request(LifecycleRequest::Start)?;
+        Ok(plugin)
+    }
 
+    /// Commits a validated, started plug-in: reserves its port ids, indexes
+    /// it and recompiles the routing tables (shared by [`Pirte::install`]
+    /// and [`Pirte::reinstall`]).
+    fn commit_install(&mut self, plugin: Plugin, package: &InstallationPackage) {
         for init in package.context.pic.ports() {
             self.used_port_ids.insert(init.id);
         }
@@ -249,11 +281,39 @@ impl Pirte {
         self.plugins.push(plugin);
         self.rebuild_routes();
         self.stats.installs += 1;
+    }
+
+    /// Replaces an installed plug-in with a fresh package of the same id
+    /// (the management path's convergence semantics).  The replacement is
+    /// fully validated — port ids (the outgoing instance's own ids
+    /// excluded), virtual-port references, binary and context — *before* the
+    /// working instance is removed, so a rejected replacement leaves the old
+    /// plug-in running untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the plug-in is not installed, and
+    /// the rejections documented on [`Pirte::install`].
+    pub fn reinstall(&mut self, package: InstallationPackage) -> Result<()> {
+        let old_ports: HashSet<PluginPortId> = self
+            .plugin(&package.plugin)
+            .ok_or_else(|| DynarError::not_found("plug-in", &package.plugin))?
+            .ports()
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        // The full validation (binary and context included) runs while the
+        // old instance is still untouched: a rejected replacement never
+        // sacrifices a working plug-in.
+        let plugin = self.validate_and_instantiate(&package, Some(&old_ports))?;
+        self.uninstall(&package.plugin)?;
+        self.commit_install(plugin, &package);
+        self.stats.reinstalls += 1;
         self.log.record(
             self.now,
             Severity::Info,
             "pirte",
-            format!("installed and started plug-in {}", package.plugin.name()),
+            format!("replaced plug-in {}", package.plugin.name()),
         );
         Ok(())
     }
@@ -339,9 +399,24 @@ impl Pirte {
             ManagementMessage::Install(package) => {
                 let plugin = package.plugin.clone();
                 let app = package.app.name().to_owned();
-                let status = match self.install(package) {
-                    Ok(()) => AckStatus::Installed,
-                    Err(err) => AckStatus::Failed(err.to_string()),
+                // Reinstall-as-replace: duplicate *deliveries* never reach
+                // this path (the ECM gateway deduplicates by sequence id and
+                // boot epoch), so an install for an already-present plug-in
+                // id is the server deliberately converging the vehicle — a
+                // re-deploy after a failed operation, or a resync push.  The
+                // stale instance is replaced so the fresh package applies
+                // instead of bouncing off a duplicate rejection that would
+                // make the failure terminal.
+                let status = if self.plugin_index.contains_key(&plugin) {
+                    match self.reinstall(package) {
+                        Ok(()) => AckStatus::Installed,
+                        Err(err) => AckStatus::Failed(err.to_string()),
+                    }
+                } else {
+                    match self.install(package) {
+                        Ok(()) => AckStatus::Installed,
+                        Err(err) => AckStatus::Failed(err.to_string()),
+                    }
                 };
                 vec![ack(&plugin, &app, status)]
             }
@@ -1210,6 +1285,56 @@ mod tests {
             ManagementMessage::Ack(ack) => assert!(matches!(ack.status, AckStatus::Failed(_))),
             other => panic!("expected an ack, got {other:?}"),
         }
+    }
+
+    /// Regression: an install arriving over the management path for a plug-in
+    /// that is already present must *replace* it (the server converging the
+    /// vehicle after a lost ack or a failed operation), not bounce off a
+    /// duplicate rejection that would make the server-side `Failed` record
+    /// terminal.  Direct `install()` calls keep their strict duplicate check.
+    #[test]
+    fn management_install_replaces_an_existing_plugin() {
+        let mut pirte = pirte();
+        let first = pirte.handle_management(ManagementMessage::Install(forwarder_package("fwd")));
+        assert!(matches!(
+            &first[0],
+            ManagementMessage::Ack(ack) if ack.status == AckStatus::Installed
+        ));
+        assert_eq!(pirte.plugin_count(), 1);
+
+        let again = pirte.handle_management(ManagementMessage::Install(forwarder_package("fwd")));
+        assert!(
+            matches!(
+                &again[0],
+                ManagementMessage::Ack(ack) if ack.status == AckStatus::Installed
+            ),
+            "the re-issued install converges instead of failing: {again:?}"
+        );
+        assert_eq!(pirte.plugin_count(), 1, "replaced, not duplicated");
+        let stats = pirte.stats();
+        assert_eq!(stats.reinstalls, 1);
+        assert_eq!(stats.rejected_operations, 0);
+        assert!(pirte.verify_compiled_routes());
+
+        // A replacement that fails validation (garbage binary) leaves the
+        // working instance untouched — the old plug-in is not sacrificed for
+        // a package that cannot even instantiate.
+        let mut broken = forwarder_package("fwd");
+        broken.binary = vec![0xFF, 0xEE, 0xDD];
+        let responses = pirte.handle_management(ManagementMessage::Install(broken));
+        assert!(matches!(
+            &responses[0],
+            ManagementMessage::Ack(ack) if matches!(ack.status, AckStatus::Failed(_))
+        ));
+        assert_eq!(pirte.plugin_count(), 1, "old instance survives");
+        assert_eq!(pirte.stats().reinstalls, 1, "no second replacement");
+        assert!(pirte.verify_compiled_routes());
+
+        // The strict API is unchanged: a direct duplicate install stays an
+        // explicit rejection.
+        let err = pirte.install(forwarder_package("fwd")).unwrap_err();
+        assert!(matches!(err, DynarError::Duplicate { .. }));
+        assert_eq!(pirte.stats().rejected_operations, 1);
     }
 
     #[test]

@@ -7,7 +7,24 @@
 //! delivery (the trusted server retransmitting an unacked package) is *not*
 //! re-applied — reinstall-on-retry stays idempotent — but its cached
 //! acknowledgements are replayed, so a lost uplink ack is recovered by the
-//! next retransmission.
+//! next retransmission.  Duplicates older than the window itself
+//! (`highest_seen - DEDUP_WINDOW`) are rejected outright: their cached acks
+//! are gone, but re-applying them would break idempotence, so they are
+//! dropped and the server's newer state wins.
+//!
+//! # Boot epochs and recovery
+//!
+//! The dedup window and the installed plug-ins are *volatile*: a vehicle
+//! reboot loses both.  Every gateway therefore carries a **boot epoch**
+//! ([`EcmConfig::boot_epoch`], bumped by the harness on every reboot) and
+//! rejects downlinks stamped with any other epoch — a straggler
+//! retransmission from before the reboot can never be double-applied against
+//! the empty window.  A rebooted gateway (epoch > 0) announces itself with a
+//! [`ManagementMessage::StateReport`] listing what is actually installed
+//! (nothing, right after boot) and keeps re-announcing every
+//! [`ANNOUNCE_PERIOD_TICKS`] until the first downlink of its own epoch
+//! proves the trusted server has resynced; the server then reconciles the
+//! vehicle from truth instead of from its stale bookkeeping.
 //!
 //! Cached acknowledgements are stored as already-encoded [`Payload`] buffers:
 //! caching, queueing and every replay share one allocation, and a replayed
@@ -27,7 +44,7 @@ use dynar_core::swc::{PluginSwc, PluginSwcConfig, SharedPirte};
 use dynar_fes::device::{decode_device_message, encode_device_message};
 use dynar_fes::transport::{EndpointName, TransportHub};
 use dynar_foundation::error::Result;
-use dynar_foundation::ids::{EcuId, PluginId, PluginPortId, PortId};
+use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, PortId};
 use dynar_foundation::payload::Payload;
 use dynar_foundation::value::Value;
 use dynar_rte::component::{ComponentBehavior, RteContext, SwcDescriptor};
@@ -46,6 +63,12 @@ pub type SharedHub = Arc<Mutex<TransportHub>>;
 /// below 1024 for every workload in this repository).  An evicted id would
 /// let a still-in-flight retransmission be re-applied as a fresh downlink.
 pub const DEDUP_WINDOW: u64 = 1024;
+
+/// How often (in runnable passes) a rebooted gateway re-announces its
+/// [`ManagementMessage::StateReport`] until the trusted server confirms the
+/// new boot epoch with a downlink.  The announcement travels over the lossy
+/// uplink, so a single shot could strand the vehicle offline forever.
+pub const ANNOUNCE_PERIOD_TICKS: u64 = 25;
 
 /// Bookkeeping for one downlink sequence id the gateway has applied.
 #[derive(Debug, Clone)]
@@ -73,6 +96,9 @@ pub struct EcmConfig {
     /// SW-C ports on which acknowledgements and outbound data from remote
     /// plug-in SW-Cs arrive (the required half of each type I port pair).
     pub type_i_in: Vec<String>,
+    /// The vehicle's boot epoch: 0 at the factory boot, bumped on every
+    /// reboot.  Downlinks stamped with any other epoch are rejected.
+    pub boot_epoch: u32,
 }
 
 impl EcmConfig {
@@ -88,7 +114,17 @@ impl EcmConfig {
             server_endpoint: server_endpoint.into(),
             type_i_out: HashMap::new(),
             type_i_in: Vec::new(),
+            boot_epoch: 0,
         }
+    }
+
+    /// Sets the boot epoch of this ECM incarnation (0 is the factory boot; a
+    /// rebooted vehicle comes back with the next epoch and announces itself
+    /// with a state report).
+    #[must_use]
+    pub fn with_boot_epoch(mut self, boot_epoch: u32) -> Self {
+        self.boot_epoch = boot_epoch;
+        self
     }
 
     /// Declares the type I SW-C port pair towards one remote plug-in SW-C.
@@ -149,6 +185,19 @@ pub struct EcmSwc {
     /// Recently applied downlink sequence ids and their cached acks
     /// (bounded by [`DEDUP_WINDOW`]).
     seen_seqs: BTreeMap<u64, SeenDownlink>,
+    /// The boot epoch of this gateway incarnation (copied from the config).
+    boot_epoch: u32,
+    /// Ground truth of the vehicle: every plug-in known to be installed
+    /// (locally or on a remote ECU), maintained from the successful
+    /// install/uninstall acknowledgements that pass through the gateway.
+    /// Volatile — a reboot loses it, which is exactly what the state report
+    /// tells the server.
+    installed_plugins: BTreeMap<PluginId, (AppId, EcuId)>,
+    /// `true` once a downlink of this gateway's own epoch arrived, proving
+    /// the server knows the epoch (rebooted gateways re-announce until then).
+    epoch_confirmed: bool,
+    /// Runnable passes executed (drives the announce retransmission period).
+    passes: u64,
 }
 
 impl EcmSwc {
@@ -160,6 +209,7 @@ impl EcmSwc {
         hub.lock().register(&config.own_endpoint);
         let pirte_inputs = config.swc.input_ports();
         let pirte: SharedPirte = Arc::new(Mutex::new(Pirte::new(ecu, config.swc.clone())));
+        let boot_epoch = config.boot_epoch;
         (
             EcmSwc {
                 ecu,
@@ -174,9 +224,27 @@ impl EcmSwc {
                 ecc_routes: Vec::new(),
                 pending_uplink: Vec::new(),
                 seen_seqs: BTreeMap::new(),
+                boot_epoch,
+                installed_plugins: BTreeMap::new(),
+                // The factory boot matches the trusted server's initial
+                // assumption (epoch 0, nothing installed): no announcement
+                // needed.  Rebooted incarnations must make themselves known.
+                epoch_confirmed: boot_epoch == 0,
+                passes: 0,
             },
             pirte,
         )
+    }
+
+    /// The boot epoch of this gateway incarnation.
+    pub fn boot_epoch(&self) -> u32 {
+        self.boot_epoch
+    }
+
+    /// The gateway's ground-truth inventory: every plug-in it knows to be
+    /// installed across the vehicle, with its owning app and hosting ECU.
+    pub fn installed_plugins(&self) -> &BTreeMap<PluginId, (AppId, EcuId)> {
+        &self.installed_plugins
     }
 
     /// The shared handle to the ECM's own PIRTE.
@@ -240,14 +308,48 @@ impl EcmSwc {
         }
     }
 
+    /// Folds a passing acknowledgement into the gateway's ground-truth
+    /// inventory of installed plug-ins.
+    fn note_ack(&mut self, message: &ManagementMessage) {
+        let ManagementMessage::Ack(ack) = message else {
+            return;
+        };
+        match &ack.status {
+            dynar_core::message::AckStatus::Installed => {
+                self.installed_plugins
+                    .insert(ack.plugin.clone(), (ack.app.clone(), ack.ecu));
+            }
+            dynar_core::message::AckStatus::Uninstalled => {
+                self.installed_plugins.remove(&ack.plugin);
+            }
+            _ => {}
+        }
+    }
+
+    /// Encodes and sends the current [`ManagementMessage::StateReport`]
+    /// uplink, returning the shared buffer (for the dedup-replay cache).
+    fn send_state_report(&self) -> Payload {
+        let report = ManagementMessage::StateReport {
+            boot_epoch: self.boot_epoch,
+            plugins: self
+                .installed_plugins
+                .iter()
+                .map(|(plugin, (app, ecu))| (plugin.clone(), app.clone(), *ecu))
+                .collect(),
+        };
+        self.send_uplink(&report)
+    }
+
     /// Applies a management message to the local PIRTE, returning the
     /// encoded responses it produced (already sent uplink).
     fn handle_local_management(&mut self, message: ManagementMessage) -> Vec<Payload> {
         let responses = self.pirte.lock().handle_management(message);
-        responses
-            .iter()
-            .map(|response| self.send_uplink(response))
-            .collect()
+        let mut encoded = Vec::with_capacity(responses.len());
+        for response in &responses {
+            self.note_ack(response);
+            encoded.push(self.send_uplink(response));
+        }
+        encoded
     }
 
     /// Relays a management message towards a remote plug-in SW-C.
@@ -307,6 +409,19 @@ impl EcmSwc {
         }
     }
 
+    /// Returns `true` if `seq` lies below the dedup horizon
+    /// (`highest_seen - DEDUP_WINDOW`): its window entry — if it ever had one
+    /// — has been pruned, so the duplicate can no longer be told apart from a
+    /// fresh downlink.  Such sequences are **rejected**, not applied: their
+    /// cached acks are gone, but re-applying would break idempotence, and the
+    /// server has long since moved past them.
+    fn below_dedup_horizon(&self, seq: u64) -> bool {
+        match self.seen_seqs.last_key_value() {
+            Some((&highest, _)) => seq < highest.saturating_sub(DEDUP_WINDOW),
+            None => false,
+        }
+    }
+
     /// Attaches an acknowledgement arriving from a remote SW-C to the most
     /// recent downlink that addressed its plug-in and has no cached response
     /// yet, so a later duplicate delivery can replay it (`encoded` is the
@@ -337,7 +452,23 @@ impl EcmSwc {
         for (from, payload) in messages.drain(..) {
             if *from == *self.config.server_endpoint {
                 match crate::protocol::decode_downlink(&payload) {
-                    Ok((target, seq, message)) => {
+                    Ok((target, seq, epoch, message)) => {
+                        if epoch != self.boot_epoch {
+                            // A straggler from another incarnation of this
+                            // vehicle (usually a pre-reboot retransmission
+                            // against our now-empty dedup window).  Never
+                            // apply it: the server re-issues what it still
+                            // wants under the current epoch after resyncing.
+                            self.pirte.lock().log_warning(format!(
+                                "rejecting downlink seq {seq} from boot epoch {epoch} \
+                                 (current epoch {})",
+                                self.boot_epoch
+                            ));
+                            continue;
+                        }
+                        // The server demonstrably knows our epoch: stop
+                        // re-announcing the post-reboot state report.
+                        self.epoch_confirmed = true;
                         if let Some(seen) = self.seen_seqs.get(&seq) {
                             // Duplicate delivery (server retransmission):
                             // don't re-apply, replay the cached acks so a
@@ -346,6 +477,26 @@ impl EcmSwc {
                             for ack in &seen.acks {
                                 self.send_uplink_payload(ack);
                             }
+                            continue;
+                        }
+                        if self.below_dedup_horizon(seq) {
+                            // Pruned past: this can only be a duplicate of a
+                            // long-settled downlink.  Reject instead of
+                            // re-applying it as if it were fresh.
+                            self.pirte.lock().log_warning(format!(
+                                "rejecting downlink seq {seq} below the dedup horizon"
+                            ));
+                            continue;
+                        }
+                        if matches!(message, ManagementMessage::StateReportRequest) {
+                            let report = self.send_state_report();
+                            self.remember_seq(
+                                seq,
+                                SeenDownlink {
+                                    plugin: None,
+                                    acks: vec![report],
+                                },
+                            );
                             continue;
                         }
                         self.remember_ecc(&message);
@@ -435,6 +586,7 @@ impl EcmSwc {
                 match ManagementMessage::from_value(&value) {
                     Ok(message @ ManagementMessage::Ack(_)) => {
                         let encoded: Payload = crate::protocol::encode_uplink(&message).into();
+                        self.note_ack(&message);
                         self.cache_remote_ack(&message, &encoded);
                         self.pending_uplink.push(encoded);
                     }
@@ -493,6 +645,14 @@ impl EcmSwc {
 
 impl ComponentBehavior for EcmSwc {
     fn on_runnable(&mut self, _runnable: &str, ctx: &mut RteContext<'_>) -> Result<()> {
+        // 0. Reboot recovery: a rebooted gateway (epoch > 0) announces its
+        //    state report — retried every ANNOUNCE_PERIOD_TICKS over the
+        //    lossy uplink — until a downlink of its own epoch proves the
+        //    server has resynced.
+        if !self.epoch_confirmed && self.passes.is_multiple_of(ANNOUNCE_PERIOD_TICKS) {
+            self.send_state_report();
+        }
+        self.passes += 1;
         // 1. External world: trusted server and devices.
         self.poll_external(ctx);
         // 2. Acks and outbound data from remote plug-in SW-Cs.
@@ -625,6 +785,7 @@ mod tests {
                 crate::protocol::encode_downlink(
                     EcuId::new(1),
                     0,
+                    0,
                     &ManagementMessage::Install(com_package()),
                 ),
             )
@@ -652,7 +813,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(EcuId::new(2), 0, &package),
+                crate::protocol::encode_downlink(EcuId::new(2), 0, 0, &package),
             )
             .unwrap();
         hub.lock().step(Tick::new(1));
@@ -673,6 +834,7 @@ mod tests {
                 "vehicle-1",
                 crate::protocol::encode_downlink(
                     EcuId::new(9),
+                    0,
                     0,
                     &ManagementMessage::Install(com_package()),
                 ),
@@ -700,6 +862,7 @@ mod tests {
                 "vehicle-1",
                 crate::protocol::encode_downlink(
                     EcuId::new(1),
+                    0,
                     0,
                     &ManagementMessage::Install(com_package()),
                 ),
@@ -759,6 +922,7 @@ mod tests {
         let downlink = crate::protocol::encode_downlink(
             EcuId::new(1),
             7,
+            0,
             &ManagementMessage::Install(com_package()),
         );
 
@@ -801,7 +965,7 @@ mod tests {
         let hub = hub();
         let (mut ecu, _pirte) = build_ecu(&hub);
         let package = ManagementMessage::Install(com_package());
-        let downlink = crate::protocol::encode_downlink(EcuId::new(2), 3, &package);
+        let downlink = crate::protocol::encode_downlink(EcuId::new(2), 3, 0, &package);
 
         // First delivery relays towards ECU 2.
         hub.lock()
@@ -842,5 +1006,266 @@ mod tests {
         let replayed = hub.lock().receive("server");
         assert_eq!(replayed.len(), 1);
         assert_eq!(crate::protocol::decode_uplink(&replayed[0].1).unwrap(), ack);
+    }
+
+    fn build_ecu_with_epoch(hub: &SharedHub, boot_epoch: u32) -> (Ecu, SharedPirte) {
+        let mut ecu = Ecu::new(EcuId::new(1));
+        let config = EcmConfig::new(ecm_swc_config(), "vehicle-1", "server")
+            .with_boot_epoch(boot_epoch)
+            .with_remote_swc(EcuId::new(2), "to_ecu2", "from_ecu2");
+        let descriptor = config.descriptor().unwrap();
+        let (behavior, pirte) = EcmSwc::create(EcuId::new(1), config, Arc::clone(hub));
+        ecu.add_component(descriptor, Box::new(behavior)).unwrap();
+        (ecu, pirte)
+    }
+
+    fn uplinks(hub: &SharedHub) -> Vec<ManagementMessage> {
+        hub.lock()
+            .receive("server")
+            .iter()
+            .map(|(_, payload)| crate::protocol::decode_uplink(payload).unwrap())
+            .collect()
+    }
+
+    /// Regression (boot epochs): a downlink stamped with another incarnation's
+    /// epoch — a straggler retransmission from before a reboot — must be
+    /// rejected, not applied against the rebooted gateway's empty dedup
+    /// window.
+    #[test]
+    fn old_epoch_downlinks_are_rejected_not_applied() {
+        let hub = hub();
+        let (mut ecu, pirte) = build_ecu_with_epoch(&hub, 1);
+
+        // A pre-reboot (epoch 0) install arrives: dropped, no ack.
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    0,
+                    0,
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+        assert_eq!(pirte.lock().plugin_count(), 0, "old-epoch install rejected");
+        hub.lock().step(Tick::new(2));
+        assert!(
+            uplinks(&hub)
+                .iter()
+                .all(|m| !matches!(m, ManagementMessage::Ack(_))),
+            "no acknowledgement for a rejected downlink"
+        );
+
+        // The same package re-issued under the current epoch applies.
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    1,
+                    1,
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(3));
+        ecu.run(2).unwrap();
+        assert_eq!(pirte.lock().plugin_count(), 1);
+    }
+
+    /// A rebooted gateway (epoch > 0) announces its state report and keeps
+    /// re-announcing every [`ANNOUNCE_PERIOD_TICKS`] until the first downlink
+    /// of its own epoch confirms the server knows the new epoch.
+    #[test]
+    fn rebooted_gateway_announces_until_the_epoch_is_confirmed() {
+        let hub = hub();
+        let (mut ecu, _pirte) = build_ecu_with_epoch(&hub, 2);
+
+        ecu.run(1).unwrap();
+        hub.lock().step(Tick::new(1));
+        let first = uplinks(&hub);
+        assert_eq!(
+            first,
+            vec![ManagementMessage::StateReport {
+                boot_epoch: 2,
+                plugins: vec![],
+            }],
+            "boot announcement carries the new epoch and the (empty) truth"
+        );
+
+        // Unconfirmed: the announcement is retried after the period lapses.
+        ecu.run(ANNOUNCE_PERIOD_TICKS).unwrap();
+        hub.lock().step(Tick::new(2));
+        assert_eq!(uplinks(&hub).len(), 1, "periodic re-announcement");
+
+        // A downlink of the gateway's own epoch confirms; announcing stops.
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    0,
+                    2,
+                    &ManagementMessage::StateReportRequest,
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(3));
+        ecu.run(1).unwrap();
+        hub.lock().step(Tick::new(4));
+        // The request itself is answered...
+        assert_eq!(uplinks(&hub).len(), 1);
+        // ...but no further spontaneous announcements follow.
+        ecu.run(3 * ANNOUNCE_PERIOD_TICKS).unwrap();
+        hub.lock().step(Tick::new(5));
+        assert!(
+            uplinks(&hub).is_empty(),
+            "announcing stopped once confirmed"
+        );
+    }
+
+    /// The state report answers with the gateway's ground truth — plug-ins it
+    /// saw installed via acknowledgements — and duplicates of the request
+    /// replay the cached report.
+    #[test]
+    fn state_report_request_returns_the_installed_inventory() {
+        let hub = hub();
+        let (mut ecu, _pirte) = build_ecu(&hub);
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    0,
+                    0,
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(2));
+        let acks = uplinks(&hub);
+        assert_eq!(acks.len(), 1, "install acked");
+
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    1,
+                    0,
+                    &ManagementMessage::StateReportRequest,
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(3));
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(4));
+        let reports = uplinks(&hub);
+        assert_eq!(
+            reports,
+            vec![ManagementMessage::StateReport {
+                boot_epoch: 0,
+                plugins: vec![(
+                    PluginId::new("COM"),
+                    AppId::new("remote-control"),
+                    EcuId::new(1),
+                )],
+            }]
+        );
+    }
+
+    /// Regression (dedup horizon): a duplicate delivered *after* the window
+    /// pruned past its sequence id used to be re-applied as a fresh downlink.
+    /// Below-horizon sequences must be rejected; the id exactly *at* the
+    /// horizon is still inside the window.
+    #[test]
+    fn below_horizon_duplicates_are_rejected_not_reapplied() {
+        let hub = hub();
+        let (mut ecu, pirte) = build_ecu(&hub);
+        let install = crate::protocol::encode_downlink(
+            EcuId::new(1),
+            0,
+            0,
+            &ManagementMessage::Install(com_package()),
+        );
+
+        // Apply seq 0, then advance the window far past it.
+        hub.lock()
+            .send("server", "vehicle-1", install.clone())
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+        assert_eq!(pirte.lock().stats().installs, 1);
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    DEDUP_WINDOW + 1,
+                    0,
+                    &ManagementMessage::Stop {
+                        plugin: PluginId::new("COM"),
+                    },
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(2));
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(3));
+        hub.lock().receive("server");
+
+        // seq 0 now lies below the horizon (highest 1025 - window 1024 = 1):
+        // the duplicate is rejected — not re-applied, not acknowledged.
+        hub.lock().send("server", "vehicle-1", install).unwrap();
+        hub.lock().step(Tick::new(4));
+        ecu.run(2).unwrap();
+        assert_eq!(
+            pirte.lock().stats().installs,
+            1,
+            "the below-horizon duplicate must not install again"
+        );
+        assert_eq!(pirte.lock().stats().rejected_operations, 0);
+        hub.lock().step(Tick::new(5));
+        assert!(
+            uplinks(&hub).is_empty(),
+            "no ack and no replay for a rejected below-horizon duplicate"
+        );
+
+        // Boundary: seq exactly at the horizon is still inside the window —
+        // an unseen id there is applied normally.
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    1,
+                    0,
+                    &ManagementMessage::Start {
+                        plugin: PluginId::new("COM"),
+                    },
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(6));
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(7));
+        let at_horizon = uplinks(&hub);
+        assert_eq!(at_horizon.len(), 1, "at-horizon sequence is applied");
+        assert!(matches!(
+            &at_horizon[0],
+            ManagementMessage::Ack(ack) if ack.status == AckStatus::Started
+        ));
     }
 }

@@ -11,22 +11,34 @@ use dynar_core::message::{DownlinkEnvelope, ManagementMessage};
 use dynar_foundation::error::Result;
 use dynar_foundation::ids::EcuId;
 
-/// Encodes a downlink message addressed to one ECU of the vehicle.
-pub fn encode_downlink(target: EcuId, seq: u64, message: &ManagementMessage) -> Vec<u8> {
-    DownlinkEnvelope::new(target, seq, message.clone()).to_bytes()
+/// Encodes a downlink message addressed to one ECU of the vehicle, stamped
+/// with the vehicle boot epoch the server believes it is talking to.
+pub fn encode_downlink(
+    target: EcuId,
+    seq: u64,
+    boot_epoch: u32,
+    message: &ManagementMessage,
+) -> Vec<u8> {
+    DownlinkEnvelope::new(target, seq, boot_epoch, message.clone()).to_bytes()
 }
 
-/// Decodes a downlink message into its target ECU, sequence id and
-/// management message.
+/// Decodes a downlink message into its target ECU, sequence id, boot epoch
+/// and management message.
 ///
 /// # Errors
 ///
 /// Returns [`dynar_foundation::error::DynarError::ProtocolViolation`] for
-/// malformed encodings; target ids outside the `u16` ECU-id range and
-/// negative sequence ids are rejected, never silently truncated.
-pub fn decode_downlink(bytes: &[u8]) -> Result<(EcuId, u64, ManagementMessage)> {
+/// malformed encodings; target ids outside the `u16` ECU-id range, negative
+/// sequence ids and out-of-range boot epochs are rejected, never silently
+/// truncated.
+pub fn decode_downlink(bytes: &[u8]) -> Result<(EcuId, u64, u32, ManagementMessage)> {
     let envelope = DownlinkEnvelope::from_bytes(bytes)?;
-    Ok((envelope.target, envelope.seq, envelope.message))
+    Ok((
+        envelope.target,
+        envelope.seq,
+        envelope.boot_epoch,
+        envelope.message,
+    ))
 }
 
 /// Encodes an uplink (vehicle → server) message.
@@ -58,10 +70,11 @@ mod tests {
         let message = ManagementMessage::Uninstall {
             plugin: PluginId::new("OP"),
         };
-        let bytes = encode_downlink(EcuId::new(2), 9, &message);
-        let (target, seq, decoded) = decode_downlink(&bytes).unwrap();
+        let bytes = encode_downlink(EcuId::new(2), 9, 4, &message);
+        let (target, seq, boot_epoch, decoded) = decode_downlink(&bytes).unwrap();
         assert_eq!(target, EcuId::new(2));
         assert_eq!(seq, 9);
+        assert_eq!(boot_epoch, 4);
         assert_eq!(decoded, message);
     }
 
@@ -96,6 +109,7 @@ mod tests {
             let bytes = codec::encode_value(&Value::List(vec![
                 Value::I64(bad_target),
                 Value::I64(0),
+                Value::I64(0),
                 message.to_value(),
             ]));
             let err = decode_downlink(&bytes).unwrap_err();
@@ -107,6 +121,7 @@ mod tests {
         let negative_seq = codec::encode_value(&Value::List(vec![
             Value::I64(1),
             Value::I64(-1),
+            Value::I64(0),
             message.to_value(),
         ]));
         assert!(matches!(

@@ -61,6 +61,12 @@ use dynar_foundation::time::Tick;
 /// clone of the name captured at send time — no allocation per message).
 pub type EndpointName = Arc<str>;
 
+/// Upper bound on undrained dropped-destination feedback entries (see
+/// [`TransportHub::take_dropped_destinations`]): hubs whose owner never
+/// drains the feedback must not accumulate one name per dropped message for
+/// the life of the simulation.
+const DROPPED_FEEDBACK_CAP: usize = 1024;
+
 /// Configuration of the simulated external network.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransportConfig {
@@ -148,6 +154,9 @@ impl LinkFault {
 struct InFlight {
     /// The sender's name, captured at send time (survives unregistration).
     from_name: EndpointName,
+    /// The destination's name, captured at send time: still available for
+    /// dropped-destination feedback after the endpoint unregistered.
+    to_name: EndpointName,
     from: Slot,
     to: Slot,
     /// Destination-slot generation at send time: if the endpoint unregisters
@@ -244,6 +253,11 @@ pub struct TransportHub {
     /// faults are installed — without jitter, constant latency keeps
     /// per-link schedules monotone by construction.
     last_scheduled: HashMap<(Slot, Slot), Tick>,
+    /// Destinations whose in-flight messages came due after the endpoint
+    /// unregistered (drained by [`TransportHub::take_dropped_destinations`]):
+    /// the senders' side of the federation uses this to park traffic instead
+    /// of retrying into a void.
+    dropped_destinations: Vec<EndpointName>,
     stats: TransportStats,
     rng: StdRng,
     now: Tick,
@@ -263,6 +277,7 @@ impl TransportHub {
             faults: HashMap::new(),
             compiled_faults: HashMap::new(),
             last_scheduled: HashMap::new(),
+            dropped_destinations: Vec::new(),
             stats: TransportStats::default(),
             rng,
             now: Tick::ZERO,
@@ -442,8 +457,10 @@ impl TransportHub {
             None => deliver_at,
         });
         let from_name = Arc::clone(self.endpoints.name_of(from_slot).expect("slot is live"));
+        let to_name = Arc::clone(self.endpoints.name_of(to_slot).expect("slot is live"));
         self.in_flight.push(InFlight {
             from_name,
+            to_name,
             from: from_slot,
             to: to_slot,
             to_generation: self.endpoints.generation(to_slot),
@@ -528,7 +545,16 @@ impl TransportHub {
                     mailbox.push_back((message.from_name, message.payload));
                     self.stats.delivered += 1;
                 }
-                None => self.stats.dropped += 1,
+                None => {
+                    self.stats.dropped += 1;
+                    // Bounded: a hub whose owner never drains the feedback
+                    // (single-vehicle worlds, device tests) must not leak one
+                    // name per dropped message forever.  Past the cap the
+                    // ledger still counts; only the redundant names go.
+                    if self.dropped_destinations.len() < DROPPED_FEEDBACK_CAP {
+                        self.dropped_destinations.push(message.to_name);
+                    }
+                }
             }
         }
         self.next_due = next_due;
@@ -579,6 +605,17 @@ impl TransportHub {
     /// Number of accepted messages that have not come due yet.
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Drains the names of destinations whose in-flight messages were dropped
+    /// because the endpoint unregistered (one entry per dropped message,
+    /// delivery order).  Silently counting `dropped` is enough for the
+    /// ledger, but not for the sender: the trusted server uses this feedback
+    /// to park traffic towards a departed vehicle instead of burning its
+    /// retry budget against a void.  Returns an empty vector — without
+    /// allocating — when nothing was dropped.
+    pub fn take_dropped_destinations(&mut self) -> Vec<EndpointName> {
+        std::mem::take(&mut self.dropped_destinations)
     }
 
     /// Width of the dense endpoint tables (live + freed slots): bounded by
@@ -716,6 +753,34 @@ mod tests {
         assert_eq!(stats.delivered, 0);
         assert!(stats.is_conserved());
         assert!(!hub.unregister("b"), "already unregistered");
+    }
+
+    /// Unregister-while-outstanding is *surfaced*, not just counted: the
+    /// dropped messages' destination names are reported back so the sender
+    /// can park instead of retrying into a void.
+    #[test]
+    fn dropped_destinations_are_reported_to_the_sender_side() {
+        let mut hub = hub();
+        assert!(hub.take_dropped_destinations().is_empty());
+
+        hub.send("a", "b", vec![1]).unwrap();
+        hub.send("a", "b", vec![2]).unwrap();
+        hub.unregister("b");
+        hub.step(Tick::new(1));
+        let dropped = hub.take_dropped_destinations();
+        assert_eq!(dropped.len(), 2, "one entry per dropped message");
+        assert!(dropped.iter().all(|name| name.as_ref() == "b"));
+        assert!(
+            hub.take_dropped_destinations().is_empty(),
+            "feedback is drained exactly once"
+        );
+
+        // Delivered traffic produces no feedback.
+        hub.register("b");
+        hub.send("a", "b", vec![3]).unwrap();
+        hub.step(Tick::new(2));
+        assert!(hub.take_dropped_destinations().is_empty());
+        assert!(hub.stats().is_conserved());
     }
 
     #[test]

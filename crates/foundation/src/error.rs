@@ -112,6 +112,14 @@ pub enum DynarError {
         /// How many delivery attempts were made.
         attempts: u32,
     },
+    /// The vehicle's transport endpoint is gone for good: outstanding
+    /// operations are failed immediately instead of burning the retry budget
+    /// against a dead link (distinct from [`DynarError::RetryExhausted`],
+    /// which means the link *might* still be there).
+    VehicleUnreachable {
+        /// The vehicle whose endpoint disappeared.
+        vehicle: String,
+    },
 }
 
 impl DynarError {
@@ -208,6 +216,9 @@ impl fmt::Display for DynarError {
                 f,
                 "retry budget exhausted after {attempts} attempts: {operation}"
             ),
+            DynarError::VehicleUnreachable { vehicle } => {
+                write!(f, "vehicle unreachable: {vehicle}")
+            }
         }
     }
 }
@@ -261,6 +272,9 @@ mod tests {
             DynarError::RetryExhausted {
                 operation: "install of OP on ECU2".into(),
                 attempts: 8,
+            },
+            DynarError::VehicleUnreachable {
+                vehicle: "VIN-1".into(),
             },
         ];
         for err in cases {

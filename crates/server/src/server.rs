@@ -11,6 +11,24 @@
 //! [`DeploymentStatus::Failed`] record — a lossy link degrades into an
 //! explicit failure, never a silent hang.
 //!
+//! # Lifecycle & desired-state reconciliation
+//!
+//! On top of the imperative pusher sits a convergent control loop.  Each
+//! vehicle keeps a declarative **desired manifest** (the applications it
+//! should run) next to the **observed** installed set;
+//! [`TrustedServer::reconcile`] diffs the two and emits the minimal
+//! install/uninstall downlink set.  Failures are retried, never terminal.
+//! Vehicles whose endpoint is known dead are **parked**
+//! ([`TrustedServer::mark_offline`]): deadlines freeze instead of burning the
+//! retry budget, until [`TrustedServer::mark_online`] — or, for a *rebooted*
+//! vehicle, the ECM's post-boot [`ManagementMessage::StateReport`] — brings
+//! them back.  Every downlink is stamped with the vehicle's **boot epoch**;
+//! a report with a newer epoch voids all old-epoch bookkeeping (the ECM's
+//! volatile state is gone) and resyncs the observed set from the vehicle's
+//! ground truth before reconciling.  Permanently removed vehicles fail fast
+//! with the distinct [`DynarError::VehicleUnreachable`]
+//! ([`TrustedServer::mark_unreachable`]).
+//!
 //! # Hot-path discipline
 //!
 //! [`TrustedServer::tick`] runs once per fleet tick for every vehicle, so its
@@ -22,7 +40,7 @@
 //! and the transport all hold the same allocation.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
 use dynar_core::context::{
     ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
@@ -129,9 +147,30 @@ struct VehicleRecord {
     hw: HwConf,
     system: SystemSwConf,
     owner: Option<UserId>,
+    /// The declarative *desired manifest*: the applications this vehicle
+    /// should converge to, independent of what has been observed so far.
+    /// [`TrustedServer::reconcile`] diffs it against `installed`.
+    desired: BTreeSet<AppId>,
+    /// The *observed* state: applications whose installation the vehicle
+    /// acknowledged (resynced from the ECM's state reports after a reboot).
     installed: HashMap<AppId, InstalledApp>,
     pending: HashMap<AppId, PendingOperation>,
     failed: HashMap<AppId, String>,
+    /// `false` while the vehicle's endpoint is known to be gone (reboot in
+    /// progress, transport feedback): downlinks park and deadlines freeze
+    /// instead of burning the retry budget against a dead link.
+    online: bool,
+    /// `true` while a [`ManagementMessage::StateReportRequest`] queued by the
+    /// server has not been answered yet: the next report is *solicited* and
+    /// must not be answered with another request (which would ping-pong
+    /// request/report forever).  Unsolicited reports are the gateway's
+    /// post-reboot announcements; when one triggers no downlink of its own, a
+    /// confirmation request is queued so the gateway learns its new epoch
+    /// reached the server and stops re-announcing.
+    awaiting_report: bool,
+    /// The vehicle boot epoch the server last confirmed (stamped into every
+    /// downlink; the gateway rejects other epochs).
+    boot_epoch: u32,
     next_port_id: HashMap<EcuId, u32>,
     downlink: Vec<Payload>,
     /// Next downlink sequence id (monotonically increasing per vehicle).
@@ -206,9 +245,13 @@ impl TrustedServer {
                 hw,
                 system,
                 owner: None,
+                desired: BTreeSet::new(),
                 installed: HashMap::new(),
                 pending: HashMap::new(),
                 failed: HashMap::new(),
+                online: true,
+                boot_epoch: 0,
+                awaiting_report: false,
                 next_port_id: HashMap::new(),
                 downlink: Vec::new(),
                 next_seq: 0,
@@ -276,11 +319,14 @@ impl TrustedServer {
                 awaiting: pending.awaiting.iter().cloned().collect(),
             };
         }
-        if record.installed.contains_key(app) {
-            return DeploymentStatus::Installed;
-        }
+        // A failure outranks an installed record: a failed *uninstall* leaves
+        // the app both installed (it is still partially present) and failed —
+        // the failure is the newer fact and must not be masked.
         if let Some(reason) = record.failed.get(app) {
             return DeploymentStatus::Failed(reason.clone());
+        }
+        if record.installed.contains_key(app) {
+            return DeploymentStatus::Installed;
         }
         DeploymentStatus::NotInstalled
     }
@@ -512,8 +558,10 @@ impl TrustedServer {
 
     /// Deploys an application to a vehicle: runs the checks, generates the
     /// contexts, queues the installation packages for the vehicle's ECM and
-    /// records the pending acknowledgements.  Returns the number of packages
-    /// pushed.
+    /// records the pending acknowledgements.  The application also enters the
+    /// vehicle's *desired manifest*, so [`TrustedServer::reconcile`] keeps
+    /// driving it towards `Installed` after failures or reboots.  Returns the
+    /// number of packages pushed.
     ///
     /// # Errors
     ///
@@ -521,6 +569,18 @@ impl TrustedServer {
     /// and the rejections documented on [`TrustedServer::plan_deployment`].
     pub fn deploy(&mut self, user: &UserId, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
         self.check_owner(user, vehicle)?;
+        let pushed = self.push_install(vehicle, app)?;
+        let record = self.vehicles.get_mut(vehicle).expect("owner checked");
+        record.desired.insert(app.clone());
+        Ok(pushed)
+    }
+
+    /// Plans and pushes the installation packages of `app` (the imperative
+    /// half of [`TrustedServer::deploy`], shared with
+    /// [`TrustedServer::reconcile`], which bypasses the ownership check
+    /// because the operation was already authorised when the manifest was
+    /// set).
+    fn push_install(&mut self, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
         let packages = self.plan_deployment(vehicle, app)?;
         let record = self
             .vehicles
@@ -572,8 +632,9 @@ impl TrustedServer {
     }
 
     /// Uninstalls an application from a vehicle, after checking that no other
-    /// installed application depends on it.  Returns the number of
-    /// uninstallation messages pushed.
+    /// installed application depends on it.  The application also leaves the
+    /// vehicle's *desired manifest*.  Returns the number of uninstallation
+    /// messages pushed.
     ///
     /// # Errors
     ///
@@ -581,6 +642,16 @@ impl TrustedServer {
     /// require this one, and [`DynarError::NotFound`] for unknown entities.
     pub fn uninstall(&mut self, user: &UserId, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
         self.check_owner(user, vehicle)?;
+        let pushed = self.push_uninstall(vehicle, app)?;
+        let record = self.vehicles.get_mut(vehicle).expect("owner checked");
+        record.desired.remove(app);
+        Ok(pushed)
+    }
+
+    /// Pushes the uninstallation messages of an installed `app` (the
+    /// imperative half of [`TrustedServer::uninstall`], shared with
+    /// [`TrustedServer::reconcile`]).
+    fn push_uninstall(&mut self, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
         let dependents: Vec<String> = {
             let record = self
                 .vehicles
@@ -634,6 +705,8 @@ impl TrustedServer {
                 failure: None,
             },
         );
+        // A fresh operation supersedes whatever failure the last one left.
+        record.failed.remove(app);
         Ok(count)
     }
 
@@ -707,6 +780,362 @@ impl TrustedServer {
         apps
     }
 
+    // ------------------------------------------------------------------
+    // Lifecycle & desired-state reconciliation
+    // ------------------------------------------------------------------
+
+    /// The vehicle's desired manifest: the applications it should converge
+    /// to, in sorted order.
+    pub fn desired_manifest(&self, vehicle: &VehicleId) -> Vec<AppId> {
+        self.vehicles
+            .get(vehicle)
+            .map(|v| v.desired.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Adds `app` to the vehicle's desired manifest and reconciles
+    /// immediately.  Unlike [`TrustedServer::deploy`] this is *declarative*:
+    /// requesting an app that is already installed or in flight is a no-op,
+    /// and a previously failed operation is simply retried.  Returns the
+    /// number of packages pushed by the reconciliation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the user does not own the vehicle
+    /// or the app does not exist.
+    pub fn set_desired(
+        &mut self,
+        user: &UserId,
+        vehicle: &VehicleId,
+        app: &AppId,
+    ) -> Result<usize> {
+        self.check_owner(user, vehicle)?;
+        if !self.apps.contains_key(app) {
+            return Err(DynarError::not_found("app", app));
+        }
+        let record = self.vehicles.get_mut(vehicle).expect("owner checked");
+        record.desired.insert(app.clone());
+        self.reconcile(vehicle)
+    }
+
+    /// Removes `app` from the vehicle's desired manifest and reconciles
+    /// immediately.  Returns the number of messages pushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] if the user does not own the vehicle.
+    pub fn clear_desired(
+        &mut self,
+        user: &UserId,
+        vehicle: &VehicleId,
+        app: &AppId,
+    ) -> Result<usize> {
+        self.check_owner(user, vehicle)?;
+        let record = self.vehicles.get_mut(vehicle).expect("owner checked");
+        record.desired.remove(app);
+        self.reconcile(vehicle)
+    }
+
+    /// Diffs the vehicle's desired manifest against its observed state and
+    /// pushes the minimal downlink set closing the gap:
+    ///
+    /// * desired but neither installed nor in flight → install (a stale
+    ///   `Failed` record from the previous attempt is cleared — failures are
+    ///   retried, never terminal, because the vehicle-side management path
+    ///   treats a re-issued install as a replacement);
+    /// * installed but no longer desired and not in flight → uninstall
+    ///   (skipped while other *installed* apps still depend on it; the next
+    ///   reconciliation retries once the dependents are gone).
+    ///
+    /// Apps whose install cannot even be planned (incompatible hardware,
+    /// missing dependency not yet installed, …) are recorded as `Failed` with
+    /// the rejection reason and retried by the next reconciliation — a
+    /// missing dependency resolves itself once the dependency's own install
+    /// converges.
+    ///
+    /// Returns the number of packages pushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown vehicles.
+    pub fn reconcile(&mut self, vehicle: &VehicleId) -> Result<usize> {
+        let (to_install, to_uninstall) = {
+            let record = self
+                .vehicles
+                .get(vehicle)
+                .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+            let to_install: Vec<AppId> = record
+                .desired
+                .iter()
+                .filter(|app| {
+                    !record.installed.contains_key(*app) && !record.pending.contains_key(*app)
+                })
+                .cloned()
+                .collect();
+            let to_uninstall: Vec<AppId> = record
+                .installed
+                .keys()
+                .filter(|app| !record.desired.contains(*app) && !record.pending.contains_key(*app))
+                .filter(|app| {
+                    // Keep dependency order: a still-depended-on app waits
+                    // for the next round, after its dependents are removed.
+                    !record.installed.keys().any(|other| {
+                        self.apps
+                            .get(other)
+                            .is_some_and(|d| d.requires.contains(*app))
+                    })
+                })
+                .cloned()
+                .collect();
+            (to_install, to_uninstall)
+        };
+        let mut pushed = 0;
+        for app in &to_install {
+            if let Some(record) = self.vehicles.get_mut(vehicle) {
+                record.failed.remove(app);
+            }
+            match self.push_install(vehicle, app) {
+                Ok(count) => pushed += count,
+                Err(err) => {
+                    // Not pushable right now (e.g. a dependency that has not
+                    // converged yet): surface the reason and let the next
+                    // reconciliation retry.
+                    let record = self.vehicles.get_mut(vehicle).expect("checked above");
+                    record.failed.insert(app.clone(), err.to_string());
+                }
+            }
+        }
+        for app in &to_uninstall {
+            pushed += self.push_uninstall(vehicle, app)?;
+        }
+        Ok(pushed)
+    }
+
+    /// Parks a vehicle whose transport endpoint is known to be gone (reboot
+    /// in progress, dropped-destination feedback): downlinks stay queued and
+    /// retransmission deadlines freeze, so the retry budget is not burned
+    /// against a dead link.
+    pub fn mark_offline(&mut self, vehicle: &VehicleId) {
+        if let Some(record) = self.vehicles.get_mut(vehicle) {
+            record.online = false;
+        }
+    }
+
+    /// Returns `true` if the vehicle is registered and not parked offline.
+    pub fn is_online(&self, vehicle: &VehicleId) -> bool {
+        self.vehicles.get(vehicle).is_some_and(|v| v.online)
+    }
+
+    /// The vehicle boot epoch the server currently stamps into downlinks.
+    pub fn vehicle_boot_epoch(&self, vehicle: &VehicleId) -> Option<u32> {
+        self.vehicles.get(vehicle).map(|v| v.boot_epoch)
+    }
+
+    /// Brings a parked vehicle back: outstanding deadlines are re-armed
+    /// relative to the current tick (the attempts already made keep
+    /// counting), and the vehicle is reconciled against its desired
+    /// manifest.  A `boot_epoch` newer than the last known one means the
+    /// vehicle *rebooted* — its ECM lost all volatile state — so everything
+    /// still outstanding or observed under the old epoch is discarded and
+    /// the reconciliation re-issues what the manifest still wants under the
+    /// new epoch.
+    pub fn mark_online(&mut self, vehicle: &VehicleId, boot_epoch: u32) {
+        let now = self.now;
+        let policy = self.policy.clone();
+        if let Some(record) = self.vehicles.get_mut(vehicle) {
+            Self::bring_online(record, now, &policy, boot_epoch);
+        }
+        let _ = self.reconcile(vehicle);
+    }
+
+    /// Declares a vehicle permanently unreachable (its endpoint was removed,
+    /// not rebooted): every outstanding operation fails *immediately* with
+    /// the distinct [`DynarError::VehicleUnreachable`] — no retry budget is
+    /// burned, and the failure reason is not the misleading
+    /// "retry budget exhausted".  Returns the escalated failures.
+    pub fn mark_unreachable(&mut self, vehicle: &VehicleId) -> Vec<RetryFailure> {
+        let Some(record) = self.vehicles.get_mut(vehicle) else {
+            return Vec::new();
+        };
+        record.online = false;
+        record.downlink.clear();
+        record.deadlines.clear();
+        let mut failures = Vec::new();
+        for entry in std::mem::take(&mut record.outstanding) {
+            let error = DynarError::VehicleUnreachable {
+                vehicle: vehicle.to_string(),
+            };
+            Self::fail_awaiting(record, &entry.app, &entry.plugin, &error);
+            failures.push(RetryFailure {
+                vehicle: vehicle.clone(),
+                app: entry.app,
+                plugin: entry.plugin,
+                error,
+            });
+        }
+        // Operations whose outstanding entries were already settled but that
+        // still await acknowledgements can never complete either.
+        let stuck: Vec<AppId> = record.pending.keys().cloned().collect();
+        for app in stuck {
+            let pending = record.pending.get_mut(&app).expect("key just listed");
+            pending.failure.get_or_insert_with(|| {
+                DynarError::VehicleUnreachable {
+                    vehicle: vehicle.to_string(),
+                }
+                .to_string()
+            });
+            pending.awaiting.clear();
+            Self::resolve_if_complete(record, &app);
+        }
+        failures
+    }
+
+    /// Queues a [`ManagementMessage::StateReportRequest`] towards the
+    /// vehicle's ECM, asking for its ground-truth plug-in inventory (answered
+    /// with a state report that [`TrustedServer::resync`] consumes).  The
+    /// request is fire-and-forget: callers poll and re-request if the answer
+    /// is lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown vehicles and
+    /// [`DynarError::InvalidConfiguration`] if the vehicle's system software
+    /// declares no ECM.
+    pub fn request_state_report(&mut self, vehicle: &VehicleId) -> Result<()> {
+        let record = self
+            .vehicles
+            .get_mut(vehicle)
+            .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+        let ecm = record.system.ecm_ecu().ok_or_else(|| {
+            DynarError::invalid_config(format!("vehicle {vehicle} declares no ECM SW-C"))
+        })?;
+        Self::queue_envelope(record, ecm, ManagementMessage::StateReportRequest);
+        record.awaiting_report = true;
+        Ok(())
+    }
+
+    /// Resynchronises the server's observed state from a vehicle state
+    /// report — the ground truth of what is actually installed:
+    ///
+    /// * a report with a **newer boot epoch** first discards everything tied
+    ///   to the old epoch (outstanding packages, parked downlinks, pending
+    ///   operations *and* the observed installed set: the ECM's volatile
+    ///   state is gone, so prior observations are void);
+    /// * observed apps whose plug-ins the report does not confirm are
+    ///   dropped (the manifest will re-install the desired ones);
+    /// * reported plug-ins that no desired, observed or in-flight app
+    ///   accounts for are *orphans* — a tracked uninstall is pushed for each
+    ///   so the vehicle converges down to the manifest too;
+    /// * finally the vehicle is reconciled.
+    ///
+    /// Stale reports from before the last known epoch are ignored.
+    fn resync(&mut self, vehicle: &VehicleId, epoch: u32, plugins: &[(PluginId, AppId, EcuId)]) {
+        let now = self.now;
+        let policy = self.policy.clone();
+        let Some(record) = self.vehicles.get_mut(vehicle) else {
+            return;
+        };
+        if epoch < record.boot_epoch {
+            return;
+        }
+        let rebooted = Self::bring_online(record, now, &policy, epoch);
+        // A report answering our own request is *solicited*; anything else —
+        // in particular the first report after a reboot — is the gateway
+        // announcing itself.  An epoch bump voids any older request.
+        let solicited = record.awaiting_report && !rebooted;
+        record.awaiting_report = false;
+        let mut orphan_pushes = 0usize;
+        let present: HashSet<&PluginId> = plugins.iter().map(|(plugin, _, _)| plugin).collect();
+        record
+            .installed
+            .retain(|_, installed| installed.plugins.iter().all(|(p, _)| present.contains(p)));
+        for (plugin, app, ecu) in plugins {
+            let accounted = record.desired.contains(app)
+                || record
+                    .installed
+                    .values()
+                    .any(|r| r.plugins.iter().any(|(p, _)| p == plugin))
+                || record
+                    .pending
+                    .values()
+                    .any(|p| p.record.plugins.iter().any(|(q, _)| q == plugin))
+                // An orphan uninstall already in flight (reports can repeat
+                // while it travels) must not be pushed again.
+                || record.outstanding.iter().any(|o| &o.plugin == plugin);
+            if !accounted {
+                Self::push_tracked(
+                    record,
+                    now,
+                    &policy,
+                    *ecu,
+                    plugin.clone(),
+                    app.clone(),
+                    PendingKind::Uninstall,
+                    ManagementMessage::Uninstall {
+                        plugin: plugin.clone(),
+                    },
+                );
+                orphan_pushes += 1;
+            }
+        }
+        let reconciled = self.reconcile(vehicle).unwrap_or(0);
+        // An announcing gateway re-announces until a downlink of its own
+        // epoch proves the server resynced.  When the resync itself produced
+        // no downlink (empty manifest, everything already converged), answer
+        // with a state-report request: it confirms the epoch, and its reply
+        // arrives flagged as solicited so this cannot ping-pong.
+        if !solicited && orphan_pushes == 0 && reconciled == 0 {
+            let _ = self.request_state_report(vehicle);
+        }
+    }
+
+    /// Un-parks a vehicle record, handling the epoch transition: an epoch
+    /// bump voids everything issued under the old epoch (the rebooted
+    /// gateway would reject it anyway); a same-epoch return re-arms the
+    /// frozen deadlines relative to `now`.  Returns `true` if the vehicle
+    /// rebooted.
+    fn bring_online(
+        record: &mut VehicleRecord,
+        now: Tick,
+        policy: &RetryPolicy,
+        boot_epoch: u32,
+    ) -> bool {
+        let was_online = record.online;
+        record.online = true;
+        if boot_epoch > record.boot_epoch {
+            record.boot_epoch = boot_epoch;
+            record.outstanding.clear();
+            record.deadlines.clear();
+            record.downlink.clear();
+            // Aborted, not failed: the manifest still records the intent and
+            // the post-resync reconciliation re-issues it under the new
+            // epoch.
+            record.pending.clear();
+            // The ECM's volatile state died with the old epoch: nothing can
+            // be assumed installed until acknowledged (or reported) again —
+            // and old-epoch failure outcomes are void with it (a non-desired
+            // app whose uninstall retry-exhausted is simply gone now; a
+            // desired one is re-driven by the reconciliation).
+            record.installed.clear();
+            record.failed.clear();
+            true
+        } else {
+            // Re-arm frozen deadlines only when the vehicle was actually
+            // parked: a same-epoch state report from an *online* vehicle (a
+            // routine poll answer, a re-announcement whose confirmation was
+            // lost) must not keep postponing the retransmission of packages
+            // whose deadlines are legitimately running.
+            if !was_online {
+                record.deadlines.clear();
+                for entry in &mut record.outstanding {
+                    entry.deadline = now.advance(policy.ack_deadline_ticks.max(1));
+                    record.deadlines.push(Reverse((entry.deadline, entry.seq)));
+                }
+            }
+            false
+        }
+    }
+
     /// Advances the reliability plane to `now`: every outstanding package
     /// whose deadline lapsed is either retransmitted (same sequence id) or —
     /// once its attempt budget is spent — escalated into a typed
@@ -721,6 +1150,13 @@ impl TrustedServer {
         let policy = self.policy.clone();
         let mut failures = Vec::new();
         for (vehicle_id, record) in &mut self.vehicles {
+            if !record.online {
+                // Parked: an offline vehicle's deadlines freeze — the link is
+                // known dead, so retransmitting would only burn the retry
+                // budget and escalate misleading failures.  `mark_online`
+                // re-arms every deadline relative to its own `now`.
+                continue;
+            }
             if record.outstanding.is_empty() {
                 // Every entry settled: drop whatever stale heap entries the
                 // acknowledgements left behind.
@@ -785,7 +1221,9 @@ impl TrustedServer {
     ) -> (u64, Payload) {
         let seq = record.next_seq;
         record.next_seq += 1;
-        let payload: Payload = DownlinkEnvelope::new(ecu, seq, message).to_bytes().into();
+        let payload: Payload = DownlinkEnvelope::new(ecu, seq, record.boot_epoch, message)
+            .to_bytes()
+            .into();
         record.downlink.push(payload.clone());
         (seq, payload)
     }
@@ -822,34 +1260,48 @@ impl TrustedServer {
     /// Drains the downlink messages queued for a vehicle (consumed by the
     /// simulation harness, which feeds them to the vehicle's ECM endpoint).
     /// The returned payloads share their buffers with the retransmission
-    /// cache — nothing is copied.
+    /// cache — nothing is copied.  An offline vehicle's queue stays parked:
+    /// nothing is drained until [`TrustedServer::mark_online`] (or a state
+    /// report) brings the vehicle back.
     pub fn poll_downlink(&mut self, vehicle: &VehicleId) -> Vec<Payload> {
         self.vehicles
             .get_mut(vehicle)
+            .filter(|v| v.online)
             .map(|v| std::mem::take(&mut v.downlink))
             .unwrap_or_default()
     }
 
-    /// Processes an uplink message (an acknowledgement) from a vehicle,
-    /// updating the installed-app records.
+    /// Processes an uplink message from a vehicle: an acknowledgement updates
+    /// the installed-app records; a [`ManagementMessage::StateReport`]
+    /// resynchronises the server's observed state from the vehicle's ground
+    /// truth (see [`TrustedServer::resync`]).
     ///
     /// # Errors
     ///
     /// Returns [`DynarError::NotFound`] for unknown vehicles and
-    /// [`DynarError::ProtocolViolation`] for malformed uplink payloads.
+    /// [`DynarError::ProtocolViolation`] for malformed or unexpected uplink
+    /// payloads.
     pub fn process_uplink(&mut self, vehicle: &VehicleId, payload: &[u8]) -> Result<()> {
-        let record = self
-            .vehicles
-            .get_mut(vehicle)
-            .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
-        let message = ManagementMessage::from_bytes(payload)?;
-        let ManagementMessage::Ack(ack) = message else {
-            return Err(DynarError::ProtocolViolation(
-                "uplink message is not an acknowledgement".into(),
-            ));
-        };
-        Self::apply_ack(record, &ack);
-        Ok(())
+        if !self.vehicles.contains_key(vehicle) {
+            return Err(DynarError::not_found("vehicle", vehicle));
+        }
+        match ManagementMessage::from_bytes(payload)? {
+            ManagementMessage::Ack(ack) => {
+                let record = self.vehicles.get_mut(vehicle).expect("checked above");
+                Self::apply_ack(record, &ack);
+                Ok(())
+            }
+            ManagementMessage::StateReport {
+                boot_epoch,
+                plugins,
+            } => {
+                self.resync(vehicle, boot_epoch, &plugins);
+                Ok(())
+            }
+            _ => Err(DynarError::ProtocolViolation(
+                "uplink message is neither an acknowledgement nor a state report".into(),
+            )),
+        }
     }
 
     /// Applies one acknowledgement: settles the outstanding retransmission
@@ -1670,5 +2122,386 @@ mod tests {
         .to_bytes();
         assert!(server.process_uplink(&vehicle, &not_ack).is_err());
         assert!(server.process_uplink(&vehicle, &[1, 2]).is_err());
+    }
+
+    fn tick(n: u64) -> dynar_foundation::time::Tick {
+        dynar_foundation::time::Tick::new(n)
+    }
+
+    fn state_report(epoch: u32, plugins: Vec<(&str, &str, u16)>) -> Vec<u8> {
+        ManagementMessage::StateReport {
+            boot_epoch: epoch,
+            plugins: plugins
+                .into_iter()
+                .map(|(plugin, app, ecu)| (PluginId::new(plugin), AppId::new(app), EcuId::new(ecu)))
+                .collect(),
+        }
+        .to_bytes()
+    }
+
+    /// Regression (satellite): a `Failed` deployment record must never be
+    /// terminal.  After a partial failure — one plug-in acknowledged, the
+    /// other's retry budget exhausted — re-issuing the install must clear the
+    /// stale record, produce a fresh `Pending` operation and converge once
+    /// the vehicle acknowledges (the vehicle-side management path replaces
+    /// the half-installed plug-in instead of rejecting a duplicate).
+    #[test]
+    fn redeploy_after_a_partial_retry_failure_yields_a_fresh_pending_op() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        server.set_retry_policy(RetryPolicy {
+            ack_deadline_ticks: 5,
+            max_attempts: 2,
+        });
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+
+        // COM installs fine; OP's link is dead until the budget runs out.
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server.tick(tick(5));
+        let failures = server.tick(tick(10));
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Failed(_)
+        ));
+
+        // Re-issuing the install clears the stale failure and goes Pending.
+        server.deploy(&user, &vehicle, &app).unwrap();
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Pending { .. }
+        ));
+
+        // Both plug-ins acknowledge (COM as a replacement install) and the
+        // operation converges — the earlier failure left nothing sticky.
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        assert_eq!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Installed
+        );
+        assert_eq!(server.outstanding_count(&vehicle), 0);
+    }
+
+    /// Regression (satellite): with the vehicle's endpoint gone, the server
+    /// used to keep retransmitting until the budget exhausted with a
+    /// misleading "retry budget exhausted" reason.  Parking the vehicle
+    /// freezes the deadlines; bringing it back re-arms them and converges.
+    #[test]
+    fn offline_vehicles_park_instead_of_burning_the_retry_budget() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        server.set_retry_policy(RetryPolicy {
+            ack_deadline_ticks: 10,
+            max_attempts: 3,
+        });
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        server.poll_downlink(&vehicle);
+
+        server.mark_offline(&vehicle);
+        assert!(!server.is_online(&vehicle));
+        // Far past the whole retry horizon: nothing escalates, nothing moves.
+        assert!(server.tick(tick(1_000)).is_empty());
+        assert!(server.poll_downlink(&vehicle).is_empty(), "queue is parked");
+        assert_eq!(server.outstanding_count(&vehicle), 2);
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Pending { .. }
+        ));
+
+        // Back online (same epoch): deadlines re-arm relative to now and the
+        // packages retransmit with their original sequence ids.
+        server.mark_online(&vehicle, 0);
+        assert!(server.is_online(&vehicle));
+        assert!(server.tick(tick(1_010)).is_empty());
+        let retried = server.poll_downlink(&vehicle);
+        assert_eq!(retried.len(), 2);
+        let seqs: Vec<u64> = retried
+            .iter()
+            .map(|bytes| DownlinkEnvelope::from_bytes(bytes).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1], "same ids — the gateway deduplicates");
+    }
+
+    /// Regression (satellite): a permanently removed vehicle fails fast with
+    /// the distinct `VehicleUnreachable` reason instead of burning the retry
+    /// budget and reporting "retry budget exhausted".
+    #[test]
+    fn unreachable_vehicles_fail_fast_with_a_distinct_reason() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+
+        let failures = server.mark_unreachable(&vehicle);
+        assert_eq!(failures.len(), 2);
+        assert!(failures
+            .iter()
+            .all(|f| matches!(f.error, DynarError::VehicleUnreachable { .. })));
+        assert!(server.pending_operations(&vehicle).is_empty());
+        assert_eq!(server.outstanding_count(&vehicle), 0);
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Failed(reason) if reason.contains("unreachable")
+        ));
+        // Nothing left to retransmit or escalate at any later tick.
+        assert!(server.tick(tick(10_000)).is_empty());
+        assert!(server.poll_downlink(&vehicle).is_empty());
+    }
+
+    #[test]
+    fn desired_state_reconciliation_converges_up_and_down() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+
+        // Declaring the app pushes its packages and goes Pending.
+        let pushed = server.set_desired(&user, &vehicle, &app).unwrap();
+        assert_eq!(pushed, 2);
+        assert_eq!(server.desired_manifest(&vehicle), vec![app.clone()]);
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Pending { .. }
+        ));
+        // Re-declaring while in flight is a no-op.
+        assert_eq!(server.set_desired(&user, &vehicle, &app).unwrap(), 0);
+
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        assert_eq!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Installed
+        );
+        // Declaring an installed app pushes nothing.
+        assert_eq!(server.set_desired(&user, &vehicle, &app).unwrap(), 0);
+
+        // Withdrawing it reconciles down to an uninstall.
+        let pushed = server.clear_desired(&user, &vehicle, &app).unwrap();
+        assert_eq!(pushed, 2);
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Uninstalled),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Uninstalled),
+            )
+            .unwrap();
+        assert_eq!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::NotInstalled
+        );
+        assert!(server.desired_manifest(&vehicle).is_empty());
+    }
+
+    /// The reboot-recovery path: a state report with a newer boot epoch voids
+    /// the old epoch's bookkeeping (the ECM's volatile state is gone) and the
+    /// reconciliation re-issues the manifest under the new epoch.
+    #[test]
+    fn a_rebooted_vehicles_state_report_resyncs_and_reinstalls() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        server.poll_downlink(&vehicle);
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        assert_eq!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Installed
+        );
+
+        // The vehicle reboots and announces an empty epoch-1 inventory.
+        server.mark_offline(&vehicle);
+        server
+            .process_uplink(&vehicle, &state_report(1, vec![]))
+            .unwrap();
+        assert!(server.is_online(&vehicle));
+        assert_eq!(server.vehicle_boot_epoch(&vehicle), Some(1));
+        assert!(
+            matches!(
+                server.deployment_status(&vehicle, &app),
+                DeploymentStatus::Pending { .. }
+            ),
+            "the manifest re-issues the install from truth"
+        );
+        let downlinks = server.poll_downlink(&vehicle);
+        assert_eq!(downlinks.len(), 2);
+        for bytes in &downlinks {
+            let envelope = DownlinkEnvelope::from_bytes(bytes).unwrap();
+            assert_eq!(envelope.boot_epoch, 1, "stamped with the new epoch");
+        }
+
+        // A stale epoch-0 report straggling in afterwards changes nothing.
+        server
+            .process_uplink(&vehicle, &state_report(0, vec![]))
+            .unwrap();
+        assert_eq!(server.vehicle_boot_epoch(&vehicle), Some(1));
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Pending { .. }
+        ));
+    }
+
+    /// Plug-ins the vehicle reports but nothing accounts for (their app is
+    /// neither desired, observed nor in flight) are orphans: the resync
+    /// pushes tracked uninstalls so the vehicle converges *down* to the
+    /// manifest too.
+    #[test]
+    fn orphan_plugins_in_a_state_report_are_uninstalled() {
+        let (mut server, _user, vehicle) = server_with_vehicle();
+        server
+            .process_uplink(
+                &vehicle,
+                &state_report(0, vec![("GHOST", "retired-app", 2)]),
+            )
+            .unwrap();
+        assert_eq!(server.outstanding_count(&vehicle), 1);
+        let downlinks = server.poll_downlink(&vehicle);
+        assert_eq!(downlinks.len(), 1);
+        let envelope = DownlinkEnvelope::from_bytes(&downlinks[0]).unwrap();
+        assert_eq!(envelope.target, EcuId::new(2));
+        assert!(matches!(
+            envelope.message,
+            ManagementMessage::Uninstall { plugin } if plugin == PluginId::new("GHOST")
+        ));
+
+        // The vehicle confirms; the orphan bookkeeping settles.
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("GHOST", "retired-app", 2, AckStatus::Uninstalled),
+            )
+            .unwrap();
+        assert_eq!(server.outstanding_count(&vehicle), 0);
+    }
+
+    /// A rebooted vehicle with nothing desired still needs an own-epoch
+    /// downlink, or its gateway re-announces forever: the resync answers an
+    /// unsolicited report that produced no downlink with a state-report
+    /// request (whose reply is marked solicited, so this cannot ping-pong).
+    #[test]
+    fn an_empty_resync_confirms_the_epoch_with_a_request() {
+        let (mut server, _user, vehicle) = server_with_vehicle();
+        server
+            .process_uplink(&vehicle, &state_report(1, vec![]))
+            .unwrap();
+        let downlinks = server.poll_downlink(&vehicle);
+        assert_eq!(downlinks.len(), 1, "exactly the confirmation request");
+        let envelope = DownlinkEnvelope::from_bytes(&downlinks[0]).unwrap();
+        assert_eq!(envelope.boot_epoch, 1, "carries the new epoch");
+        assert!(matches!(
+            envelope.message,
+            ManagementMessage::StateReportRequest
+        ));
+
+        // The gateway's reply is solicited: no further request is queued.
+        server
+            .process_uplink(&vehicle, &state_report(1, vec![]))
+            .unwrap();
+        assert!(server.poll_downlink(&vehicle).is_empty(), "no ping-pong");
+
+        // The next *unsolicited* announce (a lost confirmation makes the
+        // gateway retry) is answered again.
+        server
+            .process_uplink(&vehicle, &state_report(1, vec![]))
+            .unwrap();
+        assert_eq!(server.poll_downlink(&vehicle).len(), 1);
+    }
+
+    /// An epoch bump voids old-epoch failure outcomes along with the rest of
+    /// the bookkeeping: a non-desired app whose uninstall retry-exhausted
+    /// before the reboot must not stay `Failed` forever on a vehicle that
+    /// demonstrably no longer has it.
+    #[test]
+    fn a_reboot_clears_stale_failure_records() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        server.set_retry_policy(RetryPolicy {
+            ack_deadline_ticks: 5,
+            max_attempts: 1,
+        });
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        // The uninstall dies on the link and the app is no longer desired.
+        server.uninstall(&user, &vehicle, &app).unwrap();
+        assert!(!server.tick(tick(100)).is_empty());
+        assert!(matches!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::Failed(_)
+        ));
+
+        // The vehicle reboots with an empty inventory: the stale failure is
+        // void — the plug-ins are gone with the old epoch.
+        server
+            .process_uplink(&vehicle, &state_report(1, vec![]))
+            .unwrap();
+        assert_eq!(
+            server.deployment_status(&vehicle, &app),
+            DeploymentStatus::NotInstalled
+        );
+    }
+
+    #[test]
+    fn state_report_requests_are_queued_towards_the_ecm() {
+        let (mut server, _user, vehicle) = server_with_vehicle();
+        server.request_state_report(&vehicle).unwrap();
+        let downlinks = server.poll_downlink(&vehicle);
+        assert_eq!(downlinks.len(), 1);
+        let envelope = DownlinkEnvelope::from_bytes(&downlinks[0]).unwrap();
+        assert_eq!(envelope.target, EcuId::new(1), "addressed to the ECM ECU");
+        assert!(matches!(
+            envelope.message,
+            ManagementMessage::StateReportRequest
+        ));
+        assert!(server
+            .request_state_report(&VehicleId::new("ghost"))
+            .is_err());
     }
 }

@@ -138,6 +138,76 @@ impl Fleet {
         Ok(())
     }
 
+    /// Adds a vehicle while the fleet is running.  Identical to
+    /// [`Fleet::add_vehicle`] — named separately to document that joining
+    /// mid-run is safe: the vehicle's ECM already registered its endpoint on
+    /// the shared hub, whose slot generations guarantee that traffic in
+    /// flight towards a previous tenant of a reused slot is dropped, never
+    /// delivered to the newcomer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Duplicate`] if the id or endpoint is taken.
+    pub fn add_vehicle_during_run(
+        &mut self,
+        id: VehicleId,
+        ecm_endpoint: impl Into<String>,
+        vehicle: Vehicle,
+    ) -> Result<()> {
+        self.add_vehicle(id, ecm_endpoint, vehicle)
+    }
+
+    /// Removes a vehicle for good: its endpoint is unregistered from the hub
+    /// (voiding traffic still in flight towards it) and the server fails
+    /// every outstanding operation fast with
+    /// [`dynar_foundation::error::DynarError::VehicleUnreachable`].  Returns
+    /// the detached [`Vehicle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown vehicles.
+    pub fn remove_vehicle(&mut self, id: &VehicleId) -> Result<Vehicle> {
+        let index = *self
+            .by_id
+            .get(id)
+            .ok_or_else(|| DynarError::not_found("fleet vehicle", id))?;
+        // `ids[i]` mirrors `vehicles[i]`: swap-remove both to keep them
+        // aligned, then repoint the entry that moved into the hole.
+        let entry = self.vehicles.swap_remove(index);
+        self.ids.swap_remove(index);
+        self.by_id.remove(&entry.id);
+        self.by_endpoint.remove(&entry.endpoint);
+        if index < self.vehicles.len() {
+            let moved = &self.vehicles[index];
+            self.by_id.insert(moved.id.clone(), index);
+            self.by_endpoint.insert(moved.endpoint.clone(), index);
+        }
+        self.hub.lock().unregister(&entry.endpoint);
+        self.stats.retry_failures += self.server.mark_unreachable(id).len() as u64;
+        Ok(entry.vehicle)
+    }
+
+    /// Swaps in a freshly built incarnation of a vehicle (same id, same
+    /// endpoint) — the mechanical half of a reboot.  The caller is expected
+    /// to have unregistered the old endpoint *before* building the new
+    /// vehicle (so in-flight traffic towards the dead incarnation is voided
+    /// by the hub's slot generations) and to have given the new ECM the next
+    /// boot epoch.  Returns the old incarnation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown vehicles.
+    pub fn replace_vehicle(&mut self, id: &VehicleId, vehicle: Vehicle) -> Result<Vehicle> {
+        let index = *self
+            .by_id
+            .get(id)
+            .ok_or_else(|| DynarError::not_found("fleet vehicle", id))?;
+        Ok(std::mem::replace(
+            &mut self.vehicles[index].vehicle,
+            vehicle,
+        ))
+    }
+
     /// Number of vehicles in the fleet.
     pub fn len(&self) -> usize {
         self.vehicles.len()
@@ -201,16 +271,38 @@ impl Fleet {
         self.stats.retry_failures += self.server.tick(now).len() as u64;
 
         // Pusher: queued downlink messages leave the server, batched under a
-        // single hub lock.
+        // single hub lock.  Destination feedback flows straight back into the
+        // server's lifecycle plane: a send into an unregistered endpoint, or
+        // an in-flight message dropped because the endpoint unregistered
+        // mid-flight, parks the vehicle (mark_offline) instead of letting the
+        // retry budget burn against a dead link.
         {
             let mut hub = self.hub.lock();
             for entry in &self.vehicles {
                 for payload in self.server.poll_downlink(&entry.id) {
                     self.stats.downlink_messages += 1;
-                    let _ = hub.send(&self.server_endpoint, &entry.endpoint, payload);
+                    if hub
+                        .send(&self.server_endpoint, &entry.endpoint, payload)
+                        .is_err()
+                    {
+                        self.server.mark_offline(&entry.id);
+                    }
                 }
             }
             hub.step(now);
+            for endpoint in hub.take_dropped_destinations() {
+                // A drop towards a *currently registered* endpoint is stale
+                // traffic from before a reboot (the slot generation voided
+                // it) — the new incarnation's link is alive, so parking the
+                // vehicle would strand it.  Only an endpoint that is really
+                // gone parks its vehicle.
+                if hub.is_registered(endpoint.as_ref()) {
+                    continue;
+                }
+                if let Some(&index) = self.by_endpoint.get(endpoint.as_ref()) {
+                    self.server.mark_offline(&self.vehicles[index].id);
+                }
+            }
         }
 
         for entry in &mut self.vehicles {

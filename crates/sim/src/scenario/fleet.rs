@@ -103,6 +103,13 @@ pub struct FleetScenario {
     pub user: UserId,
     handles: Vec<VehicleHandles>,
     workers_per_vehicle: u16,
+    /// The shared in-vehicle bus configuration (needed to rebuild vehicles
+    /// on reboot and to wire newcomers mid-run).
+    bus: BusConfig,
+    /// Per-vehicle boot epoch (0 = factory boot; bumped by every reboot).
+    epochs: std::collections::HashMap<VehicleId, u32>,
+    /// Next VIN/endpoint index for vehicles joining mid-run.
+    next_index: usize,
 }
 
 /// The built-in speed sensor: a periodic SW-C broadcasting an incrementing
@@ -280,7 +287,7 @@ impl FleetScenario {
             fleet.server.bind_vehicle(&user, &vehicle_id)?;
 
             let (vehicle, worker_handles) =
-                build_vehicle(&endpoint, workers, config.bus.clone(), &hub)?;
+                build_vehicle(&endpoint, workers, config.bus.clone(), &hub, 0)?;
             fleet.add_vehicle(vehicle_id.clone(), endpoint, vehicle)?;
             handles.push(VehicleHandles {
                 id: vehicle_id,
@@ -293,6 +300,9 @@ impl FleetScenario {
             user,
             handles,
             workers_per_vehicle: workers,
+            bus: config.bus,
+            epochs: std::collections::HashMap::new(),
+            next_index: config.vehicles,
         })
     }
 
@@ -304,6 +314,101 @@ impl FleetScenario {
     /// Worker ECUs per vehicle.
     pub fn workers_per_vehicle(&self) -> u16 {
         self.workers_per_vehicle
+    }
+
+    /// The current boot epoch of a vehicle (0 until its first reboot).
+    pub fn boot_epoch(&self, vehicle: &VehicleId) -> u32 {
+        self.epochs.get(vehicle).copied().unwrap_or(0)
+    }
+
+    /// Reboots a vehicle: the old incarnation — every ECU, every installed
+    /// plug-in, the ECM's dedup window — is discarded (an ECM's state is
+    /// volatile), its endpoint is unregistered so in-flight traffic is
+    /// voided, and a factory-fresh incarnation with the **next boot epoch**
+    /// takes its place.  The server is parked via `mark_offline`; recovery is
+    /// fully protocol-driven: the new gateway announces a
+    /// [`dynar_core::message::ManagementMessage::StateReport`] (retrying over
+    /// the lossy uplink) and the server resyncs and reconciles from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dynar_foundation::error::DynarError::NotFound`] for unknown
+    /// vehicles and propagates vehicle construction errors.
+    pub fn reboot_vehicle(&mut self, vehicle: &VehicleId) -> Result<()> {
+        let endpoint = self
+            .fleet
+            .endpoint_of(vehicle)
+            .ok_or_else(|| {
+                dynar_foundation::error::DynarError::not_found("fleet vehicle", vehicle)
+            })?
+            .to_owned();
+        let epoch = self.epochs.entry(vehicle.clone()).or_insert(0);
+        *epoch += 1;
+        let epoch = *epoch;
+
+        // Park the server first (no more pushes), then void the dead
+        // incarnation's endpoint before the new one registers.
+        self.fleet.server.mark_offline(vehicle);
+        self.fleet.hub.lock().unregister(&endpoint);
+
+        let hub = self.fleet.hub.clone();
+        let (fresh, worker_handles) = build_vehicle(
+            &endpoint,
+            self.workers_per_vehicle,
+            self.bus.clone(),
+            &hub,
+            epoch,
+        )?;
+        self.fleet.replace_vehicle(vehicle, fresh)?;
+        if let Some(handle) = self.handles.iter_mut().find(|h| &h.id == vehicle) {
+            handle.workers = worker_handles;
+        }
+        Ok(())
+    }
+
+    /// Removes a vehicle from the fleet for good: endpoint unregistered,
+    /// outstanding server operations failed fast as unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dynar_foundation::error::DynarError::NotFound`] for unknown
+    /// vehicles.
+    pub fn remove_vehicle(&mut self, vehicle: &VehicleId) -> Result<()> {
+        self.fleet.remove_vehicle(vehicle)?;
+        self.handles.retain(|h| &h.id != vehicle);
+        self.epochs.remove(vehicle);
+        Ok(())
+    }
+
+    /// Adds a factory-fresh vehicle while the fleet is running (registered on
+    /// the server, wired onto the shared hub, epoch 0).  Returns its id; the
+    /// caller declares its desired manifest to put it to work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration and construction errors.
+    pub fn add_vehicle_during_run(&mut self) -> Result<VehicleId> {
+        let index = self.next_index;
+        self.next_index += 1;
+        let vehicle_id = VehicleId::new(format!("VIN-FLEET-{index:04}"));
+        let endpoint = format!("vehicle-{index}");
+        let workers = self.workers_per_vehicle;
+        self.fleet.server.register_vehicle(
+            vehicle_id.clone(),
+            fleet_hw(workers),
+            fleet_system(workers),
+        )?;
+        self.fleet.server.bind_vehicle(&self.user, &vehicle_id)?;
+        let hub = self.fleet.hub.clone();
+        let (vehicle, worker_handles) =
+            build_vehicle(&endpoint, workers, self.bus.clone(), &hub, 0)?;
+        self.fleet
+            .add_vehicle_during_run(vehicle_id.clone(), endpoint, vehicle)?;
+        self.handles.push(VehicleHandles {
+            id: vehicle_id.clone(),
+            workers: worker_handles,
+        });
+        Ok(vehicle_id)
     }
 
     /// Installs the v1 telemetry app across the fleet in staged waves.
@@ -359,15 +464,17 @@ impl FleetScenario {
 }
 
 /// Wires one fleet vehicle: the ECM ECU (gateway + speed sensor) and
-/// `workers` worker ECUs with plug-in SW-Cs.
+/// `workers` worker ECUs with plug-in SW-Cs, at the given boot epoch.
 fn build_vehicle(
     endpoint: &str,
     workers: u16,
     bus: BusConfig,
     hub: &SharedHub,
+    boot_epoch: u32,
 ) -> Result<(Vehicle, Vec<WorkerHandle>)> {
     let ecm_ecu_id = EcuId::new(1);
-    let mut ecm_config = EcmConfig::new(PluginSwcConfig::new("ecm-swc"), endpoint, "server");
+    let mut ecm_config = EcmConfig::new(PluginSwcConfig::new("ecm-swc"), endpoint, "server")
+        .with_boot_epoch(boot_epoch);
     for worker in worker_ids(workers) {
         ecm_config =
             ecm_config.with_remote_swc(worker, format!("to_{worker}"), format!("from_{worker}"));
@@ -517,6 +624,90 @@ mod tests {
             }
         }
         assert_fleet_healthy(&mut scenario, 1);
+    }
+
+    /// Regression (satellite): with a vehicle's endpoint unregistered from
+    /// the hub, the server used to retransmit until the retry budget
+    /// exhausted with a misleading "retry budget exhausted" failure.  The
+    /// dropped-destination feedback now parks the vehicle instead: the
+    /// operation stays pending (frozen), no budget burns.
+    #[test]
+    fn dead_endpoints_park_the_vehicle_instead_of_burning_the_retry_budget() {
+        let mut scenario = FleetScenario::build_with(FleetScenarioConfig {
+            vehicles: 2,
+            workers_per_vehicle: 2,
+            ..FleetScenarioConfig::default()
+        })
+        .unwrap();
+        let user = scenario.user.clone();
+        let victim = scenario.fleet.vehicle_ids()[0].clone();
+        let endpoint = scenario.fleet.endpoint_of(&victim).unwrap().to_owned();
+        scenario.fleet.hub.lock().unregister(&endpoint);
+
+        let app = AppId::new(APP_TELEMETRY);
+        scenario
+            .fleet
+            .server
+            .set_desired(&user, &victim, &app)
+            .unwrap();
+        // Far past the whole retry horizon.
+        let horizon = scenario.fleet.server.retry_horizon_ticks();
+        scenario.fleet.run(horizon + 50).unwrap();
+
+        assert_eq!(
+            scenario.fleet.stats().retry_failures,
+            0,
+            "no budget burned against the dead link"
+        );
+        assert!(!scenario.fleet.server.is_online(&victim), "parked");
+        assert!(matches!(
+            scenario.fleet.server.deployment_status(&victim, &app),
+            dynar_server::server::DeploymentStatus::Pending { .. }
+        ));
+        // The other vehicle is unaffected.
+        let healthy = scenario.fleet.vehicle_ids()[1].clone();
+        assert!(scenario.fleet.server.is_online(&healthy));
+
+        // A reboot brings the victim back (fresh endpoint registration, new
+        // epoch, protocol-driven resync) and the parked manifest converges.
+        scenario.reboot_vehicle(&victim).unwrap();
+        scenario.fleet.run(150).unwrap();
+        assert_eq!(
+            scenario.fleet.server.deployment_status(&victim, &app),
+            dynar_server::server::DeploymentStatus::Installed
+        );
+    }
+
+    #[test]
+    fn remove_and_add_keep_the_fleet_indexes_consistent() {
+        let mut scenario = FleetScenario::build_with(FleetScenarioConfig {
+            vehicles: 4,
+            workers_per_vehicle: 2,
+            ..FleetScenarioConfig::default()
+        })
+        .unwrap();
+        let ids = scenario.fleet.vehicle_ids().to_vec();
+        scenario.remove_vehicle(&ids[1]).unwrap();
+        assert_eq!(scenario.fleet.len(), 3);
+        assert!(scenario.fleet.vehicle(&ids[1]).is_none());
+        assert_eq!(scenario.handles().len(), 3);
+        // The swap-removed hole is repointed: every surviving id still
+        // resolves to its own entry and endpoint.
+        for id in [&ids[0], &ids[2], &ids[3]] {
+            assert!(scenario.fleet.vehicle(id).is_some(), "{id} resolves");
+            let endpoint = scenario.fleet.endpoint_of(id).unwrap();
+            assert!(scenario.fleet.hub.lock().is_registered(endpoint));
+        }
+        assert!(
+            !scenario.fleet.hub.lock().is_registered("vehicle-1"),
+            "removed endpoint unregistered"
+        );
+        // Removing twice errors; the fleet keeps running and can grow again.
+        assert!(scenario.fleet.remove_vehicle(&ids[1]).is_err());
+        let newcomer = scenario.add_vehicle_during_run().unwrap();
+        assert_eq!(scenario.fleet.len(), 4);
+        assert!(scenario.fleet.vehicle(&newcomer).is_some());
+        scenario.fleet.run(10).unwrap();
     }
 
     #[test]

@@ -11,8 +11,13 @@
 //! * [`chaos`] — the fleet scenario over a lossy, jittery, partitioning
 //!   transport, asserting that the federation reliability plane converges
 //!   every operation without duplicate installs.
+//! * [`churn`] — the lifecycle scenario: vehicles reboot, leave and join
+//!   mid-wave while desired-state reconciliation drives install/update waves
+//!   over a lossy transport, asserting convergence to the manifest against
+//!   the ECMs' ground truth.
 
 pub mod chaos;
+pub mod churn;
 pub mod fleet;
 pub mod quickstart;
 pub mod remote_car;

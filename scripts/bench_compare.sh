@@ -54,13 +54,33 @@ def means(path):
 base = means(baseline_path)
 cand = means(candidate_path)
 
+# A pinned benchmark missing from either snapshot is its own, explicit
+# failure mode: the old behaviour ("skipped", then a confusing pass or an
+# unrelated KeyError) hid renamed or silently-dropped hot-path benchmarks.
+missing = []
+for bench in PINNED:
+    absent_from = [name for name, snapshot in
+                   (("baseline", base), ("candidate", cand))
+                   if bench not in snapshot]
+    if absent_from:
+        missing.append((bench, absent_from))
+if missing:
+    print("FAIL: pinned benchmark(s) missing from a snapshot:", file=sys.stderr)
+    for bench, absent_from in missing:
+        print(f"  {bench}: missing from {' and '.join(absent_from)} "
+              f"({baseline_path if 'baseline' in absent_from else candidate_path})",
+              file=sys.stderr)
+    print("(renamed a benchmark? update PINNED in scripts/bench_compare.sh "
+          "and re-record the snapshot)", file=sys.stderr)
+    sys.exit(3)
+
 failures = []
 print(f"comparing {candidate_path} against {baseline_path} "
       f"(tolerance {tolerance:.0f}%)")
 for bench in sorted(set(base) | set(cand)):
     b, c = base.get(bench), cand.get(bench)
     if b is None or c is None:
-        print(f"  {bench}: only in {'candidate' if b is None else 'baseline'} — skipped")
+        print(f"  {bench}: only in {'candidate' if b is None else 'baseline'} — skipped (not pinned)")
         continue
     delta_pct = (c - b) / b * 100.0
     pinned = bench in PINNED

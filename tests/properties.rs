@@ -76,6 +76,18 @@ fn management_message_strategy() -> impl Strategy<Value = ManagementMessage> {
             }
         }),
         ack_strategy().prop_map(ManagementMessage::Ack),
+        proptest::strategy::Just(ManagementMessage::StateReportRequest),
+        (
+            0u32..16,
+            proptest::collection::vec((plugin_id_strategy(), "[a-z]{1,8}", 1u16..8), 0..4,),
+        )
+            .prop_map(|(boot_epoch, plugins)| ManagementMessage::StateReport {
+                boot_epoch,
+                plugins: plugins
+                    .into_iter()
+                    .map(|(plugin, app, ecu)| (plugin, AppId::new(app), EcuId::new(ecu)))
+                    .collect(),
+            }),
     ]
 }
 
@@ -88,12 +100,15 @@ proptest! {
     fn downlink_round_trips(
         target in 0u16..64,
         seq in 0u64..1_000_000,
+        boot_epoch in 0u32..1_000,
         message in management_message_strategy(),
     ) {
-        let bytes = encode_downlink(EcuId::new(target), seq, &message);
-        let (decoded_target, decoded_seq, decoded) = decode_downlink(&bytes).unwrap();
+        let bytes = encode_downlink(EcuId::new(target), seq, boot_epoch, &message);
+        let (decoded_target, decoded_seq, decoded_epoch, decoded) =
+            decode_downlink(&bytes).unwrap();
         prop_assert_eq!(decoded_target, EcuId::new(target));
         prop_assert_eq!(decoded_seq, seq);
+        prop_assert_eq!(decoded_epoch, boot_epoch);
         prop_assert_eq!(decoded, message);
     }
 
@@ -126,10 +141,12 @@ proptest! {
             InstallationContext::new(pic, plc),
         );
         let message = ManagementMessage::Install(package);
-        let bytes = encode_downlink(EcuId::new(target), 7, &message);
-        let (decoded_target, decoded_seq, decoded) = decode_downlink(&bytes).unwrap();
+        let bytes = encode_downlink(EcuId::new(target), 7, 2, &message);
+        let (decoded_target, decoded_seq, decoded_epoch, decoded) =
+            decode_downlink(&bytes).unwrap();
         prop_assert_eq!(decoded_target, EcuId::new(target));
         prop_assert_eq!(decoded_seq, 7);
+        prop_assert_eq!(decoded_epoch, 2);
         prop_assert_eq!(decoded, message);
     }
 
