@@ -353,6 +353,20 @@ fn bench_fleet_tick(c: &mut Criterion) {
             },
         );
     }
+    // Durability overhead: the same 50-vehicle steady-state tick with the
+    // write-ahead journal enabled (compaction every 256 records), so the
+    // price of durability is a measured datapoint next to `tick/50` rather
+    // than a guess.  scripts/bench_compare.sh gates the gap between the two.
+    {
+        let mut scenario = FleetScenario::build(50).expect("fleet builds");
+        scenario.fleet.server.enable_journal(256);
+        scenario
+            .install_telemetry(10)
+            .expect("install waves complete");
+        group.bench_function("tick_with_journal/50", |b| {
+            b.iter(|| scenario.fleet.step().expect("fleet step"));
+        });
+    }
     // End to end: build a 50-vehicle fleet, run the staged install wave and
     // drive 1000 ticks of mixed management + signal-chain load.
     group.bench_function("install_wave_plus_1000_ticks/50", |b| {

@@ -26,6 +26,17 @@
 //! proves the trusted server has resynced; the server then reconciles the
 //! vehicle from truth instead of from its stale bookkeeping.
 //!
+//! # Server incarnations
+//!
+//! The trusted server carries the mirror-image epoch: a **server incarnation
+//! id** stamped on every downlink envelope, bumped when a crashed server is
+//! replayed from its journal.  The gateway tracks the highest incarnation it
+//! has seen; downlinks from a *lower* incarnation are stragglers from before
+//! the crash and are rejected before the dedup-replay check (their cached
+//! acks must not settle post-restart operations), while the first downlink
+//! from a *higher* incarnation triggers an unsolicited state report so the
+//! restarted server resyncs from vehicle ground truth.
+//!
 //! Cached acknowledgements are stored as already-encoded [`Payload`] buffers:
 //! caching, queueing and every replay share one allocation, and a replayed
 //! ack is byte-identical to the original by construction.  The per-tick poll
@@ -196,6 +207,13 @@ pub struct EcmSwc {
     /// `true` once a downlink of this gateway's own epoch arrived, proving
     /// the server knows the epoch (rebooted gateways re-announce until then).
     epoch_confirmed: bool,
+    /// The highest trusted-server incarnation id seen on a downlink.  A
+    /// *lower* incarnation is a straggler from before a server crash and is
+    /// rejected outright (its cached acks must not settle post-restart ops);
+    /// a *higher* one announces a restarted server, which is answered with an
+    /// unsolicited state report so the replayed control plane can resync from
+    /// vehicle ground truth.
+    server_incarnation: u32,
     /// Runnable passes executed (drives the announce retransmission period).
     passes: u64,
 }
@@ -230,6 +248,7 @@ impl EcmSwc {
                 // assumption (epoch 0, nothing installed): no announcement
                 // needed.  Rebooted incarnations must make themselves known.
                 epoch_confirmed: boot_epoch == 0,
+                server_incarnation: 0,
                 passes: 0,
             },
             pirte,
@@ -239,6 +258,12 @@ impl EcmSwc {
     /// The boot epoch of this gateway incarnation.
     pub fn boot_epoch(&self) -> u32 {
         self.boot_epoch
+    }
+
+    /// The highest trusted-server incarnation id seen on a downlink (0 until
+    /// the first downlink from a restarted server arrives).
+    pub fn server_incarnation(&self) -> u32 {
+        self.server_incarnation
     }
 
     /// The gateway's ground-truth inventory: every plug-in it knows to be
@@ -452,7 +477,14 @@ impl EcmSwc {
         for (from, payload) in messages.drain(..) {
             if *from == *self.config.server_endpoint {
                 match crate::protocol::decode_downlink(&payload) {
-                    Ok((target, seq, epoch, message)) => {
+                    Ok(envelope) => {
+                        let (target, seq, epoch, incarnation, message) = (
+                            envelope.target,
+                            envelope.seq,
+                            envelope.boot_epoch,
+                            envelope.incarnation,
+                            envelope.message,
+                        );
                         if epoch != self.boot_epoch {
                             // A straggler from another incarnation of this
                             // vehicle (usually a pre-reboot retransmission
@@ -465,6 +497,28 @@ impl EcmSwc {
                                 self.boot_epoch
                             ));
                             continue;
+                        }
+                        if incarnation < self.server_incarnation {
+                            // A straggler issued by a *previous* incarnation
+                            // of the trusted server, delivered late.  Reject
+                            // it before the dedup-replay check: even its
+                            // cached acks must not be replayed, or a
+                            // pre-crash settlement could be mistaken for an
+                            // answer to a post-restart operation.
+                            self.pirte.lock().log_warning(format!(
+                                "rejecting downlink seq {seq} from server incarnation \
+                                 {incarnation} (current incarnation {})",
+                                self.server_incarnation
+                            ));
+                            continue;
+                        }
+                        if incarnation > self.server_incarnation {
+                            // A restarted server is talking to us.  Remember
+                            // the new incarnation and announce ground truth
+                            // unsolicited, so the replayed control plane can
+                            // reconcile from what is actually installed.
+                            self.server_incarnation = incarnation;
+                            self.send_state_report();
                         }
                         // The server demonstrably knows our epoch: stop
                         // re-announcing the post-reboot state report.
@@ -786,6 +840,7 @@ mod tests {
                     EcuId::new(1),
                     0,
                     0,
+                    0,
                     &ManagementMessage::Install(com_package()),
                 ),
             )
@@ -813,7 +868,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(EcuId::new(2), 0, 0, &package),
+                crate::protocol::encode_downlink(EcuId::new(2), 0, 0, 0, &package),
             )
             .unwrap();
         hub.lock().step(Tick::new(1));
@@ -834,6 +889,7 @@ mod tests {
                 "vehicle-1",
                 crate::protocol::encode_downlink(
                     EcuId::new(9),
+                    0,
                     0,
                     0,
                     &ManagementMessage::Install(com_package()),
@@ -862,6 +918,7 @@ mod tests {
                 "vehicle-1",
                 crate::protocol::encode_downlink(
                     EcuId::new(1),
+                    0,
                     0,
                     0,
                     &ManagementMessage::Install(com_package()),
@@ -923,6 +980,7 @@ mod tests {
             EcuId::new(1),
             7,
             0,
+            0,
             &ManagementMessage::Install(com_package()),
         );
 
@@ -965,7 +1023,7 @@ mod tests {
         let hub = hub();
         let (mut ecu, _pirte) = build_ecu(&hub);
         let package = ManagementMessage::Install(com_package());
-        let downlink = crate::protocol::encode_downlink(EcuId::new(2), 3, 0, &package);
+        let downlink = crate::protocol::encode_downlink(EcuId::new(2), 3, 0, 0, &package);
 
         // First delivery relays towards ECU 2.
         hub.lock()
@@ -1045,6 +1103,7 @@ mod tests {
                     EcuId::new(1),
                     0,
                     0,
+                    0,
                     &ManagementMessage::Install(com_package()),
                 ),
             )
@@ -1069,6 +1128,7 @@ mod tests {
                     EcuId::new(1),
                     1,
                     1,
+                    0,
                     &ManagementMessage::Install(com_package()),
                 ),
             )
@@ -1112,6 +1172,7 @@ mod tests {
                     EcuId::new(1),
                     0,
                     2,
+                    0,
                     &ManagementMessage::StateReportRequest,
                 ),
             )
@@ -1145,6 +1206,7 @@ mod tests {
                     EcuId::new(1),
                     0,
                     0,
+                    0,
                     &ManagementMessage::Install(com_package()),
                 ),
             )
@@ -1162,6 +1224,7 @@ mod tests {
                 crate::protocol::encode_downlink(
                     EcuId::new(1),
                     1,
+                    0,
                     0,
                     &ManagementMessage::StateReportRequest,
                 ),
@@ -1196,6 +1259,7 @@ mod tests {
             EcuId::new(1),
             0,
             0,
+            0,
             &ManagementMessage::Install(com_package()),
         );
 
@@ -1213,6 +1277,7 @@ mod tests {
                 crate::protocol::encode_downlink(
                     EcuId::new(1),
                     DEDUP_WINDOW + 1,
+                    0,
                     0,
                     &ManagementMessage::Stop {
                         plugin: PluginId::new("COM"),
@@ -1252,6 +1317,7 @@ mod tests {
                     EcuId::new(1),
                     1,
                     0,
+                    0,
                     &ManagementMessage::Start {
                         plugin: PluginId::new("COM"),
                     },
@@ -1267,5 +1333,149 @@ mod tests {
             &at_horizon[0],
             ManagementMessage::Ack(ack) if ack.status == AckStatus::Started
         ));
+    }
+
+    /// Regression (server incarnations): a downlink stamped with a *lower*
+    /// server incarnation is a straggler from before a server crash.  It must
+    /// be rejected before the dedup-replay check — replaying its cached ack
+    /// could settle a post-restart operation with a pre-crash answer.
+    #[test]
+    fn stale_incarnation_downlinks_are_rejected_without_ack_replay() {
+        let hub = hub();
+        let (mut ecu, pirte) = build_ecu(&hub);
+
+        // The restarted server (incarnation 1) installs COM under seq 0.
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    0,
+                    0,
+                    1,
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+        assert_eq!(pirte.lock().plugin_count(), 1);
+        hub.lock().step(Tick::new(2));
+        // First contact with incarnation 1: an unsolicited state report
+        // announces ground truth, followed by the install ack.
+        let first = uplinks(&hub);
+        assert!(
+            first
+                .iter()
+                .any(|m| matches!(m, ManagementMessage::StateReport { .. })),
+            "a newer incarnation is answered with an unsolicited state report"
+        );
+        assert!(first
+            .iter()
+            .any(|m| matches!(m, ManagementMessage::Ack(a) if a.status == AckStatus::Installed)),);
+
+        // A pre-crash straggler (incarnation 0) re-delivers the same seq:
+        // nothing is applied and — crucially — nothing is replayed.
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    0,
+                    0,
+                    0,
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(3));
+        ecu.run(2).unwrap();
+        assert_eq!(pirte.lock().plugin_count(), 1);
+        assert_eq!(pirte.lock().stats().installs, 1);
+        hub.lock().step(Tick::new(4));
+        assert!(
+            uplinks(&hub).is_empty(),
+            "no ack replay for a stale-incarnation straggler"
+        );
+    }
+
+    /// The first downlink from a higher server incarnation makes the gateway
+    /// announce its ground truth unsolicited; retransmissions under the new
+    /// incarnation still replay cached acks (the dedup window survives a
+    /// server restart — only the vehicle's own reboot clears it).
+    #[test]
+    fn newer_incarnation_triggers_state_report_and_keeps_dedup() {
+        let hub = hub();
+        let (mut ecu, pirte) = build_ecu(&hub);
+
+        // Incarnation 0 installs COM.
+        hub.lock()
+            .send(
+                "server",
+                "vehicle-1",
+                crate::protocol::encode_downlink(
+                    EcuId::new(1),
+                    0,
+                    0,
+                    0,
+                    &ManagementMessage::Install(com_package()),
+                ),
+            )
+            .unwrap();
+        hub.lock().step(Tick::new(1));
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(2));
+        assert_eq!(uplinks(&hub).len(), 1, "install acked");
+
+        // The server restarts and speaks with incarnation 1: the gateway
+        // reports what is actually installed before handling the message.
+        let stop = crate::protocol::encode_downlink(
+            EcuId::new(1),
+            1,
+            0,
+            1,
+            &ManagementMessage::Stop {
+                plugin: PluginId::new("COM"),
+            },
+        );
+        hub.lock()
+            .send("server", "vehicle-1", stop.clone())
+            .unwrap();
+        hub.lock().step(Tick::new(3));
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(4));
+        let after_restart = uplinks(&hub);
+        assert_eq!(
+            after_restart[0],
+            ManagementMessage::StateReport {
+                boot_epoch: 0,
+                plugins: vec![(
+                    PluginId::new("COM"),
+                    AppId::new("remote-control"),
+                    EcuId::new(1),
+                )],
+            },
+            "ground truth announced to the restarted server"
+        );
+        assert!(matches!(
+            &after_restart[1],
+            ManagementMessage::Ack(ack) if ack.status == AckStatus::Stopped
+        ));
+
+        // A retransmission of seq 1 under incarnation 1 replays the cached
+        // ack without a second state report or a re-applied stop.
+        hub.lock().send("server", "vehicle-1", stop).unwrap();
+        hub.lock().step(Tick::new(5));
+        ecu.run(2).unwrap();
+        hub.lock().step(Tick::new(6));
+        let replayed = uplinks(&hub);
+        assert_eq!(replayed.len(), 1);
+        assert!(matches!(
+            &replayed[0],
+            ManagementMessage::Ack(ack) if ack.status == AckStatus::Stopped
+        ));
+        assert_eq!(pirte.lock().stats().installs, 1);
     }
 }

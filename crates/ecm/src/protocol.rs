@@ -12,33 +12,29 @@ use dynar_foundation::error::Result;
 use dynar_foundation::ids::EcuId;
 
 /// Encodes a downlink message addressed to one ECU of the vehicle, stamped
-/// with the vehicle boot epoch the server believes it is talking to.
+/// with the vehicle boot epoch the server believes it is talking to and the
+/// server incarnation issuing it.
 pub fn encode_downlink(
     target: EcuId,
     seq: u64,
     boot_epoch: u32,
+    incarnation: u32,
     message: &ManagementMessage,
 ) -> Vec<u8> {
-    DownlinkEnvelope::new(target, seq, boot_epoch, message.clone()).to_bytes()
+    DownlinkEnvelope::new(target, seq, boot_epoch, incarnation, message.clone()).to_bytes()
 }
 
-/// Decodes a downlink message into its target ECU, sequence id, boot epoch
-/// and management message.
+/// Decodes a downlink message into its full envelope: target ECU, sequence
+/// id, boot epoch, server incarnation and management message.
 ///
 /// # Errors
 ///
 /// Returns [`dynar_foundation::error::DynarError::ProtocolViolation`] for
 /// malformed encodings; target ids outside the `u16` ECU-id range, negative
-/// sequence ids and out-of-range boot epochs are rejected, never silently
-/// truncated.
-pub fn decode_downlink(bytes: &[u8]) -> Result<(EcuId, u64, u32, ManagementMessage)> {
-    let envelope = DownlinkEnvelope::from_bytes(bytes)?;
-    Ok((
-        envelope.target,
-        envelope.seq,
-        envelope.boot_epoch,
-        envelope.message,
-    ))
+/// sequence ids and out-of-range boot epochs or incarnations are rejected,
+/// never silently truncated.
+pub fn decode_downlink(bytes: &[u8]) -> Result<DownlinkEnvelope> {
+    DownlinkEnvelope::from_bytes(bytes)
 }
 
 /// Encodes an uplink (vehicle → server) message.
@@ -70,12 +66,13 @@ mod tests {
         let message = ManagementMessage::Uninstall {
             plugin: PluginId::new("OP"),
         };
-        let bytes = encode_downlink(EcuId::new(2), 9, 4, &message);
-        let (target, seq, boot_epoch, decoded) = decode_downlink(&bytes).unwrap();
-        assert_eq!(target, EcuId::new(2));
-        assert_eq!(seq, 9);
-        assert_eq!(boot_epoch, 4);
-        assert_eq!(decoded, message);
+        let bytes = encode_downlink(EcuId::new(2), 9, 4, 1, &message);
+        let envelope = decode_downlink(&bytes).unwrap();
+        assert_eq!(envelope.target, EcuId::new(2));
+        assert_eq!(envelope.seq, 9);
+        assert_eq!(envelope.boot_epoch, 4);
+        assert_eq!(envelope.incarnation, 1);
+        assert_eq!(envelope.message, message);
     }
 
     #[test]
@@ -110,6 +107,7 @@ mod tests {
                 Value::I64(bad_target),
                 Value::I64(0),
                 Value::I64(0),
+                Value::I64(0),
                 message.to_value(),
             ]));
             let err = decode_downlink(&bytes).unwrap_err();
@@ -121,6 +119,7 @@ mod tests {
         let negative_seq = codec::encode_value(&Value::List(vec![
             Value::I64(1),
             Value::I64(-1),
+            Value::I64(0),
             Value::I64(0),
             message.to_value(),
         ]));

@@ -29,6 +29,7 @@ pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod intern;
+pub mod journal;
 pub mod log;
 pub mod payload;
 pub mod time;

@@ -1,0 +1,469 @@
+//! The trusted server's write-ahead journal: a command log of every state
+//! transition, with periodic compaction into full-state snapshots.
+//!
+//! # Design
+//!
+//! The journal records the server's **inputs** (the mutating API calls),
+//! not its internal effects: replaying the commands through the same
+//! deterministic code reconstructs every derived structure — manifests,
+//! pending operations, outstanding retransmission state, the ledger —
+//! byte-for-byte.  Each record is one [`dynar_foundation::codec`]-encoded
+//! value inside a checksummed [`dynar_foundation::journal`] frame.
+//!
+//! Every [`JournalRecord::COMPACTION_INTERVAL`]-ish records (configured per
+//! journal) the buffer is *compacted*: replaced by a single
+//! [`JournalRecord::Snapshot`] frame holding the full canonical state, so
+//! the journal's size is bounded by the snapshot size plus one compaction
+//! interval of records instead of growing with uptime.  Compaction happens
+//! *before* the next record is appended, so the snapshot captures the state
+//! the pending record applies to — replay is `snapshot ⊕ commands`, in
+//! order.
+
+use dynar_foundation::codec;
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::ids::{AppId, EcuId, UserId, VehicleId};
+use dynar_foundation::journal::append_frame;
+use dynar_foundation::time::Tick;
+use dynar_foundation::value::Value;
+
+use crate::model::{AppDefinition, HwConf, SystemSwConf};
+use crate::server::RetryPolicy;
+
+/// One journaled state transition of the trusted server.
+///
+/// Except for [`JournalRecord::Snapshot`] (the compaction frame), every
+/// variant mirrors one mutating `TrustedServer` API call; replay applies
+/// them through the same public methods.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JournalRecord {
+    /// A full-state snapshot (the compaction frame; always the first frame
+    /// of a compacted journal).
+    Snapshot(Value),
+    /// `create_user`.
+    CreateUser(UserId),
+    /// `register_vehicle`.
+    RegisterVehicle(VehicleId, HwConf, SystemSwConf),
+    /// `bind_vehicle`.
+    BindVehicle(UserId, VehicleId),
+    /// `upload_app`.
+    UploadApp(AppDefinition),
+    /// `set_retry_policy`.
+    SetRetryPolicy(RetryPolicy),
+    /// `deploy`.
+    Deploy(UserId, VehicleId, AppId),
+    /// `uninstall`.
+    Uninstall(UserId, VehicleId, AppId),
+    /// `restore`.
+    Restore(VehicleId, EcuId),
+    /// `set_desired`.
+    SetDesired(UserId, VehicleId, AppId),
+    /// `clear_desired`.
+    ClearDesired(UserId, VehicleId, AppId),
+    /// `reconcile`.
+    Reconcile(VehicleId),
+    /// `mark_offline`.
+    MarkOffline(VehicleId),
+    /// `mark_online` with the reported boot epoch.
+    MarkOnline(VehicleId, u32),
+    /// `mark_unreachable`.
+    MarkUnreachable(VehicleId),
+    /// `request_state_report`.
+    RequestStateReport(VehicleId),
+    /// `tick`.
+    Tick(Tick),
+    /// `process_uplink` with the raw uplink payload.
+    ProcessUplink(VehicleId, Vec<u8>),
+    /// `poll_downlink` (journaled only when the drain was non-empty).
+    PollDownlink(VehicleId),
+    /// `begin_incarnation`.
+    BeginIncarnation,
+}
+
+const TAG_SNAPSHOT: i64 = 0;
+const TAG_CREATE_USER: i64 = 1;
+const TAG_REGISTER_VEHICLE: i64 = 2;
+const TAG_BIND_VEHICLE: i64 = 3;
+const TAG_UPLOAD_APP: i64 = 4;
+const TAG_SET_RETRY_POLICY: i64 = 5;
+const TAG_DEPLOY: i64 = 6;
+const TAG_UNINSTALL: i64 = 7;
+const TAG_RESTORE: i64 = 8;
+const TAG_SET_DESIRED: i64 = 9;
+const TAG_CLEAR_DESIRED: i64 = 10;
+const TAG_RECONCILE: i64 = 11;
+const TAG_MARK_OFFLINE: i64 = 12;
+const TAG_MARK_ONLINE: i64 = 13;
+const TAG_MARK_UNREACHABLE: i64 = 14;
+const TAG_REQUEST_STATE_REPORT: i64 = 15;
+const TAG_TICK: i64 = 16;
+const TAG_PROCESS_UPLINK: i64 = 17;
+const TAG_POLL_DOWNLINK: i64 = 18;
+const TAG_BEGIN_INCARNATION: i64 = 19;
+
+fn malformed(what: &str) -> DynarError {
+    DynarError::ProtocolViolation(format!("malformed journal record: {what}"))
+}
+
+fn text<'a>(value: &'a Value, what: &str) -> Result<&'a str> {
+    value.as_text().ok_or_else(|| malformed(what))
+}
+
+impl JournalRecord {
+    /// Encodes the record as a `[tag, ...fields]` list.
+    pub(crate) fn to_value(&self) -> Value {
+        let user_vehicle_app = |tag: i64, user: &UserId, vehicle: &VehicleId, app: &AppId| {
+            Value::List(vec![
+                Value::I64(tag),
+                Value::Text(user.name().to_owned()),
+                Value::Text(vehicle.vin().to_owned()),
+                Value::Text(app.name().to_owned()),
+            ])
+        };
+        let vehicle_only = |tag: i64, vehicle: &VehicleId| {
+            Value::List(vec![Value::I64(tag), Value::Text(vehicle.vin().to_owned())])
+        };
+        match self {
+            JournalRecord::Snapshot(state) => {
+                Value::List(vec![Value::I64(TAG_SNAPSHOT), state.clone()])
+            }
+            JournalRecord::CreateUser(user) => Value::List(vec![
+                Value::I64(TAG_CREATE_USER),
+                Value::Text(user.name().to_owned()),
+            ]),
+            JournalRecord::RegisterVehicle(vehicle, hw, system) => Value::List(vec![
+                Value::I64(TAG_REGISTER_VEHICLE),
+                Value::Text(vehicle.vin().to_owned()),
+                hw.to_value(),
+                system.to_value(),
+            ]),
+            JournalRecord::BindVehicle(user, vehicle) => Value::List(vec![
+                Value::I64(TAG_BIND_VEHICLE),
+                Value::Text(user.name().to_owned()),
+                Value::Text(vehicle.vin().to_owned()),
+            ]),
+            JournalRecord::UploadApp(app) => {
+                Value::List(vec![Value::I64(TAG_UPLOAD_APP), app.to_value()])
+            }
+            JournalRecord::SetRetryPolicy(policy) => Value::List(vec![
+                Value::I64(TAG_SET_RETRY_POLICY),
+                Value::I64(policy.ack_deadline_ticks as i64),
+                Value::I64(i64::from(policy.max_attempts)),
+            ]),
+            JournalRecord::Deploy(user, vehicle, app) => {
+                user_vehicle_app(TAG_DEPLOY, user, vehicle, app)
+            }
+            JournalRecord::Uninstall(user, vehicle, app) => {
+                user_vehicle_app(TAG_UNINSTALL, user, vehicle, app)
+            }
+            JournalRecord::Restore(vehicle, ecu) => Value::List(vec![
+                Value::I64(TAG_RESTORE),
+                Value::Text(vehicle.vin().to_owned()),
+                Value::I64(i64::from(ecu.index())),
+            ]),
+            JournalRecord::SetDesired(user, vehicle, app) => {
+                user_vehicle_app(TAG_SET_DESIRED, user, vehicle, app)
+            }
+            JournalRecord::ClearDesired(user, vehicle, app) => {
+                user_vehicle_app(TAG_CLEAR_DESIRED, user, vehicle, app)
+            }
+            JournalRecord::Reconcile(vehicle) => vehicle_only(TAG_RECONCILE, vehicle),
+            JournalRecord::MarkOffline(vehicle) => vehicle_only(TAG_MARK_OFFLINE, vehicle),
+            JournalRecord::MarkOnline(vehicle, boot_epoch) => Value::List(vec![
+                Value::I64(TAG_MARK_ONLINE),
+                Value::Text(vehicle.vin().to_owned()),
+                Value::I64(i64::from(*boot_epoch)),
+            ]),
+            JournalRecord::MarkUnreachable(vehicle) => vehicle_only(TAG_MARK_UNREACHABLE, vehicle),
+            JournalRecord::RequestStateReport(vehicle) => {
+                vehicle_only(TAG_REQUEST_STATE_REPORT, vehicle)
+            }
+            JournalRecord::Tick(now) => {
+                Value::List(vec![Value::I64(TAG_TICK), Value::I64(now.as_u64() as i64)])
+            }
+            JournalRecord::ProcessUplink(vehicle, payload) => Value::List(vec![
+                Value::I64(TAG_PROCESS_UPLINK),
+                Value::Text(vehicle.vin().to_owned()),
+                Value::Bytes(payload.clone()),
+            ]),
+            JournalRecord::PollDownlink(vehicle) => vehicle_only(TAG_POLL_DOWNLINK, vehicle),
+            JournalRecord::BeginIncarnation => Value::List(vec![Value::I64(TAG_BEGIN_INCARNATION)]),
+        }
+    }
+
+    /// Decodes a record encoded by [`JournalRecord::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+    pub(crate) fn from_value(value: &Value) -> Result<Self> {
+        let parts = value.as_list().ok_or_else(|| malformed("not a list"))?;
+        let (tag, fields) = parts
+            .split_first()
+            .ok_or_else(|| malformed("empty record"))?;
+        let tag = tag.expect_i64()?;
+        let user_vehicle_app = |fields: &[Value]| -> Result<(UserId, VehicleId, AppId)> {
+            let [user, vehicle, app] = fields else {
+                return Err(malformed("user/vehicle/app arity"));
+            };
+            Ok((
+                UserId::new(text(user, "user")?),
+                VehicleId::new(text(vehicle, "vehicle")?),
+                AppId::new(text(app, "app")?),
+            ))
+        };
+        let vehicle_only = |fields: &[Value]| -> Result<VehicleId> {
+            let [vehicle] = fields else {
+                return Err(malformed("vehicle arity"));
+            };
+            Ok(VehicleId::new(text(vehicle, "vehicle")?))
+        };
+        Ok(match tag {
+            TAG_SNAPSHOT => {
+                let [state] = fields else {
+                    return Err(malformed("snapshot arity"));
+                };
+                JournalRecord::Snapshot(state.clone())
+            }
+            TAG_CREATE_USER => {
+                let [user] = fields else {
+                    return Err(malformed("create-user arity"));
+                };
+                JournalRecord::CreateUser(UserId::new(text(user, "user")?))
+            }
+            TAG_REGISTER_VEHICLE => {
+                let [vehicle, hw, system] = fields else {
+                    return Err(malformed("register-vehicle arity"));
+                };
+                JournalRecord::RegisterVehicle(
+                    VehicleId::new(text(vehicle, "vehicle")?),
+                    HwConf::from_value(hw)?,
+                    SystemSwConf::from_value(system)?,
+                )
+            }
+            TAG_BIND_VEHICLE => {
+                let [user, vehicle] = fields else {
+                    return Err(malformed("bind-vehicle arity"));
+                };
+                JournalRecord::BindVehicle(
+                    UserId::new(text(user, "user")?),
+                    VehicleId::new(text(vehicle, "vehicle")?),
+                )
+            }
+            TAG_UPLOAD_APP => {
+                let [app] = fields else {
+                    return Err(malformed("upload-app arity"));
+                };
+                JournalRecord::UploadApp(AppDefinition::from_value(app)?)
+            }
+            TAG_SET_RETRY_POLICY => {
+                let [ack_deadline_ticks, max_attempts] = fields else {
+                    return Err(malformed("retry-policy arity"));
+                };
+                let ack_deadline_ticks = u64::try_from(ack_deadline_ticks.expect_i64()?)
+                    .map_err(|_| malformed("ack deadline"))?;
+                let max_attempts = u32::try_from(max_attempts.expect_i64()?)
+                    .map_err(|_| malformed("max attempts"))?;
+                JournalRecord::SetRetryPolicy(RetryPolicy {
+                    ack_deadline_ticks,
+                    max_attempts,
+                })
+            }
+            TAG_DEPLOY => {
+                let (user, vehicle, app) = user_vehicle_app(fields)?;
+                JournalRecord::Deploy(user, vehicle, app)
+            }
+            TAG_UNINSTALL => {
+                let (user, vehicle, app) = user_vehicle_app(fields)?;
+                JournalRecord::Uninstall(user, vehicle, app)
+            }
+            TAG_RESTORE => {
+                let [vehicle, ecu] = fields else {
+                    return Err(malformed("restore arity"));
+                };
+                let ecu = u16::try_from(ecu.expect_i64()?).map_err(|_| malformed("restore ECU"))?;
+                JournalRecord::Restore(VehicleId::new(text(vehicle, "vehicle")?), EcuId::new(ecu))
+            }
+            TAG_SET_DESIRED => {
+                let (user, vehicle, app) = user_vehicle_app(fields)?;
+                JournalRecord::SetDesired(user, vehicle, app)
+            }
+            TAG_CLEAR_DESIRED => {
+                let (user, vehicle, app) = user_vehicle_app(fields)?;
+                JournalRecord::ClearDesired(user, vehicle, app)
+            }
+            TAG_RECONCILE => JournalRecord::Reconcile(vehicle_only(fields)?),
+            TAG_MARK_OFFLINE => JournalRecord::MarkOffline(vehicle_only(fields)?),
+            TAG_MARK_ONLINE => {
+                let [vehicle, boot_epoch] = fields else {
+                    return Err(malformed("mark-online arity"));
+                };
+                let boot_epoch =
+                    u32::try_from(boot_epoch.expect_i64()?).map_err(|_| malformed("boot epoch"))?;
+                JournalRecord::MarkOnline(VehicleId::new(text(vehicle, "vehicle")?), boot_epoch)
+            }
+            TAG_MARK_UNREACHABLE => JournalRecord::MarkUnreachable(vehicle_only(fields)?),
+            TAG_REQUEST_STATE_REPORT => JournalRecord::RequestStateReport(vehicle_only(fields)?),
+            TAG_TICK => {
+                let [now] = fields else {
+                    return Err(malformed("tick arity"));
+                };
+                let now = u64::try_from(now.expect_i64()?).map_err(|_| malformed("tick"))?;
+                JournalRecord::Tick(Tick::new(now))
+            }
+            TAG_PROCESS_UPLINK => {
+                let [vehicle, payload] = fields else {
+                    return Err(malformed("process-uplink arity"));
+                };
+                JournalRecord::ProcessUplink(
+                    VehicleId::new(text(vehicle, "vehicle")?),
+                    payload
+                        .as_bytes()
+                        .ok_or_else(|| malformed("uplink payload"))?
+                        .to_vec(),
+                )
+            }
+            TAG_POLL_DOWNLINK => JournalRecord::PollDownlink(vehicle_only(fields)?),
+            TAG_BEGIN_INCARNATION => {
+                if !fields.is_empty() {
+                    return Err(malformed("begin-incarnation arity"));
+                }
+                JournalRecord::BeginIncarnation
+            }
+            other => return Err(malformed(&format!("unknown tag {other}"))),
+        })
+    }
+
+    /// Decodes a record from one journal frame's payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+    pub(crate) fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        JournalRecord::from_value(&codec::decode_value(bytes)?)
+    }
+}
+
+/// The in-memory write-ahead journal buffer of one [`crate::TrustedServer`].
+#[derive(Debug, Clone)]
+pub struct Journal {
+    buffer: Vec<u8>,
+    compaction_interval: u32,
+    records_since_snapshot: u32,
+}
+
+impl Journal {
+    /// Creates an empty journal that compacts after `compaction_interval`
+    /// records (clamped to at least 1).
+    pub(crate) fn new(compaction_interval: u32) -> Self {
+        Journal {
+            buffer: Vec::new(),
+            compaction_interval: compaction_interval.max(1),
+            records_since_snapshot: 0,
+        }
+    }
+
+    /// Appends one record frame.
+    pub(crate) fn append(&mut self, record: &JournalRecord) {
+        let payload = codec::encode_value(&record.to_value());
+        append_frame(&mut self.buffer, &payload);
+        self.records_since_snapshot += 1;
+    }
+
+    /// `true` once enough records accumulated since the last snapshot.
+    pub(crate) fn due_for_compaction(&self) -> bool {
+        self.records_since_snapshot >= self.compaction_interval
+    }
+
+    /// Replaces the whole buffer with a single snapshot frame of `state`.
+    pub(crate) fn compact(&mut self, state: Value) {
+        self.buffer.clear();
+        let payload = codec::encode_value(&JournalRecord::Snapshot(state).to_value());
+        append_frame(&mut self.buffer, &payload);
+        self.records_since_snapshot = 0;
+    }
+
+    /// The journal's framed byte buffer (what a crash would leave behind;
+    /// feed it to `TrustedServer::replay`).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip() {
+        let records = vec![
+            JournalRecord::Snapshot(Value::List(vec![Value::I64(1)])),
+            JournalRecord::CreateUser(UserId::new("alice")),
+            JournalRecord::RegisterVehicle(
+                VehicleId::new("vin-1"),
+                HwConf::new().with_ecu(EcuId::new(1), 512),
+                SystemSwConf::new("model-car"),
+            ),
+            JournalRecord::BindVehicle(UserId::new("alice"), VehicleId::new("vin-1")),
+            JournalRecord::UploadApp(AppDefinition::new(AppId::new("app"))),
+            JournalRecord::SetRetryPolicy(RetryPolicy {
+                ack_deadline_ticks: 10,
+                max_attempts: 3,
+            }),
+            JournalRecord::Deploy(
+                UserId::new("alice"),
+                VehicleId::new("vin-1"),
+                AppId::new("app"),
+            ),
+            JournalRecord::Uninstall(
+                UserId::new("alice"),
+                VehicleId::new("vin-1"),
+                AppId::new("app"),
+            ),
+            JournalRecord::Restore(VehicleId::new("vin-1"), EcuId::new(2)),
+            JournalRecord::SetDesired(
+                UserId::new("alice"),
+                VehicleId::new("vin-1"),
+                AppId::new("app"),
+            ),
+            JournalRecord::ClearDesired(
+                UserId::new("alice"),
+                VehicleId::new("vin-1"),
+                AppId::new("app"),
+            ),
+            JournalRecord::Reconcile(VehicleId::new("vin-1")),
+            JournalRecord::MarkOffline(VehicleId::new("vin-1")),
+            JournalRecord::MarkOnline(VehicleId::new("vin-1"), 3),
+            JournalRecord::MarkUnreachable(VehicleId::new("vin-1")),
+            JournalRecord::RequestStateReport(VehicleId::new("vin-1")),
+            JournalRecord::Tick(Tick::new(77)),
+            JournalRecord::ProcessUplink(VehicleId::new("vin-1"), vec![1, 2, 3]),
+            JournalRecord::PollDownlink(VehicleId::new("vin-1")),
+            JournalRecord::BeginIncarnation,
+        ];
+        for record in records {
+            let decoded = JournalRecord::from_value(&record.to_value()).unwrap();
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_typed_errors() {
+        assert!(JournalRecord::from_value(&Value::I64(0)).is_err());
+        assert!(JournalRecord::from_value(&Value::List(vec![])).is_err());
+        assert!(JournalRecord::from_value(&Value::List(vec![Value::I64(999)])).is_err());
+        assert!(JournalRecord::from_bytes(&[0xff, 0x01]).is_err());
+    }
+
+    #[test]
+    fn compaction_resets_the_buffer_to_one_snapshot_frame() {
+        let mut journal = Journal::new(2);
+        journal.append(&JournalRecord::BeginIncarnation);
+        assert!(!journal.due_for_compaction());
+        journal.append(&JournalRecord::Reconcile(VehicleId::new("vin-1")));
+        assert!(journal.due_for_compaction());
+        let before = journal.bytes().len();
+        journal.compact(Value::List(vec![]));
+        assert!(journal.bytes().len() < before + 32);
+        assert!(!journal.due_for_compaction());
+    }
+}

@@ -1,0 +1,139 @@
+//! The operation-accounting ledger of the trusted server.
+//!
+//! Every counter is monotonically increasing and counts *events*, not
+//! states, with retransmission and recovery explicitly separated out:
+//!
+//! * a retransmission of an already-pushed package increments
+//!   [`Ledger::retransmissions`] only — never the push counters, so a lossy
+//!   link cannot inflate the accounting;
+//! * a pending operation voided by a vehicle reboot (its boot epoch moved on,
+//!   so the outcome can never arrive) increments
+//!   [`Ledger::operations_voided`] — it is neither completed nor failed;
+//! * the orphan uninstalls a resync pushes are counted on their own, apart
+//!   from user-initiated uninstalls.
+//!
+//! The ledger is part of the server's durability snapshot
+//! (`TrustedServer::snapshot_bytes`), so a journaled-and-replayed server
+//! carries byte-identical totals to the live one.
+
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::value::Value;
+
+/// Monotonic counters over every operation the trusted server performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ledger {
+    /// Install packages pushed (first transmission only).
+    pub installs_pushed: u64,
+    /// Uninstall messages pushed by user intent or reconciliation.
+    pub uninstalls_pushed: u64,
+    /// Install operations that resolved with every plug-in acknowledged.
+    pub installs_completed: u64,
+    /// Uninstall operations that resolved with every plug-in acknowledged.
+    pub uninstalls_completed: u64,
+    /// Operations that resolved failed (rejection, retry exhaustion, …).
+    pub operations_failed: u64,
+    /// Retransmissions of already-pushed packages (same sequence id).
+    pub retransmissions: u64,
+    /// Packages abandoned after their retry budget was spent.
+    pub retries_exhausted: u64,
+    /// Packages failed immediately because the vehicle is unreachable.
+    pub unreachable_failures: u64,
+    /// Pending operations voided by a vehicle boot-epoch bump (neither
+    /// completed nor failed: their old-epoch outcome can never arrive).
+    pub operations_voided: u64,
+    /// State reports consumed to resynchronise a vehicle's observed state.
+    pub resyncs: u64,
+    /// Orphan uninstalls pushed by resyncs for unaccounted plug-ins.
+    pub orphan_uninstalls: u64,
+    /// Packages re-pushed by ECU restore operations.
+    pub restores: u64,
+}
+
+impl Ledger {
+    /// Encodes the ledger as a [`Value`] (a fixed-arity list of counters).
+    pub fn to_value(&self) -> Value {
+        Value::List(
+            [
+                self.installs_pushed,
+                self.uninstalls_pushed,
+                self.installs_completed,
+                self.uninstalls_completed,
+                self.operations_failed,
+                self.retransmissions,
+                self.retries_exhausted,
+                self.unreachable_failures,
+                self.operations_voided,
+                self.resyncs,
+                self.orphan_uninstalls,
+                self.restores,
+            ]
+            .iter()
+            .map(|&c| Value::I64(c as i64))
+            .collect(),
+        )
+    }
+
+    /// Decodes a ledger encoded by [`Ledger::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        let malformed = || DynarError::ProtocolViolation("malformed ledger encoding".into());
+        let parts = value.as_list().ok_or_else(malformed)?;
+        let counters = parts
+            .iter()
+            .map(|v| u64::try_from(v.expect_i64()?).map_err(|_| malformed()))
+            .collect::<Result<Vec<u64>>>()?;
+        let [installs_pushed, uninstalls_pushed, installs_completed, uninstalls_completed, operations_failed, retransmissions, retries_exhausted, unreachable_failures, operations_voided, resyncs, orphan_uninstalls, restores] =
+            counters[..]
+        else {
+            return Err(malformed());
+        };
+        Ok(Ledger {
+            installs_pushed,
+            uninstalls_pushed,
+            installs_completed,
+            uninstalls_completed,
+            operations_failed,
+            retransmissions,
+            retries_exhausted,
+            unreachable_failures,
+            operations_voided,
+            resyncs,
+            orphan_uninstalls,
+            restores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_round_trips() {
+        let ledger = Ledger {
+            installs_pushed: 1,
+            uninstalls_pushed: 2,
+            installs_completed: 3,
+            uninstalls_completed: 4,
+            operations_failed: 5,
+            retransmissions: 6,
+            retries_exhausted: 7,
+            unreachable_failures: 8,
+            operations_voided: 9,
+            resyncs: 10,
+            orphan_uninstalls: 11,
+            restores: 12,
+        };
+        assert_eq!(Ledger::from_value(&ledger.to_value()).unwrap(), ledger);
+    }
+
+    #[test]
+    fn malformed_ledgers_are_rejected() {
+        assert!(Ledger::from_value(&Value::I64(1)).is_err());
+        assert!(Ledger::from_value(&Value::List(vec![Value::I64(1)])).is_err());
+        assert!(Ledger::from_value(&Value::List(vec![Value::I64(-1); 12])).is_err());
+    }
+}

@@ -14,16 +14,23 @@
 //!   compatibility and dependency checks, PIC/PLC/ECC context generation and
 //!   the pusher that queues downlink messages per vehicle;
 //! * [`baseline`] — the conventional "re-flash the ECU" deployment model the
-//!   benchmarks compare against.
+//!   benchmarks compare against;
+//! * [`journal`] / [`ledger`] — the durability plane: a write-ahead journal
+//!   of every state transition with periodic snapshot compaction, and the
+//!   operation-accounting ledger carried inside the snapshots.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod journal;
+pub mod ledger;
 pub mod model;
 pub mod server;
 
 pub use baseline::ReflashBaseline;
+pub use journal::Journal;
+pub use ledger::Ledger;
 pub use model::{
     AppDefinition, ConnectionDecl, EcuHw, HwConf, Placement, PluginArtifact, PluginPortDecl,
     PluginSwcDecl, PortConnection, SwConf, SystemSwConf, VirtualPortDecl, VirtualPortKindDecl,

@@ -364,6 +364,426 @@ impl AppDefinition {
     }
 }
 
+// ----------------------------------------------------------------------
+// Durability-plane value codec
+// ----------------------------------------------------------------------
+//
+// The write-ahead journal and the state snapshots of `TrustedServer`
+// (`crate::journal`) persist whole model objects with the shared
+// `dynar_foundation::codec`.  Every decoder returns a typed
+// [`DynarError::ProtocolViolation`] on malformed input — journals are read
+// back on the recovery path, where the bytes are untrusted by definition.
+
+use dynar_foundation::value::Value;
+
+fn malformed(what: &str) -> DynarError {
+    DynarError::ProtocolViolation(format!("malformed model encoding: {what}"))
+}
+
+fn decode_ecu(value: &Value, what: &str) -> Result<EcuId> {
+    let id = value.expect_i64()?;
+    let id = u16::try_from(id).map_err(|_| malformed(what))?;
+    Ok(EcuId::new(id))
+}
+
+fn decode_u32(value: &Value, what: &str) -> Result<u32> {
+    let raw = value.expect_i64()?;
+    u32::try_from(raw).map_err(|_| malformed(what))
+}
+
+fn decode_text<'a>(value: &'a Value, what: &str) -> Result<&'a str> {
+    value.as_text().ok_or_else(|| malformed(what))
+}
+
+impl EcuHw {
+    /// Encodes the ECU description as a [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::I64(i64::from(self.ecu.index())),
+            Value::I64(i64::from(self.memory_kb)),
+        ])
+    }
+
+    /// Decodes an ECU description encoded by [`EcuHw::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        let [ecu, memory_kb] = value.as_list().ok_or_else(|| malformed("ECU hw"))? else {
+            return Err(malformed("ECU hw arity"));
+        };
+        Ok(EcuHw {
+            ecu: decode_ecu(ecu, "ECU id")?,
+            memory_kb: decode_u32(memory_kb, "ECU memory")?,
+        })
+    }
+}
+
+impl HwConf {
+    /// Encodes the hardware configuration as a [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::List(self.ecus.iter().map(EcuHw::to_value).collect())
+    }
+
+    /// Decodes a configuration encoded by [`HwConf::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        let ecus = value
+            .as_list()
+            .ok_or_else(|| malformed("hw conf"))?
+            .iter()
+            .map(EcuHw::from_value)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(HwConf { ecus })
+    }
+}
+
+impl VirtualPortKindDecl {
+    fn to_value(self) -> Value {
+        match self {
+            VirtualPortKindDecl::TypeI => Value::List(vec![Value::I64(0)]),
+            VirtualPortKindDecl::TypeII { peer } => {
+                Value::List(vec![Value::I64(1), Value::I64(i64::from(peer.index()))])
+            }
+            VirtualPortKindDecl::TypeIII => Value::List(vec![Value::I64(2)]),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let parts = value.as_list().ok_or_else(|| malformed("port kind"))?;
+        match parts {
+            [tag] if tag.expect_i64()? == 0 => Ok(VirtualPortKindDecl::TypeI),
+            [tag, peer] if tag.expect_i64()? == 1 => Ok(VirtualPortKindDecl::TypeII {
+                peer: decode_ecu(peer, "type II peer")?,
+            }),
+            [tag] if tag.expect_i64()? == 2 => Ok(VirtualPortKindDecl::TypeIII),
+            _ => Err(malformed("port kind tag")),
+        }
+    }
+}
+
+impl VirtualPortDecl {
+    fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::I64(i64::from(self.id.index())),
+            Value::Text(self.name.clone()),
+            self.kind.to_value(),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let [id, name, kind] = value.as_list().ok_or_else(|| malformed("virtual port"))? else {
+            return Err(malformed("virtual port arity"));
+        };
+        let id = id.expect_i64()?;
+        let id = u16::try_from(id).map_err(|_| malformed("virtual port id"))?;
+        Ok(VirtualPortDecl {
+            id: VirtualPortId::new(id),
+            name: decode_text(name, "virtual port name")?.to_owned(),
+            kind: VirtualPortKindDecl::from_value(kind)?,
+        })
+    }
+}
+
+impl PluginSwcDecl {
+    fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::I64(i64::from(self.ecu.index())),
+            Value::Text(self.swc_name.clone()),
+            Value::Bool(self.is_ecm),
+            Value::List(self.virtual_ports.iter().map(|p| p.to_value()).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let [ecu, swc_name, is_ecm, ports] =
+            value.as_list().ok_or_else(|| malformed("plug-in SW-C"))?
+        else {
+            return Err(malformed("plug-in SW-C arity"));
+        };
+        Ok(PluginSwcDecl {
+            ecu: decode_ecu(ecu, "SW-C ECU")?,
+            swc_name: decode_text(swc_name, "SW-C name")?.to_owned(),
+            is_ecm: is_ecm.as_bool().ok_or_else(|| malformed("SW-C ECM flag"))?,
+            virtual_ports: ports
+                .as_list()
+                .ok_or_else(|| malformed("SW-C virtual ports"))?
+                .iter()
+                .map(VirtualPortDecl::from_value)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+impl SystemSwConf {
+    /// Encodes the system software configuration as a [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::Text(self.model.clone()),
+            Value::List(self.swcs.iter().map(|s| s.to_value()).collect()),
+        ])
+    }
+
+    /// Decodes a configuration encoded by [`SystemSwConf::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        let [model, swcs] = value.as_list().ok_or_else(|| malformed("system sw conf"))? else {
+            return Err(malformed("system sw conf arity"));
+        };
+        Ok(SystemSwConf {
+            model: decode_text(model, "system model")?.to_owned(),
+            swcs: swcs
+                .as_list()
+                .ok_or_else(|| malformed("system SW-Cs"))?
+                .iter()
+                .map(PluginSwcDecl::from_value)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+impl PluginPortDecl {
+    fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::Text(self.name.clone()),
+            Value::I64(match self.direction {
+                PluginPortDirection::Provided => 0,
+                PluginPortDirection::Required => 1,
+            }),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let [name, direction] = value.as_list().ok_or_else(|| malformed("plug-in port"))? else {
+            return Err(malformed("plug-in port arity"));
+        };
+        let direction = match direction.expect_i64()? {
+            0 => PluginPortDirection::Provided,
+            1 => PluginPortDirection::Required,
+            _ => return Err(malformed("plug-in port direction")),
+        };
+        Ok(PluginPortDecl {
+            name: decode_text(name, "plug-in port name")?.to_owned(),
+            direction,
+        })
+    }
+}
+
+impl PluginArtifact {
+    fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::Text(self.id.name().to_owned()),
+            Value::Bytes(self.binary.clone()),
+            Value::List(self.ports.iter().map(|p| p.to_value()).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let [id, binary, ports] = value.as_list().ok_or_else(|| malformed("artifact"))? else {
+            return Err(malformed("artifact arity"));
+        };
+        Ok(PluginArtifact {
+            id: PluginId::new(decode_text(id, "artifact id")?),
+            binary: binary
+                .as_bytes()
+                .ok_or_else(|| malformed("artifact binary"))?
+                .to_vec(),
+            ports: ports
+                .as_list()
+                .ok_or_else(|| malformed("artifact ports"))?
+                .iter()
+                .map(PluginPortDecl::from_value)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+impl ConnectionDecl {
+    fn to_value(&self) -> Value {
+        match self {
+            ConnectionDecl::Direct => Value::List(vec![Value::I64(0)]),
+            ConnectionDecl::VirtualPort { name } => {
+                Value::List(vec![Value::I64(1), Value::Text(name.clone())])
+            }
+            ConnectionDecl::RemotePlugin { plugin, port } => Value::List(vec![
+                Value::I64(2),
+                Value::Text(plugin.name().to_owned()),
+                Value::Text(port.clone()),
+            ]),
+            ConnectionDecl::External {
+                endpoint,
+                message_id,
+            } => Value::List(vec![
+                Value::I64(3),
+                Value::Text(endpoint.clone()),
+                Value::Text(message_id.clone()),
+            ]),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let parts = value.as_list().ok_or_else(|| malformed("connection"))?;
+        match parts {
+            [tag] if tag.expect_i64()? == 0 => Ok(ConnectionDecl::Direct),
+            [tag, name] if tag.expect_i64()? == 1 => Ok(ConnectionDecl::VirtualPort {
+                name: decode_text(name, "virtual port target")?.to_owned(),
+            }),
+            [tag, plugin, port] if tag.expect_i64()? == 2 => Ok(ConnectionDecl::RemotePlugin {
+                plugin: PluginId::new(decode_text(plugin, "remote plug-in")?),
+                port: decode_text(port, "remote port")?.to_owned(),
+            }),
+            [tag, endpoint, message_id] if tag.expect_i64()? == 3 => Ok(ConnectionDecl::External {
+                endpoint: decode_text(endpoint, "external endpoint")?.to_owned(),
+                message_id: decode_text(message_id, "external message id")?.to_owned(),
+            }),
+            _ => Err(malformed("connection tag")),
+        }
+    }
+}
+
+impl PortConnection {
+    fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::Text(self.plugin.name().to_owned()),
+            Value::Text(self.port.clone()),
+            self.target.to_value(),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let [plugin, port, target] = value
+            .as_list()
+            .ok_or_else(|| malformed("port connection"))?
+        else {
+            return Err(malformed("port connection arity"));
+        };
+        Ok(PortConnection {
+            plugin: PluginId::new(decode_text(plugin, "connection plug-in")?),
+            port: decode_text(port, "connection port")?.to_owned(),
+            target: ConnectionDecl::from_value(target)?,
+        })
+    }
+}
+
+impl SwConf {
+    fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::Text(self.model.clone()),
+            Value::I64(i64::from(self.min_memory_kb)),
+            Value::List(
+                self.placements
+                    .iter()
+                    .map(|p| {
+                        Value::List(vec![
+                            Value::Text(p.plugin.name().to_owned()),
+                            Value::I64(i64::from(p.ecu.index())),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Value::List(self.connections.iter().map(|c| c.to_value()).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let [model, min_memory_kb, placements, connections] =
+            value.as_list().ok_or_else(|| malformed("sw conf"))?
+        else {
+            return Err(malformed("sw conf arity"));
+        };
+        let placements = placements
+            .as_list()
+            .ok_or_else(|| malformed("placements"))?
+            .iter()
+            .map(|p| {
+                let [plugin, ecu] = p.as_list().ok_or_else(|| malformed("placement"))? else {
+                    return Err(malformed("placement arity"));
+                };
+                Ok(Placement {
+                    plugin: PluginId::new(decode_text(plugin, "placement plug-in")?),
+                    ecu: decode_ecu(ecu, "placement ECU")?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SwConf {
+            model: decode_text(model, "sw conf model")?.to_owned(),
+            min_memory_kb: decode_u32(min_memory_kb, "sw conf memory")?,
+            placements,
+            connections: connections
+                .as_list()
+                .ok_or_else(|| malformed("connections"))?
+                .iter()
+                .map(PortConnection::from_value)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+impl AppDefinition {
+    /// Encodes the application definition as a [`Value`].
+    pub fn to_value(&self) -> Value {
+        let ids = |apps: &[AppId]| {
+            Value::List(
+                apps.iter()
+                    .map(|a| Value::Text(a.name().to_owned()))
+                    .collect(),
+            )
+        };
+        Value::List(vec![
+            Value::Text(self.id.name().to_owned()),
+            Value::List(self.plugins.iter().map(|p| p.to_value()).collect()),
+            ids(&self.requires),
+            ids(&self.conflicts),
+            Value::List(self.sw_confs.iter().map(|c| c.to_value()).collect()),
+        ])
+    }
+
+    /// Decodes a definition encoded by [`AppDefinition::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for malformed encodings.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        let [id, plugins, requires, conflicts, sw_confs] =
+            value.as_list().ok_or_else(|| malformed("app definition"))?
+        else {
+            return Err(malformed("app definition arity"));
+        };
+        let ids = |value: &Value, what: &str| -> Result<Vec<AppId>> {
+            value
+                .as_list()
+                .ok_or_else(|| malformed(what))?
+                .iter()
+                .map(|a| Ok(AppId::new(decode_text(a, what)?)))
+                .collect()
+        };
+        Ok(AppDefinition {
+            id: AppId::new(decode_text(id, "app id")?),
+            plugins: plugins
+                .as_list()
+                .ok_or_else(|| malformed("app plug-ins"))?
+                .iter()
+                .map(PluginArtifact::from_value)
+                .collect::<Result<Vec<_>>>()?,
+            requires: ids(requires, "app dependencies")?,
+            conflicts: ids(conflicts, "app conflicts")?,
+            sw_confs: sw_confs
+                .as_list()
+                .ok_or_else(|| malformed("app sw confs"))?
+                .iter()
+                .map(SwConf::from_value)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +833,104 @@ mod tests {
         assert_eq!(conf.ecm_ecu(), Some(EcuId::new(1)));
         assert_eq!(conf.swc_on(EcuId::new(2)).unwrap().swc_name, "plugin-swc-2");
         assert!(conf.swc_on(EcuId::new(3)).is_none());
+    }
+
+    #[test]
+    fn model_value_codec_round_trips() {
+        let hw = HwConf::new()
+            .with_ecu(EcuId::new(1), 512)
+            .with_ecu(EcuId::new(2), 256);
+        assert_eq!(HwConf::from_value(&hw.to_value()).unwrap(), hw);
+
+        let system = SystemSwConf::new("model-car")
+            .with_swc(PluginSwcDecl {
+                ecu: EcuId::new(1),
+                swc_name: "ecm-swc".into(),
+                is_ecm: true,
+                virtual_ports: vec![VirtualPortDecl {
+                    id: VirtualPortId::new(0),
+                    name: "PluginDataIn".into(),
+                    kind: VirtualPortKindDecl::TypeII {
+                        peer: EcuId::new(2),
+                    },
+                }],
+            })
+            .with_swc(PluginSwcDecl {
+                ecu: EcuId::new(2),
+                swc_name: "plugin-swc-2".into(),
+                is_ecm: false,
+                virtual_ports: vec![
+                    VirtualPortDecl {
+                        id: VirtualPortId::new(1),
+                        name: "ToEcm".into(),
+                        kind: VirtualPortKindDecl::TypeI,
+                    },
+                    VirtualPortDecl {
+                        id: VirtualPortId::new(2),
+                        name: "WheelsReq".into(),
+                        kind: VirtualPortKindDecl::TypeIII,
+                    },
+                ],
+            });
+        assert_eq!(
+            SystemSwConf::from_value(&system.to_value()).unwrap(),
+            system
+        );
+
+        let app = AppDefinition::new(AppId::new("remote-control"))
+            .with_plugin(artifact(
+                "COM",
+                &[
+                    ("ext_in", PluginPortDirection::Required),
+                    ("fwd", PluginPortDirection::Provided),
+                ],
+            ))
+            .with_plugin(artifact("OP", &[("in", PluginPortDirection::Required)]))
+            .with_dependency(AppId::new("base"))
+            .with_conflict(AppId::new("rival"))
+            .with_sw_conf(
+                SwConf::new("model-car")
+                    .with_min_memory_kb(64)
+                    .with_placement(PluginId::new("COM"), EcuId::new(1))
+                    .with_placement(PluginId::new("OP"), EcuId::new(2))
+                    .with_connection(
+                        PluginId::new("COM"),
+                        "ext_in",
+                        ConnectionDecl::External {
+                            endpoint: "phone".into(),
+                            message_id: "Wheels".into(),
+                        },
+                    )
+                    .with_connection(
+                        PluginId::new("COM"),
+                        "fwd",
+                        ConnectionDecl::RemotePlugin {
+                            plugin: PluginId::new("OP"),
+                            port: "in".into(),
+                        },
+                    )
+                    .with_connection(
+                        PluginId::new("OP"),
+                        "in",
+                        ConnectionDecl::VirtualPort {
+                            name: "WheelsReq".into(),
+                        },
+                    ),
+            );
+        assert_eq!(AppDefinition::from_value(&app.to_value()).unwrap(), app);
+    }
+
+    #[test]
+    fn model_decoders_reject_malformed_values() {
+        use dynar_foundation::value::Value;
+        for decoder in [
+            |v: &Value| HwConf::from_value(v).map(|_| ()),
+            |v: &Value| SystemSwConf::from_value(v).map(|_| ()),
+            |v: &Value| AppDefinition::from_value(v).map(|_| ()),
+        ] {
+            assert!(decoder(&Value::I64(7)).is_err());
+            assert!(decoder(&Value::List(vec![Value::Void])).is_err());
+        }
     }
 
     #[test]

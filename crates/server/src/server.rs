@@ -38,6 +38,23 @@
 //! quiescent vehicle costs one heap peek.  Encoded downlink payloads are
 //! shared [`Payload`] buffers: the retransmission cache, the downlink queue
 //! and the transport all hold the same allocation.
+//!
+//! # Durability
+//!
+//! The server's state is volatile by default; [`TrustedServer::enable_journal`]
+//! turns on the write-ahead journal (see [`crate::journal`]): every mutating
+//! API call is recorded *before* it runs, and the journal is periodically
+//! compacted into a full-state snapshot.  [`TrustedServer::replay`] rebuilds a
+//! crashed server from those bytes, byte-for-byte
+//! ([`TrustedServer::snapshot_bytes`] is the canonical comparison form).
+//! Because the pre-crash server may have handed out downlinks whose
+//! acknowledgements are still in flight, every downlink envelope is stamped
+//! with the server **incarnation id** — the off-board mirror of the vehicle
+//! boot epoch.  [`TrustedServer::begin_incarnation`] (called after a replay)
+//! bumps it, re-stamps everything still queued or outstanding, and solicits a
+//! state report from every vehicle so the observed state resynchronises; the
+//! gateways reject downlinks from older incarnations, so a zombie pre-crash
+//! process cannot race its successor.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
@@ -48,11 +65,16 @@ use dynar_core::context::{
 use dynar_core::message::{
     Ack, AckStatus, DownlinkEnvelope, InstallationPackage, ManagementMessage,
 };
+use dynar_foundation::codec;
 use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, UserId, VehicleId};
+use dynar_foundation::journal::FrameReader;
 use dynar_foundation::payload::Payload;
 use dynar_foundation::time::Tick;
+use dynar_foundation::value::Value;
 
+use crate::journal::{Journal, JournalRecord};
+use crate::ledger::Ledger;
 use crate::model::{
     AppDefinition, ConnectionDecl, HwConf, SwConf, SystemSwConf, VirtualPortKindDecl,
 };
@@ -200,6 +222,17 @@ pub struct TrustedServer {
     apps: HashMap<AppId, AppDefinition>,
     policy: RetryPolicy,
     now: Tick,
+    /// The server incarnation id stamped into every downlink envelope: the
+    /// off-board mirror of the vehicle boot epoch, bumped by
+    /// [`TrustedServer::begin_incarnation`] after a crash recovery so
+    /// gateways can tell a restarted server from its pre-crash self.
+    incarnation: u32,
+    /// Monotonic operation accounting (part of the durability snapshot).
+    ledger: Ledger,
+    /// The write-ahead journal, `None` until
+    /// [`TrustedServer::enable_journal`].  Never set on a replayed-into
+    /// server while records apply, so replay cannot re-journal itself.
+    journal: Option<Journal>,
 }
 
 impl TrustedServer {
@@ -218,6 +251,7 @@ impl TrustedServer {
     ///
     /// Returns [`DynarError::Duplicate`] if the account already exists.
     pub fn create_user(&mut self, user: UserId) -> Result<()> {
+        self.journal_append(|| JournalRecord::CreateUser(user.clone()));
         if !self.users.insert(user.clone()) {
             return Err(DynarError::duplicate("user", user));
         }
@@ -236,6 +270,9 @@ impl TrustedServer {
         hw: HwConf,
         system: SystemSwConf,
     ) -> Result<()> {
+        self.journal_append(|| {
+            JournalRecord::RegisterVehicle(vehicle.clone(), hw.clone(), system.clone())
+        });
         if self.vehicles.contains_key(&vehicle) {
             return Err(DynarError::duplicate("vehicle", vehicle));
         }
@@ -268,6 +305,7 @@ impl TrustedServer {
     ///
     /// Returns [`DynarError::NotFound`] for unknown users or vehicles.
     pub fn bind_vehicle(&mut self, user: &UserId, vehicle: &VehicleId) -> Result<()> {
+        self.journal_append(|| JournalRecord::BindVehicle(user.clone(), vehicle.clone()));
         if !self.users.contains(user) {
             return Err(DynarError::not_found("user", user));
         }
@@ -290,6 +328,7 @@ impl TrustedServer {
     /// Returns [`DynarError::Duplicate`] if the application already exists
     /// and propagates [`AppDefinition::validate`] failures.
     pub fn upload_app(&mut self, app: AppDefinition) -> Result<()> {
+        self.journal_append(|| JournalRecord::UploadApp(app.clone()));
         app.validate()?;
         if self.apps.contains_key(&app.id) {
             return Err(DynarError::duplicate("app", &app.id));
@@ -568,6 +607,7 @@ impl TrustedServer {
     /// Returns [`DynarError::NotFound`] if the user does not own the vehicle
     /// and the rejections documented on [`TrustedServer::plan_deployment`].
     pub fn deploy(&mut self, user: &UserId, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
+        self.journal_append(|| JournalRecord::Deploy(user.clone(), vehicle.clone(), app.clone()));
         self.check_owner(user, vehicle)?;
         let pushed = self.push_install(vehicle, app)?;
         let record = self.vehicles.get_mut(vehicle).expect("owner checked");
@@ -610,6 +650,7 @@ impl TrustedServer {
                 record,
                 self.now,
                 &self.policy,
+                self.incarnation,
                 *ecu,
                 package.plugin.clone(),
                 app.clone(),
@@ -628,6 +669,7 @@ impl TrustedServer {
             },
         );
         record.failed.remove(app);
+        self.ledger.installs_pushed += count as u64;
         Ok(count)
     }
 
@@ -641,6 +683,9 @@ impl TrustedServer {
     /// Returns [`DynarError::DependentsExist`] when other installed apps
     /// require this one, and [`DynarError::NotFound`] for unknown entities.
     pub fn uninstall(&mut self, user: &UserId, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
+        self.journal_append(|| {
+            JournalRecord::Uninstall(user.clone(), vehicle.clone(), app.clone())
+        });
         self.check_owner(user, vehicle)?;
         let pushed = self.push_uninstall(vehicle, app)?;
         let record = self.vehicles.get_mut(vehicle).expect("owner checked");
@@ -686,6 +731,7 @@ impl TrustedServer {
                 record,
                 self.now,
                 &self.policy,
+                self.incarnation,
                 *ecu,
                 plugin.clone(),
                 app.clone(),
@@ -707,6 +753,7 @@ impl TrustedServer {
         );
         // A fresh operation supersedes whatever failure the last one left.
         record.failed.remove(app);
+        self.ledger.uninstalls_pushed += count as u64;
         Ok(count)
     }
 
@@ -718,14 +765,20 @@ impl TrustedServer {
     ///
     /// Returns [`DynarError::NotFound`] for unknown vehicles.
     pub fn restore(&mut self, vehicle: &VehicleId, ecu: EcuId) -> Result<usize> {
+        self.journal_append(|| JournalRecord::Restore(vehicle.clone(), ecu));
+        let incarnation = self.incarnation;
         let record = self
             .vehicles
             .get_mut(vehicle)
             .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
         let mut pushed = 0;
         let mut repush = Vec::new();
-        for installed in record.installed.values() {
-            for (target, package) in &installed.packages {
+        // Sorted by app so the push order (and thus sequence-id assignment)
+        // is deterministic — journal replay must reproduce it exactly.
+        let mut apps: Vec<&AppId> = record.installed.keys().collect();
+        apps.sort();
+        for app in apps {
+            for (target, package) in &record.installed[app].packages {
                 if *target == ecu {
                     repush.push((*target, package.clone()));
                 }
@@ -735,9 +788,15 @@ impl TrustedServer {
         // them), but they still consume sequence ids so gateway
         // deduplication and ordering stay uniform.
         for (target, package) in repush {
-            Self::queue_envelope(record, target, ManagementMessage::Install(package));
+            Self::queue_envelope(
+                record,
+                target,
+                incarnation,
+                ManagementMessage::Install(package),
+            );
             pushed += 1;
         }
+        self.ledger.restores += pushed as u64;
         Ok(pushed)
     }
 
@@ -748,6 +807,7 @@ impl TrustedServer {
     /// Replaces the retransmission policy (applies to packages pushed from
     /// now on; already-outstanding packages keep their deadlines).
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.journal_append(|| JournalRecord::SetRetryPolicy(policy.clone()));
         self.policy = policy;
     }
 
@@ -809,13 +869,16 @@ impl TrustedServer {
         vehicle: &VehicleId,
         app: &AppId,
     ) -> Result<usize> {
+        self.journal_append(|| {
+            JournalRecord::SetDesired(user.clone(), vehicle.clone(), app.clone())
+        });
         self.check_owner(user, vehicle)?;
         if !self.apps.contains_key(app) {
             return Err(DynarError::not_found("app", app));
         }
         let record = self.vehicles.get_mut(vehicle).expect("owner checked");
         record.desired.insert(app.clone());
-        self.reconcile(vehicle)
+        self.reconcile_inner(vehicle)
     }
 
     /// Removes `app` from the vehicle's desired manifest and reconciles
@@ -830,10 +893,13 @@ impl TrustedServer {
         vehicle: &VehicleId,
         app: &AppId,
     ) -> Result<usize> {
+        self.journal_append(|| {
+            JournalRecord::ClearDesired(user.clone(), vehicle.clone(), app.clone())
+        });
         self.check_owner(user, vehicle)?;
         let record = self.vehicles.get_mut(vehicle).expect("owner checked");
         record.desired.remove(app);
-        self.reconcile(vehicle)
+        self.reconcile_inner(vehicle)
     }
 
     /// Diffs the vehicle's desired manifest against its observed state and
@@ -859,6 +925,13 @@ impl TrustedServer {
     ///
     /// Returns [`DynarError::NotFound`] for unknown vehicles.
     pub fn reconcile(&mut self, vehicle: &VehicleId) -> Result<usize> {
+        self.journal_append(|| JournalRecord::Reconcile(vehicle.clone()));
+        self.reconcile_inner(vehicle)
+    }
+
+    /// [`TrustedServer::reconcile`] without the journal hook (shared with
+    /// the mutators that already journaled their own triggering record).
+    fn reconcile_inner(&mut self, vehicle: &VehicleId) -> Result<usize> {
         let (to_install, to_uninstall) = {
             let record = self
                 .vehicles
@@ -872,7 +945,7 @@ impl TrustedServer {
                 })
                 .cloned()
                 .collect();
-            let to_uninstall: Vec<AppId> = record
+            let mut to_uninstall: Vec<AppId> = record
                 .installed
                 .keys()
                 .filter(|app| !record.desired.contains(*app) && !record.pending.contains_key(*app))
@@ -887,6 +960,9 @@ impl TrustedServer {
                 })
                 .cloned()
                 .collect();
+            // `installed` is a HashMap: sort so the push order (and thus
+            // sequence-id assignment) is deterministic for journal replay.
+            to_uninstall.sort();
             (to_install, to_uninstall)
         };
         let mut pushed = 0;
@@ -916,6 +992,7 @@ impl TrustedServer {
     /// retransmission deadlines freeze, so the retry budget is not burned
     /// against a dead link.
     pub fn mark_offline(&mut self, vehicle: &VehicleId) {
+        self.journal_append(|| JournalRecord::MarkOffline(vehicle.clone()));
         if let Some(record) = self.vehicles.get_mut(vehicle) {
             record.online = false;
         }
@@ -940,12 +1017,13 @@ impl TrustedServer {
     /// the reconciliation re-issues what the manifest still wants under the
     /// new epoch.
     pub fn mark_online(&mut self, vehicle: &VehicleId, boot_epoch: u32) {
+        self.journal_append(|| JournalRecord::MarkOnline(vehicle.clone(), boot_epoch));
         let now = self.now;
         let policy = self.policy.clone();
         if let Some(record) = self.vehicles.get_mut(vehicle) {
-            Self::bring_online(record, now, &policy, boot_epoch);
+            Self::bring_online(record, &mut self.ledger, now, &policy, boot_epoch);
         }
-        let _ = self.reconcile(vehicle);
+        let _ = self.reconcile_inner(vehicle);
     }
 
     /// Declares a vehicle permanently unreachable (its endpoint was removed,
@@ -954,6 +1032,8 @@ impl TrustedServer {
     /// burned, and the failure reason is not the misleading
     /// "retry budget exhausted".  Returns the escalated failures.
     pub fn mark_unreachable(&mut self, vehicle: &VehicleId) -> Vec<RetryFailure> {
+        self.journal_append(|| JournalRecord::MarkUnreachable(vehicle.clone()));
+        let ledger = &mut self.ledger;
         let Some(record) = self.vehicles.get_mut(vehicle) else {
             return Vec::new();
         };
@@ -965,7 +1045,8 @@ impl TrustedServer {
             let error = DynarError::VehicleUnreachable {
                 vehicle: vehicle.to_string(),
             };
-            Self::fail_awaiting(record, &entry.app, &entry.plugin, &error);
+            ledger.unreachable_failures += 1;
+            Self::fail_awaiting(record, ledger, &entry.app, &entry.plugin, &error);
             failures.push(RetryFailure {
                 vehicle: vehicle.clone(),
                 app: entry.app,
@@ -974,8 +1055,11 @@ impl TrustedServer {
             });
         }
         // Operations whose outstanding entries were already settled but that
-        // still await acknowledgements can never complete either.
-        let stuck: Vec<AppId> = record.pending.keys().cloned().collect();
+        // still await acknowledgements can never complete either.  Sorted:
+        // `pending` is a HashMap, and journal replay must resolve the stuck
+        // operations in a reproducible order.
+        let mut stuck: Vec<AppId> = record.pending.keys().cloned().collect();
+        stuck.sort();
         for app in stuck {
             let pending = record.pending.get_mut(&app).expect("key just listed");
             pending.failure.get_or_insert_with(|| {
@@ -985,7 +1069,7 @@ impl TrustedServer {
                 .to_string()
             });
             pending.awaiting.clear();
-            Self::resolve_if_complete(record, &app);
+            Self::resolve_if_complete(record, ledger, &app);
         }
         failures
     }
@@ -1002,6 +1086,15 @@ impl TrustedServer {
     /// [`DynarError::InvalidConfiguration`] if the vehicle's system software
     /// declares no ECM.
     pub fn request_state_report(&mut self, vehicle: &VehicleId) -> Result<()> {
+        self.journal_append(|| JournalRecord::RequestStateReport(vehicle.clone()));
+        self.request_state_report_inner(vehicle)
+    }
+
+    /// [`TrustedServer::request_state_report`] without the journal hook
+    /// (shared with the resync and incarnation paths, whose own records
+    /// already cover the request).
+    fn request_state_report_inner(&mut self, vehicle: &VehicleId) -> Result<()> {
+        let incarnation = self.incarnation;
         let record = self
             .vehicles
             .get_mut(vehicle)
@@ -1009,7 +1102,12 @@ impl TrustedServer {
         let ecm = record.system.ecm_ecu().ok_or_else(|| {
             DynarError::invalid_config(format!("vehicle {vehicle} declares no ECM SW-C"))
         })?;
-        Self::queue_envelope(record, ecm, ManagementMessage::StateReportRequest);
+        Self::queue_envelope(
+            record,
+            ecm,
+            incarnation,
+            ManagementMessage::StateReportRequest,
+        );
         record.awaiting_report = true;
         Ok(())
     }
@@ -1032,13 +1130,16 @@ impl TrustedServer {
     fn resync(&mut self, vehicle: &VehicleId, epoch: u32, plugins: &[(PluginId, AppId, EcuId)]) {
         let now = self.now;
         let policy = self.policy.clone();
+        let incarnation = self.incarnation;
+        let ledger = &mut self.ledger;
         let Some(record) = self.vehicles.get_mut(vehicle) else {
             return;
         };
         if epoch < record.boot_epoch {
             return;
         }
-        let rebooted = Self::bring_online(record, now, &policy, epoch);
+        ledger.resyncs += 1;
+        let rebooted = Self::bring_online(record, ledger, now, &policy, epoch);
         // A report answering our own request is *solicited*; anything else —
         // in particular the first report after a reboot — is the gateway
         // announcing itself.  An epoch bump voids any older request.
@@ -1067,6 +1168,7 @@ impl TrustedServer {
                     record,
                     now,
                     &policy,
+                    incarnation,
                     *ecu,
                     plugin.clone(),
                     app.clone(),
@@ -1078,14 +1180,15 @@ impl TrustedServer {
                 orphan_pushes += 1;
             }
         }
-        let reconciled = self.reconcile(vehicle).unwrap_or(0);
+        self.ledger.orphan_uninstalls += orphan_pushes as u64;
+        let reconciled = self.reconcile_inner(vehicle).unwrap_or(0);
         // An announcing gateway re-announces until a downlink of its own
         // epoch proves the server resynced.  When the resync itself produced
         // no downlink (empty manifest, everything already converged), answer
         // with a state-report request: it confirms the epoch, and its reply
         // arrives flagged as solicited so this cannot ping-pong.
         if !solicited && orphan_pushes == 0 && reconciled == 0 {
-            let _ = self.request_state_report(vehicle);
+            let _ = self.request_state_report_inner(vehicle);
         }
     }
 
@@ -1096,6 +1199,7 @@ impl TrustedServer {
     /// rebooted.
     fn bring_online(
         record: &mut VehicleRecord,
+        ledger: &mut Ledger,
         now: Tick,
         policy: &RetryPolicy,
         boot_epoch: u32,
@@ -1109,7 +1213,9 @@ impl TrustedServer {
             record.downlink.clear();
             // Aborted, not failed: the manifest still records the intent and
             // the post-resync reconciliation re-issues it under the new
-            // epoch.
+            // epoch.  Voided operations are neither completed nor failed —
+            // their old-epoch outcome can never arrive.
+            ledger.operations_voided += record.pending.len() as u64;
             record.pending.clear();
             // The ECM's volatile state died with the old epoch: nothing can
             // be assumed installed until acknowledged (or reported) again —
@@ -1146,9 +1252,11 @@ impl TrustedServer {
     /// invalidation: a vehicle with nothing due costs a single peek, so a
     /// quiescent fleet tick is O(1) in the number of outstanding packages.
     pub fn tick(&mut self, now: Tick) -> Vec<RetryFailure> {
+        self.journal_append(|| JournalRecord::Tick(now));
         self.now = now;
         let policy = self.policy.clone();
         let mut failures = Vec::new();
+        let ledger = &mut self.ledger;
         for (vehicle_id, record) in &mut self.vehicles {
             if !record.online {
                 // Parked: an offline vehicle's deadlines freeze — the link is
@@ -1188,7 +1296,8 @@ impl TrustedServer {
                     };
                     // Resolving the operation may settle further entries of
                     // the same app; their heap entries die lazily.
-                    Self::fail_awaiting(record, &entry.app, &entry.plugin, &error);
+                    ledger.retries_exhausted += 1;
+                    Self::fail_awaiting(record, ledger, &entry.app, &entry.plugin, &error);
                     failures.push(RetryFailure {
                         vehicle: vehicle_id.clone(),
                         app: entry.app,
@@ -1203,6 +1312,7 @@ impl TrustedServer {
                     // replaced did), not spin the heap loop through the whole
                     // attempt budget within this tick.
                     entry.deadline = now.advance(policy.ack_deadline_ticks.max(1));
+                    ledger.retransmissions += 1;
                     record.downlink.push(entry.payload.clone());
                     record.deadlines.push(Reverse((entry.deadline, seq)));
                 }
@@ -1217,13 +1327,15 @@ impl TrustedServer {
     fn queue_envelope(
         record: &mut VehicleRecord,
         ecu: EcuId,
+        incarnation: u32,
         message: ManagementMessage,
     ) -> (u64, Payload) {
         let seq = record.next_seq;
         record.next_seq += 1;
-        let payload: Payload = DownlinkEnvelope::new(ecu, seq, record.boot_epoch, message)
-            .to_bytes()
-            .into();
+        let payload: Payload =
+            DownlinkEnvelope::new(ecu, seq, record.boot_epoch, incarnation, message)
+                .to_bytes()
+                .into();
         record.downlink.push(payload.clone());
         (seq, payload)
     }
@@ -1236,13 +1348,14 @@ impl TrustedServer {
         record: &mut VehicleRecord,
         now: Tick,
         policy: &RetryPolicy,
+        incarnation: u32,
         ecu: EcuId,
         plugin: PluginId,
         app: AppId,
         kind: PendingKind,
         message: ManagementMessage,
     ) {
-        let (seq, payload) = Self::queue_envelope(record, ecu, message);
+        let (seq, payload) = Self::queue_envelope(record, ecu, incarnation, message);
         let deadline = now.advance(policy.ack_deadline_ticks);
         record.outstanding.push(OutstandingDownlink {
             seq,
@@ -1264,11 +1377,19 @@ impl TrustedServer {
     /// nothing is drained until [`TrustedServer::mark_online`] (or a state
     /// report) brings the vehicle back.
     pub fn poll_downlink(&mut self, vehicle: &VehicleId) -> Vec<Payload> {
-        self.vehicles
+        let drained = self
+            .vehicles
             .get_mut(vehicle)
             .filter(|v| v.online)
             .map(|v| std::mem::take(&mut v.downlink))
-            .unwrap_or_default()
+            .unwrap_or_default();
+        // Journaled only when something actually left the queue: the fleet
+        // polls every vehicle every tick, and an empty drain is a no-op that
+        // would otherwise dominate the journal.
+        if !drained.is_empty() {
+            self.journal_append(|| JournalRecord::PollDownlink(vehicle.clone()));
+        }
+        drained
     }
 
     /// Processes an uplink message from a vehicle: an acknowledgement updates
@@ -1282,13 +1403,14 @@ impl TrustedServer {
     /// [`DynarError::ProtocolViolation`] for malformed or unexpected uplink
     /// payloads.
     pub fn process_uplink(&mut self, vehicle: &VehicleId, payload: &[u8]) -> Result<()> {
+        self.journal_append(|| JournalRecord::ProcessUplink(vehicle.clone(), payload.to_vec()));
         if !self.vehicles.contains_key(vehicle) {
             return Err(DynarError::not_found("vehicle", vehicle));
         }
         match ManagementMessage::from_bytes(payload)? {
             ManagementMessage::Ack(ack) => {
                 let record = self.vehicles.get_mut(vehicle).expect("checked above");
-                Self::apply_ack(record, &ack);
+                Self::apply_ack(record, &mut self.ledger, &ack);
                 Ok(())
             }
             ManagementMessage::StateReport {
@@ -1316,7 +1438,7 @@ impl TrustedServer {
     /// fail the fresh operation early — acks carry no sequence id, so the
     /// two are indistinguishable; the operation still resolves typed-failed
     /// and can be retried.
-    fn apply_ack(record: &mut VehicleRecord, ack: &Ack) {
+    fn apply_ack(record: &mut VehicleRecord, ledger: &mut Ledger, ack: &Ack) {
         let outcome_matches = |kind: &PendingKind, status: &AckStatus| {
             matches!(
                 (kind, status),
@@ -1348,7 +1470,7 @@ impl TrustedServer {
                         pending.failure = Some(format!("{plugin}: {reason}"));
                     }
                 }
-                Self::resolve_if_complete(record, &app);
+                Self::resolve_if_complete(record, ledger, &app);
             }
             return;
         }
@@ -1370,13 +1492,13 @@ impl TrustedServer {
             }
             _ => {}
         }
-        Self::resolve_if_complete(record, &app);
+        Self::resolve_if_complete(record, ledger, &app);
     }
 
     /// Finalises a pending operation once no acknowledgement is awaited any
     /// more, applying the install/uninstall bookkeeping (shared by the ack
     /// path and the retry-exhaustion path).
-    fn resolve_if_complete(record: &mut VehicleRecord, app: &AppId) {
+    fn resolve_if_complete(record: &mut VehicleRecord, ledger: &mut Ledger, app: &AppId) {
         let Some(pending) = record.pending.get(app) else {
             return;
         };
@@ -1389,14 +1511,19 @@ impl TrustedServer {
         record.outstanding.retain(|o| &o.app != app);
         match (&done.kind, &done.failure) {
             (PendingKind::Install, None) => {
+                ledger.installs_completed += 1;
                 record.installed.insert(app.clone(), done.record);
             }
             (PendingKind::Install, Some(reason)) => {
+                ledger.operations_failed += 1;
                 record.failed.insert(app.clone(), reason.clone());
             }
-            (PendingKind::Uninstall, None) => {}
+            (PendingKind::Uninstall, None) => {
+                ledger.uninstalls_completed += 1;
+            }
             (PendingKind::Uninstall, Some(reason)) => {
                 // Keep the record: the app is still (partially) present.
+                ledger.operations_failed += 1;
                 record.failed.insert(app.clone(), reason.clone());
                 record.installed.insert(app.clone(), done.record);
             }
@@ -1408,6 +1535,7 @@ impl TrustedServer {
     /// nothing else is awaited.
     fn fail_awaiting(
         record: &mut VehicleRecord,
+        ledger: &mut Ledger,
         app: &AppId,
         plugin: &PluginId,
         error: &DynarError,
@@ -1416,7 +1544,298 @@ impl TrustedServer {
             pending.awaiting.remove(plugin);
             pending.failure = Some(format!("{plugin}: {error}"));
         }
-        Self::resolve_if_complete(record, app);
+        Self::resolve_if_complete(record, ledger, app);
+    }
+
+    // ------------------------------------------------------------------
+    // Durability plane: journal, snapshots, replay, incarnations
+    // ------------------------------------------------------------------
+
+    /// The server incarnation id currently stamped into downlink envelopes.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// The operation-accounting ledger (see [`Ledger`]).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Turns the write-ahead journal on: every mutating API call from now on
+    /// is recorded *before* it runs, and every `compaction_interval` records
+    /// the journal is compacted into a single full-state snapshot frame.
+    /// The journal is seeded with a snapshot of the current state, so
+    /// [`TrustedServer::replay`] works no matter when journaling began.
+    pub fn enable_journal(&mut self, compaction_interval: u32) {
+        let mut journal = Journal::new(compaction_interval);
+        journal.compact(self.snapshot_value());
+        self.journal = Some(journal);
+    }
+
+    /// The journal's framed bytes (what a crash would leave behind; feed
+    /// them to [`TrustedServer::replay`]), `None` while journaling is off.
+    pub fn journal_bytes(&self) -> Option<&[u8]> {
+        self.journal.as_ref().map(Journal::bytes)
+    }
+
+    /// Appends one record to the journal (no-op while journaling is off),
+    /// compacting first when the interval lapsed.  Compaction snapshots the
+    /// state *before* the new record is appended — the snapshot captures
+    /// exactly what every previously journaled record replays to, so replay
+    /// is always `snapshot ⊕ remaining records`, in order.
+    fn journal_append(&mut self, record: impl FnOnce() -> JournalRecord) {
+        if self.journal.is_none() {
+            return;
+        }
+        if self.journal.as_ref().expect("checked").due_for_compaction() {
+            let snapshot = self.snapshot_value();
+            self.journal.as_mut().expect("checked").compact(snapshot);
+        }
+        let record = record();
+        self.journal.as_mut().expect("checked").append(&record);
+    }
+
+    /// Rebuilds a server from journal bytes: decodes each frame and applies
+    /// it through the same public API the live server ran.  The result is
+    /// byte-identical to the journaling server at its last append
+    /// ([`TrustedServer::snapshot_bytes`] is the comparison form).  The
+    /// rebuilt server has journaling off — re-enable it (and start a new
+    /// incarnation with [`TrustedServer::begin_incarnation`]) to resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for truncated, corrupted or
+    /// malformed journal bytes.
+    pub fn replay(bytes: &[u8]) -> Result<TrustedServer> {
+        let mut server = TrustedServer::new();
+        let mut reader = FrameReader::new(bytes);
+        while let Some(frame) = reader.next_frame()? {
+            let record = JournalRecord::from_bytes(frame)?;
+            server.apply_record(record)?;
+        }
+        Ok(server)
+    }
+
+    /// Applies one journaled record.  Command *failures* are deliberately
+    /// swallowed: the live call failed identically and changed nothing, so
+    /// the failure replays for free.  (The replaying server has
+    /// `journal: None`, so nothing is re-journaled here.)
+    fn apply_record(&mut self, record: JournalRecord) -> Result<()> {
+        match record {
+            JournalRecord::Snapshot(state) => {
+                *self = TrustedServer::from_snapshot_value(&state)?;
+            }
+            JournalRecord::CreateUser(user) => {
+                let _ = self.create_user(user);
+            }
+            JournalRecord::RegisterVehicle(vehicle, hw, system) => {
+                let _ = self.register_vehicle(vehicle, hw, system);
+            }
+            JournalRecord::BindVehicle(user, vehicle) => {
+                let _ = self.bind_vehicle(&user, &vehicle);
+            }
+            JournalRecord::UploadApp(app) => {
+                let _ = self.upload_app(app);
+            }
+            JournalRecord::SetRetryPolicy(policy) => self.set_retry_policy(policy),
+            JournalRecord::Deploy(user, vehicle, app) => {
+                let _ = self.deploy(&user, &vehicle, &app);
+            }
+            JournalRecord::Uninstall(user, vehicle, app) => {
+                let _ = self.uninstall(&user, &vehicle, &app);
+            }
+            JournalRecord::Restore(vehicle, ecu) => {
+                let _ = self.restore(&vehicle, ecu);
+            }
+            JournalRecord::SetDesired(user, vehicle, app) => {
+                let _ = self.set_desired(&user, &vehicle, &app);
+            }
+            JournalRecord::ClearDesired(user, vehicle, app) => {
+                let _ = self.clear_desired(&user, &vehicle, &app);
+            }
+            JournalRecord::Reconcile(vehicle) => {
+                let _ = self.reconcile(&vehicle);
+            }
+            JournalRecord::MarkOffline(vehicle) => self.mark_offline(&vehicle),
+            JournalRecord::MarkOnline(vehicle, boot_epoch) => {
+                self.mark_online(&vehicle, boot_epoch);
+            }
+            JournalRecord::MarkUnreachable(vehicle) => {
+                let _ = self.mark_unreachable(&vehicle);
+            }
+            JournalRecord::RequestStateReport(vehicle) => {
+                let _ = self.request_state_report(&vehicle);
+            }
+            JournalRecord::Tick(now) => {
+                let _ = self.tick(now);
+            }
+            JournalRecord::ProcessUplink(vehicle, payload) => {
+                let _ = self.process_uplink(&vehicle, &payload);
+            }
+            JournalRecord::PollDownlink(vehicle) => {
+                let _ = self.poll_downlink(&vehicle);
+            }
+            JournalRecord::BeginIncarnation => {
+                let _ = self.begin_incarnation();
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts a new server incarnation (called after a crash recovery
+    /// replayed the journal into a fresh process): bumps the incarnation id,
+    /// re-stamps every queued and outstanding downlink with it (sequence
+    /// ids unchanged — gateway deduplication still applies across the
+    /// restart) and solicits a state report from every vehicle, so the
+    /// gateways confirm the new incarnation and the observed state
+    /// resynchronises.  A zombie pre-crash process keeps stamping the old
+    /// incarnation, which the gateways now reject.  Returns the number of
+    /// vehicles solicited.
+    pub fn begin_incarnation(&mut self) -> usize {
+        self.journal_append(|| JournalRecord::BeginIncarnation);
+        self.incarnation += 1;
+        let incarnation = self.incarnation;
+        // Sorted: `vehicles` is a HashMap and the sequence ids consumed by
+        // the solicitations must be reproducible under journal replay.
+        let mut vehicles: Vec<VehicleId> = self.vehicles.keys().cloned().collect();
+        vehicles.sort();
+        for vehicle in &vehicles {
+            let record = self.vehicles.get_mut(vehicle).expect("key just listed");
+            for payload in &mut record.downlink {
+                *payload = Self::restamp(payload, incarnation);
+            }
+            for entry in &mut record.outstanding {
+                entry.payload = Self::restamp(&entry.payload, incarnation);
+            }
+            // No-ECM vehicles simply get no solicitation.
+            let _ = self.request_state_report_inner(vehicle);
+        }
+        vehicles.len()
+    }
+
+    /// Re-encodes a server-built downlink envelope with the new incarnation
+    /// id (target, sequence id, epoch and message unchanged).
+    fn restamp(payload: &Payload, incarnation: u32) -> Payload {
+        let mut envelope = DownlinkEnvelope::from_bytes(payload).expect("server-encoded envelope");
+        envelope.incarnation = incarnation;
+        envelope.to_bytes().into()
+    }
+
+    /// The canonical full-state snapshot as a [`Value`]: every map and set
+    /// is emitted in sorted order, so two servers in the same logical state
+    /// encode identically — [`TrustedServer::snapshot_bytes`] equality *is*
+    /// the state-equality check the restart scenario asserts.  The deadline
+    /// heaps are not part of the snapshot: they are a rebuildable view over
+    /// the outstanding entries (stale lazy entries are behavioural no-ops).
+    pub fn snapshot_value(&self) -> Value {
+        let mut users: Vec<&UserId> = self.users.iter().collect();
+        users.sort();
+        let mut apps: Vec<&AppId> = self.apps.keys().collect();
+        apps.sort();
+        let mut vehicles: Vec<&VehicleId> = self.vehicles.keys().collect();
+        vehicles.sort();
+        Value::List(vec![
+            Value::I64(i64::from(self.incarnation)),
+            Value::I64(self.now.as_u64() as i64),
+            Value::List(vec![
+                Value::I64(self.policy.ack_deadline_ticks as i64),
+                Value::I64(i64::from(self.policy.max_attempts)),
+            ]),
+            Value::List(
+                users
+                    .iter()
+                    .map(|u| Value::Text(u.name().to_owned()))
+                    .collect(),
+            ),
+            Value::List(apps.iter().map(|a| self.apps[*a].to_value()).collect()),
+            Value::List(
+                vehicles
+                    .iter()
+                    .map(|v| {
+                        Value::List(vec![
+                            Value::Text(v.vin().to_owned()),
+                            self.vehicles[*v].to_value(),
+                        ])
+                    })
+                    .collect(),
+            ),
+            self.ledger.to_value(),
+        ])
+    }
+
+    /// [`TrustedServer::snapshot_value`] encoded with the shared codec.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        codec::encode_value(&self.snapshot_value())
+    }
+
+    /// Decodes a server from a snapshot value.  The rebuilt server has
+    /// journaling off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for malformed snapshots.
+    fn from_snapshot_value(value: &Value) -> Result<TrustedServer> {
+        let parts = value.as_list().ok_or_else(|| snap_err("not a list"))?;
+        let [incarnation, now, policy, users, apps, vehicles, ledger] = parts else {
+            return Err(snap_err("top-level arity"));
+        };
+        let incarnation =
+            u32::try_from(incarnation.expect_i64()?).map_err(|_| snap_err("incarnation"))?;
+        let now = Tick::new(u64::try_from(now.expect_i64()?).map_err(|_| snap_err("now"))?);
+        let policy = {
+            let parts = policy.as_list().ok_or_else(|| snap_err("policy"))?;
+            let [ack_deadline_ticks, max_attempts] = parts else {
+                return Err(snap_err("policy arity"));
+            };
+            RetryPolicy {
+                ack_deadline_ticks: u64::try_from(ack_deadline_ticks.expect_i64()?)
+                    .map_err(|_| snap_err("ack deadline"))?,
+                max_attempts: u32::try_from(max_attempts.expect_i64()?)
+                    .map_err(|_| snap_err("max attempts"))?,
+            }
+        };
+        let users = users
+            .as_list()
+            .ok_or_else(|| snap_err("users"))?
+            .iter()
+            .map(|u| {
+                Ok(UserId::new(
+                    u.as_text().ok_or_else(|| snap_err("user name"))?,
+                ))
+            })
+            .collect::<Result<HashSet<UserId>>>()?;
+        let apps = apps
+            .as_list()
+            .ok_or_else(|| snap_err("apps"))?
+            .iter()
+            .map(|a| {
+                let definition = AppDefinition::from_value(a)?;
+                Ok((definition.id.clone(), definition))
+            })
+            .collect::<Result<HashMap<AppId, AppDefinition>>>()?;
+        let vehicles = vehicles
+            .as_list()
+            .ok_or_else(|| snap_err("vehicles"))?
+            .iter()
+            .map(|entry| {
+                let parts = entry.as_list().ok_or_else(|| snap_err("vehicle entry"))?;
+                let [vin, record] = parts else {
+                    return Err(snap_err("vehicle entry arity"));
+                };
+                let vin = VehicleId::new(vin.as_text().ok_or_else(|| snap_err("vin"))?);
+                Ok((vin, VehicleRecord::from_value(record)?))
+            })
+            .collect::<Result<HashMap<VehicleId, VehicleRecord>>>()?;
+        Ok(TrustedServer {
+            users,
+            vehicles,
+            apps,
+            policy,
+            now,
+            incarnation,
+            ledger: Ledger::from_value(ledger)?,
+            journal: None,
+        })
     }
 
     fn check_owner(&self, user: &UserId, vehicle: &VehicleId) -> Result<()> {
@@ -1431,6 +1850,386 @@ impl TrustedServer {
             ));
         }
         Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot value codec for the per-vehicle bookkeeping
+// ----------------------------------------------------------------------
+
+fn snap_err(what: &str) -> DynarError {
+    DynarError::ProtocolViolation(format!("malformed server snapshot: {what}"))
+}
+
+fn snap_text(value: &Value, what: &str) -> Result<String> {
+    Ok(value.as_text().ok_or_else(|| snap_err(what))?.to_owned())
+}
+
+fn snap_u64(value: &Value, what: &str) -> Result<u64> {
+    u64::try_from(value.expect_i64()?).map_err(|_| snap_err(what))
+}
+
+fn snap_u32(value: &Value, what: &str) -> Result<u32> {
+    u32::try_from(value.expect_i64()?).map_err(|_| snap_err(what))
+}
+
+fn snap_ecu(value: &Value, what: &str) -> Result<EcuId> {
+    Ok(EcuId::new(
+        u16::try_from(value.expect_i64()?).map_err(|_| snap_err(what))?,
+    ))
+}
+
+fn snap_bool(value: &Value, what: &str) -> Result<bool> {
+    value.as_bool().ok_or_else(|| snap_err(what))
+}
+
+/// Installation packages ride inside the snapshot as the very
+/// [`ManagementMessage::Install`] encoding the wire uses — one codec, one
+/// truth.
+fn package_to_value(package: &InstallationPackage) -> Value {
+    ManagementMessage::Install(package.clone()).to_value()
+}
+
+fn package_from_value(value: &Value) -> Result<InstallationPackage> {
+    match ManagementMessage::from_value(value)? {
+        ManagementMessage::Install(package) => Ok(package),
+        _ => Err(snap_err("packaged message is not an install")),
+    }
+}
+
+impl PendingKind {
+    fn to_value(&self) -> Value {
+        Value::I64(match self {
+            PendingKind::Install => 0,
+            PendingKind::Uninstall => 1,
+        })
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        match value.expect_i64()? {
+            0 => Ok(PendingKind::Install),
+            1 => Ok(PendingKind::Uninstall),
+            other => Err(snap_err(&format!("unknown pending kind {other}"))),
+        }
+    }
+}
+
+impl InstalledApp {
+    fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::List(
+                self.plugins
+                    .iter()
+                    .map(|(plugin, ecu)| {
+                        Value::List(vec![
+                            Value::Text(plugin.name().to_owned()),
+                            Value::I64(i64::from(ecu.index())),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Value::List(
+                self.packages
+                    .iter()
+                    .map(|(ecu, package)| {
+                        Value::List(vec![
+                            Value::I64(i64::from(ecu.index())),
+                            package_to_value(package),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let parts = value.as_list().ok_or_else(|| snap_err("installed app"))?;
+        let [plugins, packages] = parts else {
+            return Err(snap_err("installed-app arity"));
+        };
+        let plugins = plugins
+            .as_list()
+            .ok_or_else(|| snap_err("installed plugins"))?
+            .iter()
+            .map(|pair| {
+                let parts = pair.as_list().ok_or_else(|| snap_err("plugin pair"))?;
+                let [plugin, ecu] = parts else {
+                    return Err(snap_err("plugin pair arity"));
+                };
+                Ok((
+                    PluginId::new(snap_text(plugin, "plugin name")?),
+                    snap_ecu(ecu, "plugin ECU")?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let packages = packages
+            .as_list()
+            .ok_or_else(|| snap_err("installed packages"))?
+            .iter()
+            .map(|pair| {
+                let parts = pair.as_list().ok_or_else(|| snap_err("package pair"))?;
+                let [ecu, package] = parts else {
+                    return Err(snap_err("package pair arity"));
+                };
+                Ok((snap_ecu(ecu, "package ECU")?, package_from_value(package)?))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(InstalledApp { plugins, packages })
+    }
+}
+
+impl PendingOperation {
+    fn to_value(&self) -> Value {
+        // `awaiting` is a HashSet: sorted for a canonical encoding.
+        let mut awaiting: Vec<&PluginId> = self.awaiting.iter().collect();
+        awaiting.sort();
+        Value::List(vec![
+            self.kind.to_value(),
+            Value::List(
+                awaiting
+                    .iter()
+                    .map(|p| Value::Text(p.name().to_owned()))
+                    .collect(),
+            ),
+            self.record.to_value(),
+            match &self.failure {
+                Some(reason) => Value::Text(reason.clone()),
+                None => Value::Void,
+            },
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let parts = value.as_list().ok_or_else(|| snap_err("pending op"))?;
+        let [kind, awaiting, record, failure] = parts else {
+            return Err(snap_err("pending-op arity"));
+        };
+        let awaiting = awaiting
+            .as_list()
+            .ok_or_else(|| snap_err("awaiting"))?
+            .iter()
+            .map(|p| Ok(PluginId::new(snap_text(p, "awaited plugin")?)))
+            .collect::<Result<HashSet<PluginId>>>()?;
+        let failure = if failure.is_void() {
+            None
+        } else {
+            Some(snap_text(failure, "failure reason")?)
+        };
+        Ok(PendingOperation {
+            kind: PendingKind::from_value(kind)?,
+            awaiting,
+            record: InstalledApp::from_value(record)?,
+            failure,
+        })
+    }
+}
+
+impl OutstandingDownlink {
+    fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::I64(self.seq as i64),
+            Value::I64(i64::from(self.ecu.index())),
+            Value::Text(self.plugin.name().to_owned()),
+            Value::Text(self.app.name().to_owned()),
+            self.kind.to_value(),
+            Value::Bytes(self.payload.as_ref().to_vec()),
+            Value::I64(i64::from(self.attempts)),
+            Value::I64(self.deadline.as_u64() as i64),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let parts = value.as_list().ok_or_else(|| snap_err("outstanding"))?;
+        let [seq, ecu, plugin, app, kind, payload, attempts, deadline] = parts else {
+            return Err(snap_err("outstanding arity"));
+        };
+        Ok(OutstandingDownlink {
+            seq: snap_u64(seq, "seq")?,
+            ecu: snap_ecu(ecu, "outstanding ECU")?,
+            plugin: PluginId::new(snap_text(plugin, "outstanding plugin")?),
+            app: AppId::new(snap_text(app, "outstanding app")?),
+            kind: PendingKind::from_value(kind)?,
+            payload: Payload::copy_from(
+                payload
+                    .as_bytes()
+                    .ok_or_else(|| snap_err("outstanding payload"))?,
+            ),
+            attempts: snap_u32(attempts, "attempts")?,
+            deadline: Tick::new(snap_u64(deadline, "deadline")?),
+        })
+    }
+}
+
+impl VehicleRecord {
+    fn to_value(&self) -> Value {
+        let sorted_map = |len: usize, pairs: &mut dyn Iterator<Item = (&AppId, Value)>| -> Value {
+            let mut entries: Vec<(&AppId, Value)> = Vec::with_capacity(len);
+            entries.extend(pairs);
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            Value::List(
+                entries
+                    .into_iter()
+                    .map(|(app, value)| {
+                        Value::List(vec![Value::Text(app.name().to_owned()), value])
+                    })
+                    .collect(),
+            )
+        };
+        let mut ports: Vec<(&EcuId, &u32)> = self.next_port_id.iter().collect();
+        ports.sort();
+        Value::List(vec![
+            self.hw.to_value(),
+            self.system.to_value(),
+            match &self.owner {
+                Some(owner) => Value::Text(owner.name().to_owned()),
+                None => Value::Void,
+            },
+            Value::List(
+                self.desired
+                    .iter()
+                    .map(|app| Value::Text(app.name().to_owned()))
+                    .collect(),
+            ),
+            sorted_map(
+                self.installed.len(),
+                &mut self.installed.iter().map(|(app, r)| (app, r.to_value())),
+            ),
+            sorted_map(
+                self.pending.len(),
+                &mut self.pending.iter().map(|(app, p)| (app, p.to_value())),
+            ),
+            sorted_map(
+                self.failed.len(),
+                &mut self
+                    .failed
+                    .iter()
+                    .map(|(app, reason)| (app, Value::Text(reason.clone()))),
+            ),
+            Value::Bool(self.online),
+            Value::Bool(self.awaiting_report),
+            Value::I64(i64::from(self.boot_epoch)),
+            Value::List(
+                ports
+                    .into_iter()
+                    .map(|(ecu, next)| {
+                        Value::List(vec![
+                            Value::I64(i64::from(ecu.index())),
+                            Value::I64(i64::from(*next)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Value::List(
+                self.downlink
+                    .iter()
+                    .map(|p| Value::Bytes(p.as_ref().to_vec()))
+                    .collect(),
+            ),
+            Value::I64(self.next_seq as i64),
+            Value::List(self.outstanding.iter().map(|o| o.to_value()).collect()),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let parts = value.as_list().ok_or_else(|| snap_err("vehicle record"))?;
+        let [hw, system, owner, desired, installed, pending, failed, online, awaiting_report, boot_epoch, next_port_id, downlink, next_seq, outstanding] =
+            parts
+        else {
+            return Err(snap_err("vehicle-record arity"));
+        };
+        let owner = if owner.is_void() {
+            None
+        } else {
+            Some(UserId::new(snap_text(owner, "owner")?))
+        };
+        let desired = desired
+            .as_list()
+            .ok_or_else(|| snap_err("desired"))?
+            .iter()
+            .map(|app| Ok(AppId::new(snap_text(app, "desired app")?)))
+            .collect::<Result<BTreeSet<AppId>>>()?;
+        let app_map = |value: &Value, what: &str| -> Result<Vec<(AppId, Value)>> {
+            value
+                .as_list()
+                .ok_or_else(|| snap_err(what))?
+                .iter()
+                .map(|pair| {
+                    let parts = pair.as_list().ok_or_else(|| snap_err(what))?;
+                    let [app, inner] = parts else {
+                        return Err(snap_err(what));
+                    };
+                    Ok((AppId::new(snap_text(app, what)?), inner.clone()))
+                })
+                .collect()
+        };
+        let installed = app_map(installed, "installed map")?
+            .into_iter()
+            .map(|(app, value)| Ok((app, InstalledApp::from_value(&value)?)))
+            .collect::<Result<HashMap<_, _>>>()?;
+        let pending = app_map(pending, "pending map")?
+            .into_iter()
+            .map(|(app, value)| Ok((app, PendingOperation::from_value(&value)?)))
+            .collect::<Result<HashMap<_, _>>>()?;
+        let failed = app_map(failed, "failed map")?
+            .into_iter()
+            .map(|(app, value)| Ok((app, snap_text(&value, "failure reason")?)))
+            .collect::<Result<HashMap<_, _>>>()?;
+        let next_port_id = next_port_id
+            .as_list()
+            .ok_or_else(|| snap_err("port ids"))?
+            .iter()
+            .map(|pair| {
+                let parts = pair.as_list().ok_or_else(|| snap_err("port-id pair"))?;
+                let [ecu, next] = parts else {
+                    return Err(snap_err("port-id pair arity"));
+                };
+                Ok((
+                    snap_ecu(ecu, "port-id ECU")?,
+                    snap_u32(next, "next port id")?,
+                ))
+            })
+            .collect::<Result<HashMap<EcuId, u32>>>()?;
+        let downlink = downlink
+            .as_list()
+            .ok_or_else(|| snap_err("downlink"))?
+            .iter()
+            .map(|p| {
+                Ok(Payload::copy_from(
+                    p.as_bytes().ok_or_else(|| snap_err("downlink payload"))?,
+                ))
+            })
+            .collect::<Result<Vec<Payload>>>()?;
+        let outstanding = outstanding
+            .as_list()
+            .ok_or_else(|| snap_err("outstanding list"))?
+            .iter()
+            .map(OutstandingDownlink::from_value)
+            .collect::<Result<Vec<_>>>()?;
+        // The deadline heap is a rebuildable view: one live entry per
+        // outstanding package.  (The journaling server's heap may carry
+        // extra *stale* entries — lazily invalidated no-ops — so the heap is
+        // excluded from the snapshot rather than compared.)
+        let mut deadlines = BinaryHeap::with_capacity(outstanding.len());
+        for entry in &outstanding {
+            deadlines.push(Reverse((entry.deadline, entry.seq)));
+        }
+        Ok(VehicleRecord {
+            hw: HwConf::from_value(hw)?,
+            system: SystemSwConf::from_value(system)?,
+            owner,
+            desired,
+            installed,
+            pending,
+            failed,
+            online: snap_bool(online, "online")?,
+            awaiting_report: snap_bool(awaiting_report, "awaiting report")?,
+            boot_epoch: snap_u32(boot_epoch, "boot epoch")?,
+            next_port_id,
+            downlink,
+            next_seq: snap_u64(next_seq, "next seq")?,
+            outstanding,
+            deadlines,
+        })
     }
 }
 
@@ -2503,5 +3302,221 @@ mod tests {
         assert!(server
             .request_state_report(&VehicleId::new("ghost"))
             .is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Durability plane
+    // ------------------------------------------------------------------
+
+    /// A state-transition workout touching every journaled code path:
+    /// pushes, acks, retransmissions, park/unpark, resync, a failing call.
+    fn durability_workout(server: &mut TrustedServer, user: &UserId, vehicle: &VehicleId) {
+        let app = AppId::new("remote-control");
+        server.deploy(user, vehicle, &app).unwrap();
+        let _ = server.poll_downlink(vehicle);
+        server
+            .process_uplink(
+                vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        let _ = server.tick(Tick::new(25));
+        let _ = server.poll_downlink(vehicle);
+        server.mark_offline(vehicle);
+        server.mark_online(vehicle, 0);
+        server
+            .process_uplink(
+                vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                vehicle,
+                &state_report(
+                    0,
+                    vec![("COM", "remote-control", 1), ("OP", "remote-control", 2)],
+                ),
+            )
+            .unwrap();
+        // A rejected command is journaled too: replay reproduces the same
+        // rejection, changing nothing — a failure replays for free.
+        assert!(server.deploy(user, vehicle, &app).is_err());
+        let _ = server.restore(vehicle, EcuId::new(2));
+        let _ = server.poll_downlink(vehicle);
+        let _ = server.tick(Tick::new(26));
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_the_server_byte_for_byte() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        server.enable_journal(1024);
+        durability_workout(&mut server, &user, &vehicle);
+
+        let replayed = TrustedServer::replay(server.journal_bytes().unwrap()).unwrap();
+        assert_eq!(replayed.snapshot_bytes(), server.snapshot_bytes());
+        assert_eq!(replayed.ledger(), server.ledger());
+        assert_eq!(
+            replayed.installed_apps(&vehicle),
+            vec![AppId::new("remote-control")]
+        );
+    }
+
+    #[test]
+    fn journal_compaction_preserves_replay_identity() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        // An aggressive interval forces several compactions mid-workout.
+        server.enable_journal(2);
+        durability_workout(&mut server, &user, &vehicle);
+
+        let replayed = TrustedServer::replay(server.journal_bytes().unwrap()).unwrap();
+        assert_eq!(replayed.snapshot_bytes(), server.snapshot_bytes());
+        assert_eq!(replayed.ledger(), server.ledger());
+    }
+
+    #[test]
+    fn journaling_can_start_mid_life() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        // Pre-journal history lands in the seed snapshot, not in records.
+        server
+            .deploy(&user, &vehicle, &AppId::new("remote-control"))
+            .unwrap();
+        server.enable_journal(1024);
+        let _ = server.poll_downlink(&vehicle);
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+
+        let replayed = TrustedServer::replay(server.journal_bytes().unwrap()).unwrap();
+        assert_eq!(replayed.snapshot_bytes(), server.snapshot_bytes());
+    }
+
+    #[test]
+    fn corrupted_journals_are_typed_errors_not_panics() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        server.enable_journal(1024);
+        durability_workout(&mut server, &user, &vehicle);
+        let mut bytes = server.journal_bytes().unwrap().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            TrustedServer::replay(&bytes),
+            Err(DynarError::ProtocolViolation(_))
+        ));
+        assert!(matches!(
+            TrustedServer::replay(&bytes[..bytes.len() - 4]),
+            Err(DynarError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn retransmissions_do_not_double_count_pushes() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        assert_eq!(server.ledger().installs_pushed, 2);
+
+        let _ = server.tick(Tick::new(25));
+        assert_eq!(server.ledger().retransmissions, 2);
+        assert_eq!(
+            server.ledger().installs_pushed,
+            2,
+            "a retransmission is not a push"
+        );
+
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        assert_eq!(server.ledger().installs_completed, 1);
+        assert_eq!(server.ledger().operations_failed, 0);
+
+        // A duplicate ack (the gateway's dedup window replays them on
+        // retransmitted downlinks) settles nothing twice.
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        assert_eq!(server.ledger().installs_completed, 1);
+    }
+
+    #[test]
+    fn epoch_voided_operations_settle_once_under_the_new_epoch() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        assert_eq!(server.ledger().installs_pushed, 2);
+
+        // The vehicle reboots mid-install: the pending operation is voided —
+        // neither completed nor failed — and the manifest re-pushes under
+        // the new epoch as a *new* push, not a retry.
+        server
+            .process_uplink(&vehicle, &state_report(1, vec![]))
+            .unwrap();
+        assert_eq!(server.ledger().operations_voided, 1);
+        assert_eq!(server.ledger().installs_pushed, 4);
+        assert_eq!(server.ledger().resyncs, 1);
+
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Installed),
+            )
+            .unwrap();
+        assert_eq!(server.ledger().installs_completed, 1);
+        assert_eq!(server.ledger().operations_failed, 0);
+    }
+
+    #[test]
+    fn begin_incarnation_restamps_every_queued_and_outstanding_downlink() {
+        let (mut server, user, vehicle) = server_with_vehicle();
+        let app = AppId::new("remote-control");
+        server.deploy(&user, &vehicle, &app).unwrap();
+        assert_eq!(server.incarnation(), 0);
+
+        assert_eq!(server.begin_incarnation(), 1);
+        assert_eq!(server.incarnation(), 1);
+
+        // The queued installs were re-stamped in place and a state-report
+        // solicitation was appended, all under the new incarnation.
+        let downlinks = server.poll_downlink(&vehicle);
+        assert_eq!(downlinks.len(), 3);
+        for payload in &downlinks {
+            let envelope = DownlinkEnvelope::from_bytes(payload).unwrap();
+            assert_eq!(envelope.incarnation, 1);
+        }
+        assert!(matches!(
+            DownlinkEnvelope::from_bytes(&downlinks[2]).unwrap().message,
+            ManagementMessage::StateReportRequest
+        ));
+
+        // Retransmissions come from the outstanding cache — re-stamped too.
+        let failures = server.tick(Tick::new(25));
+        assert!(failures.is_empty());
+        let retransmitted = server.poll_downlink(&vehicle);
+        assert_eq!(retransmitted.len(), 2);
+        for payload in &retransmitted {
+            let envelope = DownlinkEnvelope::from_bytes(payload).unwrap();
+            assert_eq!(envelope.incarnation, 1);
+        }
     }
 }

@@ -15,9 +15,14 @@
 //!   mid-wave while desired-state reconciliation drives install/update waves
 //!   over a lossy transport, asserting convergence to the manifest against
 //!   the ECMs' ground truth.
+//! * [`restart`] — the durability scenario: the trusted server crashes
+//!   mid-campaign, is reconstructed byte-for-byte from its write-ahead
+//!   journal, and re-announces itself under a bumped incarnation id while a
+//!   vehicle reboot lands inside the recovery window.
 
 pub mod chaos;
 pub mod churn;
 pub mod fleet;
 pub mod quickstart;
 pub mod remote_car;
+pub mod restart;

@@ -8,6 +8,9 @@
 # Environment:
 #   BENCH_COMPARE_TOLERANCE_PCT  maximum allowed mean regression per pinned
 #                                benchmark, in percent (default: 15)
+#   BENCH_JOURNAL_OVERHEAD_PCT   maximum allowed journaling overhead of
+#                                tick_with_journal/50 over tick/50 within the
+#                                candidate snapshot, in percent (default: 15)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +21,7 @@ fi
 
 baseline="$1" candidate="$2" \
 tolerance="${BENCH_COMPARE_TOLERANCE_PCT:-15}" \
+journal_overhead="${BENCH_JOURNAL_OVERHEAD_PCT:-15}" \
 python3 - <<'PY'
 import json
 import os
@@ -26,6 +30,7 @@ import sys
 baseline_path = os.environ["baseline"]
 candidate_path = os.environ["candidate"]
 tolerance = float(os.environ["tolerance"])
+journal_overhead = float(os.environ["journal_overhead"])
 
 # The hot paths whose trajectory is pinned PR over PR.  New benchmarks (and
 # retired ones) are reported but never fail the comparison: only a pinned
@@ -42,6 +47,7 @@ PINNED = [
     "bench_fleet_tick/tick/50",
     "bench_fleet_tick/tick/100",
     "bench_fleet_tick/lossy_tick/50",
+    "bench_fleet_tick/tick_with_journal/50",
 ]
 
 
@@ -97,5 +103,20 @@ if failures:
     for bench, b, c, delta in failures:
         print(f"  {bench}: {b:.0f} ns -> {c:.0f} ns ({delta:+.1f}%)", file=sys.stderr)
     sys.exit(1)
+
+# Durability must stay close to free: within the candidate snapshot alone,
+# the journaled steady-state tick may cost at most journal_overhead % more
+# than the plain one.  This is an absolute property of the candidate, not a
+# trajectory, so it holds even when the baseline predates the journal.
+plain = cand["bench_fleet_tick/tick/50"]
+journaled = cand["bench_fleet_tick/tick_with_journal/50"]
+overhead_pct = (journaled - plain) / plain * 100.0
+print(f"journal overhead: tick/50 {plain:.0f} ns -> tick_with_journal/50 "
+      f"{journaled:.0f} ns ({overhead_pct:+.1f}%, allowed {journal_overhead:.0f}%)")
+if overhead_pct > journal_overhead:
+    print(f"FAIL: journaling overhead {overhead_pct:+.1f}% exceeds "
+          f"{journal_overhead:.0f}%", file=sys.stderr)
+    sys.exit(1)
+
 print("OK: no pinned benchmark regressed beyond the tolerance")
 PY

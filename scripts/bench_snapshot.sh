@@ -54,6 +54,11 @@ with open(raw_path, encoding="utf-8") as raw:
 if not any("lossy" in r["bench"] for r in results):
     sys.exit("bench snapshot is missing the bench_fleet_tick lossy-hub datapoint")
 
+# ... and the journaled-tick datapoint, so the durability plane's overhead
+# stays on the trajectory too (scripts/bench_compare.sh gates it).
+if not any("tick_with_journal" in r["bench"] for r in results):
+    sys.exit("bench snapshot is missing the bench_fleet_tick tick_with_journal datapoint")
+
 rev = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 ).stdout.strip()

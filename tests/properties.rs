@@ -95,21 +95,23 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     /// Every management message survives the server → ECM downlink encoding,
-    /// and the recipient ECU address and sequence id survive with it.
+    /// and the recipient ECU address, sequence id, boot epoch and server
+    /// incarnation survive with it.
     #[test]
     fn downlink_round_trips(
         target in 0u16..64,
         seq in 0u64..1_000_000,
         boot_epoch in 0u32..1_000,
+        incarnation in 0u32..1_000,
         message in management_message_strategy(),
     ) {
-        let bytes = encode_downlink(EcuId::new(target), seq, boot_epoch, &message);
-        let (decoded_target, decoded_seq, decoded_epoch, decoded) =
-            decode_downlink(&bytes).unwrap();
-        prop_assert_eq!(decoded_target, EcuId::new(target));
-        prop_assert_eq!(decoded_seq, seq);
-        prop_assert_eq!(decoded_epoch, boot_epoch);
-        prop_assert_eq!(decoded, message);
+        let bytes = encode_downlink(EcuId::new(target), seq, boot_epoch, incarnation, &message);
+        let envelope = decode_downlink(&bytes).unwrap();
+        prop_assert_eq!(envelope.target, EcuId::new(target));
+        prop_assert_eq!(envelope.seq, seq);
+        prop_assert_eq!(envelope.boot_epoch, boot_epoch);
+        prop_assert_eq!(envelope.incarnation, incarnation);
+        prop_assert_eq!(envelope.message, message);
     }
 
     /// Installation packages (opaque binary plus PIC/PLC context) survive the
@@ -141,13 +143,13 @@ proptest! {
             InstallationContext::new(pic, plc),
         );
         let message = ManagementMessage::Install(package);
-        let bytes = encode_downlink(EcuId::new(target), 7, 2, &message);
-        let (decoded_target, decoded_seq, decoded_epoch, decoded) =
-            decode_downlink(&bytes).unwrap();
-        prop_assert_eq!(decoded_target, EcuId::new(target));
-        prop_assert_eq!(decoded_seq, 7);
-        prop_assert_eq!(decoded_epoch, 2);
-        prop_assert_eq!(decoded, message);
+        let bytes = encode_downlink(EcuId::new(target), 7, 2, 3, &message);
+        let envelope = decode_downlink(&bytes).unwrap();
+        prop_assert_eq!(envelope.target, EcuId::new(target));
+        prop_assert_eq!(envelope.seq, 7);
+        prop_assert_eq!(envelope.boot_epoch, 2);
+        prop_assert_eq!(envelope.incarnation, 3);
+        prop_assert_eq!(envelope.message, message);
     }
 
     /// Every acknowledgement survives the vehicle → server uplink encoding.
@@ -365,5 +367,58 @@ proptest! {
         let stats = hub.stats();
         prop_assert_eq!(stats.in_flight, 0);
         prop_assert_eq!(stats.sent, stats.delivered + stats.lost + stats.dropped);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every byte-level decoder in the stack — the shared value codec, the
+    /// ECM wire envelopes, the installation context, the journal frame
+    /// reader and the journal replay itself — returns a typed error on
+    /// arbitrary (truncated, corrupted, adversarial) input.  None of them
+    /// may panic: they all sit on recovery or ingress paths where the input
+    /// is untrusted by definition.
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        use dynar::core::message::DownlinkEnvelope;
+        use dynar::foundation::journal::FrameReader;
+        use dynar::server::TrustedServer;
+        use dynar::vm::program::Program;
+
+        let _ = decode_value(&bytes);
+        let _ = decode_downlink(&bytes);
+        let _ = decode_uplink(&bytes);
+        let _ = DownlinkEnvelope::from_bytes(&bytes);
+        let _ = ManagementMessage::from_bytes(&bytes);
+        let _ = InstallationContext::from_bytes(&bytes);
+        let _ = Program::from_bytes(&bytes);
+        let _ = TrustedServer::replay(&bytes);
+        let mut reader = FrameReader::new(&bytes);
+        while let Ok(Some(_)) = reader.next_frame() {}
+    }
+
+    /// The structured `from_value` decoders of the durability plane (model
+    /// descriptions, the ledger) reject arbitrary value trees with typed
+    /// errors — and whenever one *does* accept a tree, re-encoding the
+    /// decoded form is a fixpoint of the canonical encoding.
+    #[test]
+    fn durability_value_decoders_never_panic(value in value_strategy()) {
+        use dynar::server::{AppDefinition, HwConf, Ledger, SystemSwConf};
+
+        if let Ok(hw) = HwConf::from_value(&value) {
+            prop_assert_eq!(HwConf::from_value(&hw.to_value()).unwrap(), hw);
+        }
+        if let Ok(system) = SystemSwConf::from_value(&value) {
+            prop_assert_eq!(SystemSwConf::from_value(&system.to_value()).unwrap(), system);
+        }
+        if let Ok(app) = AppDefinition::from_value(&value) {
+            prop_assert_eq!(AppDefinition::from_value(&app.to_value()).unwrap(), app);
+        }
+        if let Ok(ledger) = Ledger::from_value(&value) {
+            prop_assert_eq!(Ledger::from_value(&ledger.to_value()).unwrap(), ledger);
+        }
     }
 }
