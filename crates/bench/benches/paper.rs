@@ -18,7 +18,7 @@ use dynar_rte::port::{PortDirection, PortSpec};
 use dynar_rte::rte::Rte;
 use dynar_server::baseline::ReflashBaseline;
 use dynar_server::server::TrustedServer;
-use dynar_sim::scenario::fleet::FleetScenario;
+use dynar_sim::scenario::fleet::{FleetScenario, FleetScenarioConfig};
 use dynar_sim::scenario::remote_car::{remote_control_app, RemoteCarScenario};
 use dynar_vm::assembler::assemble;
 
@@ -302,11 +302,18 @@ fn multiplexing_pirte(ports: u32) -> Pirte {
 /// federated-scale experiment).
 fn bench_fleet_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("bench_fleet_tick");
-    // 500 vehicles (2000 ECUs) is the "towards thousands of vehicles"
-    // datapoint: the tick must stay linear in fleet size, which only holds
-    // while the steady-state transport and server paths stay O(1) per
-    // vehicle and allocation-free.
-    for vehicles in [10usize, 50, 100, 500] {
+    // 500 vehicles (2000 ECUs) was the "towards thousands of vehicles"
+    // datapoint; 10000 is past it.  The tick must stay linear in fleet
+    // size, which only holds while the steady-state transport and server
+    // paths stay O(1) per vehicle (O(active) downlink sweep) and
+    // allocation-free.  `DYNAR_BENCH_100K=1` adds the 100k-vehicle
+    // datapoint (fleet construction alone takes minutes, so it stays
+    // opt-in).
+    let mut sizes = vec![10usize, 50, 100, 500, 10_000];
+    if std::env::var_os("DYNAR_BENCH_100K").is_some() {
+        sizes.push(100_000);
+    }
+    for vehicles in sizes {
         let mut scenario = FleetScenario::build(vehicles).expect("fleet builds");
         let wave = if vehicles >= 500 { 50 } else { 10 };
         scenario
@@ -315,6 +322,48 @@ fn bench_fleet_tick(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tick", vehicles), &vehicles, |b, _| {
             b.iter(|| scenario.fleet.step().expect("fleet step"));
         });
+        // Durability overhead, measured back-to-back with its serial twin:
+        // the same 50-vehicle steady-state tick with the write-ahead journal
+        // enabled (compaction every 256 records), so the price of durability
+        // is a datapoint next to `tick/50` rather than a guess.
+        // scripts/bench_compare.sh gates the gap between the two — adjacency
+        // matters, because minutes of drift between the measurement windows
+        // on a noisy runner would swamp the single-digit true overhead.
+        if vehicles == 50 {
+            let mut scenario = FleetScenario::build(50).expect("fleet builds");
+            scenario.fleet.server.enable_journal(256);
+            scenario
+                .install_telemetry(10)
+                .expect("install waves complete");
+            group.bench_function("tick_with_journal/50", |b| {
+                b.iter(|| scenario.fleet.step().expect("fleet step"));
+            });
+        }
+    }
+    // The sharded control plane: the same steady-state tick fanned out over
+    // 8 server shards on the worker pool.  Compared against `tick` at equal
+    // fleet size by scripts/bench_compare.sh (BENCH_PAR_SPEEDUP): near the
+    // core count speedup on a multi-core runner, pool overhead on one core.
+    {
+        let par_sizes: &[usize] = if std::env::var_os("DYNAR_BENCH_100K").is_some() {
+            &[500, 10_000, 100_000]
+        } else {
+            &[500, 10_000]
+        };
+        for &vehicles in par_sizes {
+            let mut scenario = FleetScenario::build_with(FleetScenarioConfig {
+                vehicles,
+                shards: 8,
+                ..FleetScenarioConfig::default()
+            })
+            .expect("sharded fleet builds");
+            scenario
+                .install_telemetry(50)
+                .expect("install waves complete");
+            group.bench_with_input(BenchmarkId::new("par_tick", vehicles), &vehicles, |b, _| {
+                b.iter(|| scenario.fleet.step().expect("fleet step"));
+            });
+        }
     }
     // Lossy hub: the same tick over a transport losing 5 % of all
     // federation messages, so the reliability plane's retransmission
@@ -322,7 +371,6 @@ fn bench_fleet_tick(c: &mut Criterion) {
     // trajectory next to the lossless datapoints.
     for vehicles in [50usize, 500] {
         use dynar_fes::transport::TransportConfig;
-        use dynar_sim::scenario::fleet::FleetScenarioConfig;
         let mut scenario = FleetScenario::build_with(FleetScenarioConfig {
             vehicles,
             transport: TransportConfig {
@@ -352,20 +400,6 @@ fn bench_fleet_tick(c: &mut Criterion) {
                 b.iter(|| scenario.fleet.step().expect("fleet step"));
             },
         );
-    }
-    // Durability overhead: the same 50-vehicle steady-state tick with the
-    // write-ahead journal enabled (compaction every 256 records), so the
-    // price of durability is a measured datapoint next to `tick/50` rather
-    // than a guess.  scripts/bench_compare.sh gates the gap between the two.
-    {
-        let mut scenario = FleetScenario::build(50).expect("fleet builds");
-        scenario.fleet.server.enable_journal(256);
-        scenario
-            .install_telemetry(10)
-            .expect("install waves complete");
-        group.bench_function("tick_with_journal/50", |b| {
-            b.iter(|| scenario.fleet.step().expect("fleet step"));
-        });
     }
     // End to end: build a 50-vehicle fleet, run the staged install wave and
     // drive 1000 ticks of mixed management + signal-chain load.

@@ -163,6 +163,10 @@ struct InFlight {
     /// (and the slot is possibly reused), the generations no longer match and
     /// the message is counted as dropped instead of delivered to a stranger.
     to_generation: u32,
+    /// Sender-slot generation at send time: keeps the per-link random stream
+    /// of a departed sender's stale traffic apart from the stream of
+    /// whichever endpoint reuses the slot.
+    from_generation: u32,
     payload: Payload,
     deliver_at: Tick,
 }
@@ -259,14 +263,67 @@ pub struct TransportHub {
     /// of retrying into a void.
     dropped_destinations: Vec<EndpointName>,
     stats: TransportStats,
-    rng: StdRng,
+    /// One independent random stream per `(from, to)` link, created lazily
+    /// at the link's first draw and seeded from the hub seed plus the two
+    /// endpoint *names*.  Keying the streams by link (rather than one global
+    /// stream) makes every link's loss/jitter history a function of that
+    /// link's own traffic alone: partitioning a fleet across several hubs —
+    /// or reordering unrelated links' events — leaves each link's draws
+    /// bit-identical.  The key carries the slot generations (see [`LinkKey`])
+    /// so slot reuse never lets a new tenant resume a dead tenant's stream.
+    link_rngs: HashMap<LinkKey, StdRng>,
     now: Tick,
+}
+
+/// Derives the deterministic per-link seed: FNV-1a (64 bit) over the hub
+/// seed and both endpoint names.  Name-based (not slot-based), so the stream
+/// survives slot-number differences between hub layouts.
+fn link_seed(seed: u64, from: &str, to: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in seed
+        .to_le_bytes()
+        .iter()
+        .chain(from.as_bytes())
+        .chain(&[0xFF])
+        .chain(to.as_bytes())
+    {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// One directed link as the random-stream map sees it: both endpoint slots
+/// *with their generations*.  The generations matter: a message still in
+/// flight when its endpoint unregisters draws its loss roll at delivery —
+/// after the purge — which lazily re-creates the stream.  Keyed by bare
+/// slots, that resurrected entry would be inherited by whoever reuses the
+/// slot next, resuming a dead tenant's stream mid-way (and making the draw
+/// history depend on slot-assignment order, which differs between hub
+/// layouts).  With the generation in the key, stale traffic draws from its
+/// own stream and a reused slot's new tenant always seeds fresh.
+type LinkKey = (Slot, u32, Slot, u32);
+
+/// Looks up (or lazily seeds) the random stream of one link.  A free
+/// function over the map field so callers can hold other `&mut self`
+/// borrows at the draw site.
+fn link_rng<'a>(
+    link_rngs: &'a mut HashMap<LinkKey, StdRng>,
+    seed: u64,
+    link: LinkKey,
+    from: &str,
+    to: &str,
+) -> &'a mut StdRng {
+    link_rngs
+        .entry(link)
+        .or_insert_with(|| StdRng::seed_from_u64(link_seed(seed, from, to)))
 }
 
 impl TransportHub {
     /// Creates a hub with the given configuration.
     pub fn new(config: TransportConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
         TransportHub {
             config,
             endpoints: EndpointRegistry::default(),
@@ -279,7 +336,7 @@ impl TransportHub {
             last_scheduled: HashMap::new(),
             dropped_destinations: Vec::new(),
             stats: TransportStats::default(),
-            rng,
+            link_rngs: HashMap::new(),
             now: Tick::ZERO,
         }
     }
@@ -319,6 +376,13 @@ impl TransportHub {
         // clamped against the departed endpoint's delivery schedule.
         self.last_scheduled
             .retain(|(from, to), _| *from != slot && *to != slot);
+        // The random streams are generation-keyed, so a reused slot's new
+        // tenant can never resume the departed endpoint's streams — this
+        // purge is garbage collection only.  (Stale in-flight traffic that
+        // draws a loss roll after the purge re-seeds its stream from the
+        // captured names, identically on any hub layout.)
+        self.link_rngs
+            .retain(|(from, _, to, _), _| *from != slot && *to != slot);
         self.recompile_faults();
         true
     }
@@ -422,12 +486,21 @@ impl TransportHub {
         self.stats.in_flight += 1;
 
         let link = (from_slot, to_slot);
+        let from_generation = self.endpoints.generation(from_slot);
+        let to_generation = self.endpoints.generation(to_slot);
         let no_faults = self.compiled_faults.is_empty();
         let jitter = if no_faults {
             0
         } else {
             match self.compiled_faults.get(&link).map(|f| f.jitter_ticks) {
-                Some(jitter) if jitter > 0 => self.rng.gen_range_u64(0, jitter + 1),
+                Some(jitter) if jitter > 0 => link_rng(
+                    &mut self.link_rngs,
+                    self.config.seed,
+                    (from_slot, from_generation, to_slot, to_generation),
+                    from,
+                    to,
+                )
+                .gen_range_u64(0, jitter + 1),
                 _ => 0,
             }
         };
@@ -463,7 +536,8 @@ impl TransportHub {
             to_name,
             from: from_slot,
             to: to_slot,
-            to_generation: self.endpoints.generation(to_slot),
+            to_generation,
+            from_generation,
             payload: payload.into(),
             deliver_at,
         });
@@ -535,7 +609,21 @@ impl TransportHub {
             let loss = fault
                 .and_then(|f| f.loss_probability)
                 .unwrap_or(self.config.loss_probability);
-            if loss > 0.0 && self.rng.gen_bool(loss.clamp(0.0, 1.0)) {
+            if loss > 0.0
+                && link_rng(
+                    &mut self.link_rngs,
+                    self.config.seed,
+                    (
+                        message.from,
+                        message.from_generation,
+                        message.to,
+                        message.to_generation,
+                    ),
+                    &message.from_name,
+                    &message.to_name,
+                )
+                .gen_bool(loss.clamp(0.0, 1.0))
+            {
                 self.stats.lost += 1;
                 continue;
             }

@@ -32,6 +32,7 @@ pub mod intern;
 pub mod journal;
 pub mod log;
 pub mod payload;
+pub mod pool;
 pub mod time;
 pub mod value;
 

@@ -29,6 +29,28 @@
 //! with the distinct [`DynarError::VehicleUnreachable`]
 //! ([`TrustedServer::mark_unreachable`]).
 //!
+//! # Sharded control plane
+//!
+//! Per-vehicle state (downlink queues, outstanding packages, deadline heaps,
+//! epoch bookkeeping, observed/desired manifests) lives in N **shards**, each
+//! behind its own mutex; a vehicle's shard is a pure function of its VIN
+//! ([`TrustedServer::shard_index`]), so two vehicles on different shards never
+//! contend.  The catalogue, retry policy, ledger and clock form a shared
+//! read-mostly plane ([`parking_lot`] locks; the ledger is updated through
+//! commutative per-shard deltas).  The serial API (`&mut self`) is unchanged;
+//! a parallel driver instead calls [`TrustedServer::begin_tick`], fans
+//! per-shard work out through [`TrustedServer::shard_handles`] and joins with
+//! [`TrustedServer::merge_shard_journals`].  Journal records produced by
+//! concurrent shards are buffered per shard and merged in deterministic order
+//! (shard id, then per-shard sequence), so replay byte-identity survives
+//! parallelism: per-vehicle record order is preserved within its shard, and
+//! cross-vehicle operations commute.
+//!
+//! Lock order everywhere: catalogue (`apps`) → shard → ledger.  The journal
+//! is only touched from `&mut self` methods, and always *before* any guard is
+//! taken — compaction snapshots the whole plane and must not deadlock against
+//! a held shard.
+//!
 //! # Hot-path discipline
 //!
 //! [`TrustedServer::tick`] runs once per fleet tick for every vehicle, so its
@@ -37,7 +59,10 @@
 //! packages (lazily invalidated when acknowledgements settle entries), and a
 //! quiescent vehicle costs one heap peek.  Encoded downlink payloads are
 //! shared [`Payload`] buffers: the retransmission cache, the downlink queue
-//! and the transport all hold the same allocation.
+//! and the transport all hold the same allocation.  Each shard additionally
+//! keeps a **dirty set** of vehicles with queued downlinks, so draining a
+//! quiescent fleet ([`TrustedServer::poll_downlink_dirty`]) is O(active), not
+//! O(vehicles).
 //!
 //! # Durability
 //!
@@ -58,6 +83,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use dynar_core::context::{
     ExternalConnectionContext, InstallationContext, LinkTarget, PortInitContext, PortLinkContext,
@@ -68,7 +97,7 @@ use dynar_core::message::{
 use dynar_foundation::codec;
 use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, UserId, VehicleId};
-use dynar_foundation::journal::FrameReader;
+use dynar_foundation::journal::{fnv1a, FrameReader};
 use dynar_foundation::payload::Payload;
 use dynar_foundation::time::Tick;
 use dynar_foundation::value::Value;
@@ -206,6 +235,81 @@ struct VehicleRecord {
     /// quiescent [`TrustedServer::tick`] is therefore one `peek` per vehicle,
     /// independent of how many packages are outstanding.
     deadlines: BinaryHeap<Reverse<(Tick, u64)>>,
+    /// `true` iff this vehicle currently sits in its shard's dirty set (the
+    /// flag dedups re-inserts).  Not part of the durability snapshot — it is
+    /// rebuilt from `online && !downlink.is_empty()` on decode.
+    in_dirty: bool,
+}
+
+/// The read-mostly plane shared by every shard: the application catalogue,
+/// the retry policy, the operation ledger and the (atomic) clock and
+/// incarnation id.  Lock order: `apps` → (a shard) → `ledger`.
+#[derive(Debug, Default)]
+struct SharedPlane {
+    apps: RwLock<HashMap<AppId, AppDefinition>>,
+    policy: RwLock<RetryPolicy>,
+    ledger: Mutex<Ledger>,
+    now: AtomicU64,
+    incarnation: AtomicU32,
+}
+
+impl SharedPlane {
+    fn now(&self) -> Tick {
+        Tick::new(self.now.load(Ordering::Relaxed))
+    }
+
+    fn incarnation(&self) -> u32 {
+        self.incarnation.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard of per-vehicle state plus its side bands: the dirty set driving
+/// O(active) downlink drains and the per-shard journal buffer merged (in
+/// shard order) by [`TrustedServer::merge_shard_journals`].
+#[derive(Debug, Default)]
+struct Shard {
+    vehicles: HashMap<VehicleId, VehicleRecord>,
+    /// Vehicles with queued downlink payloads (each listed at most once —
+    /// `VehicleRecord::in_dirty` dedups).  Drained by `op_poll_dirty` in
+    /// sorted VIN order so delivery order is deterministic.
+    dirty: Vec<VehicleId>,
+    /// Journal records produced while this shard ran detached from the
+    /// journal owner (the parallel phase); drained by
+    /// [`TrustedServer::merge_shard_journals`].
+    journal_buf: Vec<JournalRecord>,
+}
+
+impl Shard {
+    /// Enrols `vehicle` in the dirty set if it has queued downlinks and is
+    /// not already listed.
+    fn note_dirty(&mut self, vehicle: &VehicleId) {
+        if let Some(record) = self.vehicles.get_mut(vehicle) {
+            if !record.in_dirty && !record.downlink.is_empty() {
+                record.in_dirty = true;
+                self.dirty.push(vehicle.clone());
+            }
+        }
+    }
+}
+
+/// The shared-plane context one operation runs under: a borrowed catalogue
+/// read guard plus point-in-time copies of the policy, clock and incarnation.
+struct OpCtx<'a> {
+    apps: &'a HashMap<AppId, AppDefinition>,
+    policy: RetryPolicy,
+    now: Tick,
+    incarnation: u32,
+}
+
+impl SharedPlane {
+    fn op_ctx<'a>(&self, apps: &'a HashMap<AppId, AppDefinition>) -> OpCtx<'a> {
+        OpCtx {
+            apps,
+            policy: self.policy.read().clone(),
+            now: self.now(),
+            incarnation: self.incarnation(),
+        }
+    }
 }
 
 /// The trusted server of Figure 2.
@@ -215,30 +319,79 @@ struct VehicleRecord {
 /// See the crate-level example of `dynar-sim` and the `remote_control_car`
 /// example binary for a full deployment round trip; the unit tests below
 /// exercise every operation in isolation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TrustedServer {
     users: HashSet<UserId>,
-    vehicles: HashMap<VehicleId, VehicleRecord>,
-    apps: HashMap<AppId, AppDefinition>,
-    policy: RetryPolicy,
-    now: Tick,
-    /// The server incarnation id stamped into every downlink envelope: the
-    /// off-board mirror of the vehicle boot epoch, bumped by
-    /// [`TrustedServer::begin_incarnation`] after a crash recovery so
-    /// gateways can tell a restarted server from its pre-crash self.
-    incarnation: u32,
-    /// Monotonic operation accounting (part of the durability snapshot).
-    ledger: Ledger,
+    shared: Arc<SharedPlane>,
+    shards: Vec<Arc<Mutex<Shard>>>,
     /// The write-ahead journal, `None` until
     /// [`TrustedServer::enable_journal`].  Never set on a replayed-into
     /// server while records apply, so replay cannot re-journal itself.
     journal: Option<Journal>,
 }
 
+impl Default for TrustedServer {
+    fn default() -> Self {
+        TrustedServer::with_shards(1)
+    }
+}
+
+/// A per-shard capability handed out by [`TrustedServer::shard_handles`]: it
+/// can run the per-vehicle phase (tick, downlink drain, uplink processing,
+/// offline parking) of its shard concurrently with the other shards'
+/// handles.  Journal records are buffered in the shard (merged
+/// deterministically by [`TrustedServer::merge_shard_journals`]); ledger
+/// updates are accumulated locally and folded into the shared ledger as a
+/// commutative delta.
+#[derive(Debug)]
+pub struct ShardHandle {
+    index: usize,
+    shard: Arc<Mutex<Shard>>,
+    shared: Arc<SharedPlane>,
+    journaling: bool,
+}
+
 impl TrustedServer {
-    /// Creates an empty server.
+    /// Creates an empty single-shard server.
     pub fn new() -> Self {
         TrustedServer::default()
+    }
+
+    /// Creates an empty server whose per-vehicle state is split over
+    /// `shards` independently locked shards (clamped to at least 1).  The
+    /// shard count is a runtime layout choice, not part of the logical
+    /// state: snapshots and journals are byte-identical across shard counts.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        TrustedServer {
+            users: HashSet::new(),
+            shared: Arc::new(SharedPlane::default()),
+            shards: (0..shards)
+                .map(|_| Arc::new(Mutex::new(Shard::default())))
+                .collect(),
+            journal: None,
+        }
+    }
+
+    /// The number of shards the per-vehicle state is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a vehicle maps to under a `shards`-way split: a pure
+    /// function of the VIN, so drivers can partition their own per-vehicle
+    /// resources (transport hubs, worker queues) the same way.
+    pub fn shard_index(vehicle: &VehicleId, shards: usize) -> usize {
+        if shards <= 1 {
+            0
+        } else {
+            fnv1a(vehicle.vin().as_bytes()) as usize % shards
+        }
+    }
+
+    /// Locks and returns the shard owning `vehicle`.
+    fn shard_of(&self, vehicle: &VehicleId) -> MutexGuard<'_, Shard> {
+        self.shards[Self::shard_index(vehicle, self.shards.len())].lock()
     }
 
     // ------------------------------------------------------------------
@@ -273,10 +426,11 @@ impl TrustedServer {
         self.journal_append(|| {
             JournalRecord::RegisterVehicle(vehicle.clone(), hw.clone(), system.clone())
         });
-        if self.vehicles.contains_key(&vehicle) {
+        let mut shard = self.shard_of(&vehicle);
+        if shard.vehicles.contains_key(&vehicle) {
             return Err(DynarError::duplicate("vehicle", vehicle));
         }
-        self.vehicles.insert(
+        shard.vehicles.insert(
             vehicle,
             VehicleRecord {
                 hw,
@@ -294,6 +448,7 @@ impl TrustedServer {
                 next_seq: 0,
                 outstanding: Vec::new(),
                 deadlines: BinaryHeap::new(),
+                in_dirty: false,
             },
         );
         Ok(())
@@ -309,7 +464,8 @@ impl TrustedServer {
         if !self.users.contains(user) {
             return Err(DynarError::not_found("user", user));
         }
-        let record = self
+        let mut shard = self.shard_of(vehicle);
+        let record = shard
             .vehicles
             .get_mut(vehicle)
             .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
@@ -330,16 +486,18 @@ impl TrustedServer {
     pub fn upload_app(&mut self, app: AppDefinition) -> Result<()> {
         self.journal_append(|| JournalRecord::UploadApp(app.clone()));
         app.validate()?;
-        if self.apps.contains_key(&app.id) {
+        let mut apps = self.shared.apps.write();
+        if apps.contains_key(&app.id) {
             return Err(DynarError::duplicate("app", &app.id));
         }
-        self.apps.insert(app.id.clone(), app);
+        apps.insert(app.id.clone(), app);
         Ok(())
     }
 
     /// The applications recorded as installed on a vehicle.
     pub fn installed_apps(&self, vehicle: &VehicleId) -> Vec<AppId> {
         let mut apps: Vec<AppId> = self
+            .shard_of(vehicle)
             .vehicles
             .get(vehicle)
             .map(|v| v.installed.keys().cloned().collect())
@@ -350,7 +508,8 @@ impl TrustedServer {
 
     /// The deployment status of an application on a vehicle.
     pub fn deployment_status(&self, vehicle: &VehicleId, app: &AppId) -> DeploymentStatus {
-        let Some(record) = self.vehicles.get(vehicle) else {
+        let shard = self.shard_of(vehicle);
+        let Some(record) = shard.vehicles.get(vehicle) else {
             return DeploymentStatus::NotInstalled;
         };
         if let Some(pending) = record.pending.get(app) {
@@ -389,12 +548,24 @@ impl TrustedServer {
         vehicle: &VehicleId,
         app: &AppId,
     ) -> Result<Vec<(EcuId, InstallationPackage)>> {
-        let record = self
+        let apps = self.shared.apps.read();
+        let shard = self.shard_of(vehicle);
+        let record = shard
             .vehicles
             .get(vehicle)
             .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
-        let definition = self
-            .apps
+        Self::plan_for_record(record, &apps, app)
+    }
+
+    /// [`TrustedServer::plan_deployment`] against an already-resolved vehicle
+    /// record (shared with the shard-local push path, which holds the shard
+    /// guard and the catalogue read guard already).
+    fn plan_for_record(
+        record: &VehicleRecord,
+        apps: &HashMap<AppId, AppDefinition>,
+        app: &AppId,
+    ) -> Result<Vec<(EcuId, InstallationPackage)>> {
+        let definition = apps
             .get(app)
             .ok_or_else(|| DynarError::not_found("app", app))?;
 
@@ -451,11 +622,10 @@ impl TrustedServer {
             return Err(DynarError::duplicate("installed app", app));
         }
 
-        self.generate_packages(record, definition, conf)
+        Self::generate_packages(record, definition, conf)
     }
 
     fn generate_packages(
-        &self,
         record: &VehicleRecord,
         definition: &AppDefinition,
         conf: &SwConf,
@@ -609,9 +779,16 @@ impl TrustedServer {
     pub fn deploy(&mut self, user: &UserId, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
         self.journal_append(|| JournalRecord::Deploy(user.clone(), vehicle.clone(), app.clone()));
         self.check_owner(user, vehicle)?;
-        let pushed = self.push_install(vehicle, app)?;
-        let record = self.vehicles.get_mut(vehicle).expect("owner checked");
+        let apps = self.shared.apps.read();
+        let ctx = self.shared.op_ctx(&apps);
+        let mut shard = self.shard_of(vehicle);
+        let pushed = {
+            let mut ledger = self.shared.ledger.lock();
+            Self::op_push_install(&mut shard, &mut ledger, &ctx, vehicle, app)?
+        };
+        let record = shard.vehicles.get_mut(vehicle).expect("owner checked");
         record.desired.insert(app.clone());
+        shard.note_dirty(vehicle);
         Ok(pushed)
     }
 
@@ -620,12 +797,24 @@ impl TrustedServer {
     /// [`TrustedServer::reconcile`], which bypasses the ownership check
     /// because the operation was already authorised when the manifest was
     /// set).
-    fn push_install(&mut self, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
-        let packages = self.plan_deployment(vehicle, app)?;
-        let record = self
+    fn op_push_install(
+        shard: &mut Shard,
+        ledger: &mut Ledger,
+        ctx: &OpCtx<'_>,
+        vehicle: &VehicleId,
+        app: &AppId,
+    ) -> Result<usize> {
+        let packages = {
+            let record = shard
+                .vehicles
+                .get(vehicle)
+                .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+            Self::plan_for_record(record, ctx.apps, app)?
+        };
+        let record = shard
             .vehicles
             .get_mut(vehicle)
-            .expect("vehicle checked by plan_deployment");
+            .expect("vehicle checked by the plan");
 
         let mut installed = InstalledApp {
             plugins: Vec::new(),
@@ -648,9 +837,9 @@ impl TrustedServer {
             *counter = (*counter).max(highest);
             Self::push_tracked(
                 record,
-                self.now,
-                &self.policy,
-                self.incarnation,
+                ctx.now,
+                &ctx.policy,
+                ctx.incarnation,
                 *ecu,
                 package.plugin.clone(),
                 app.clone(),
@@ -669,7 +858,7 @@ impl TrustedServer {
             },
         );
         record.failed.remove(app);
-        self.ledger.installs_pushed += count as u64;
+        ledger.installs_pushed += count as u64;
         Ok(count)
     }
 
@@ -687,18 +876,31 @@ impl TrustedServer {
             JournalRecord::Uninstall(user.clone(), vehicle.clone(), app.clone())
         });
         self.check_owner(user, vehicle)?;
-        let pushed = self.push_uninstall(vehicle, app)?;
-        let record = self.vehicles.get_mut(vehicle).expect("owner checked");
+        let apps = self.shared.apps.read();
+        let ctx = self.shared.op_ctx(&apps);
+        let mut shard = self.shard_of(vehicle);
+        let pushed = {
+            let mut ledger = self.shared.ledger.lock();
+            Self::op_push_uninstall(&mut shard, &mut ledger, &ctx, vehicle, app)?
+        };
+        let record = shard.vehicles.get_mut(vehicle).expect("owner checked");
         record.desired.remove(app);
+        shard.note_dirty(vehicle);
         Ok(pushed)
     }
 
     /// Pushes the uninstallation messages of an installed `app` (the
     /// imperative half of [`TrustedServer::uninstall`], shared with
     /// [`TrustedServer::reconcile`]).
-    fn push_uninstall(&mut self, vehicle: &VehicleId, app: &AppId) -> Result<usize> {
+    fn op_push_uninstall(
+        shard: &mut Shard,
+        ledger: &mut Ledger,
+        ctx: &OpCtx<'_>,
+        vehicle: &VehicleId,
+        app: &AppId,
+    ) -> Result<usize> {
         let dependents: Vec<String> = {
-            let record = self
+            let record = shard
                 .vehicles
                 .get(vehicle)
                 .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
@@ -709,7 +911,7 @@ impl TrustedServer {
                 .installed
                 .keys()
                 .filter(|installed| {
-                    self.apps
+                    ctx.apps
                         .get(*installed)
                         .is_some_and(|d| d.requires.contains(app))
                 })
@@ -722,16 +924,16 @@ impl TrustedServer {
                 dependents,
             });
         }
-        let record = self.vehicles.get_mut(vehicle).expect("checked above");
+        let record = shard.vehicles.get_mut(vehicle).expect("checked above");
         let installed = record.installed.remove(app).expect("checked above");
         let mut awaiting = HashSet::new();
         for (plugin, ecu) in &installed.plugins {
             awaiting.insert(plugin.clone());
             Self::push_tracked(
                 record,
-                self.now,
-                &self.policy,
-                self.incarnation,
+                ctx.now,
+                &ctx.policy,
+                ctx.incarnation,
                 *ecu,
                 plugin.clone(),
                 app.clone(),
@@ -753,7 +955,7 @@ impl TrustedServer {
         );
         // A fresh operation supersedes whatever failure the last one left.
         record.failed.remove(app);
-        self.ledger.uninstalls_pushed += count as u64;
+        ledger.uninstalls_pushed += count as u64;
         Ok(count)
     }
 
@@ -766,37 +968,43 @@ impl TrustedServer {
     /// Returns [`DynarError::NotFound`] for unknown vehicles.
     pub fn restore(&mut self, vehicle: &VehicleId, ecu: EcuId) -> Result<usize> {
         self.journal_append(|| JournalRecord::Restore(vehicle.clone(), ecu));
-        let incarnation = self.incarnation;
-        let record = self
-            .vehicles
-            .get_mut(vehicle)
-            .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
-        let mut pushed = 0;
-        let mut repush = Vec::new();
-        // Sorted by app so the push order (and thus sequence-id assignment)
-        // is deterministic — journal replay must reproduce it exactly.
-        let mut apps: Vec<&AppId> = record.installed.keys().collect();
-        apps.sort();
-        for app in apps {
-            for (target, package) in &record.installed[app].packages {
-                if *target == ecu {
-                    repush.push((*target, package.clone()));
+        let incarnation = self.shared.incarnation();
+        let mut shard = self.shard_of(vehicle);
+        let pushed = {
+            let record = shard
+                .vehicles
+                .get_mut(vehicle)
+                .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
+            let mut pushed = 0;
+            let mut repush = Vec::new();
+            // Sorted by app so the push order (and thus sequence-id
+            // assignment) is deterministic — journal replay must reproduce it
+            // exactly.
+            let mut apps: Vec<&AppId> = record.installed.keys().collect();
+            apps.sort();
+            for app in apps {
+                for (target, package) in &record.installed[app].packages {
+                    if *target == ecu {
+                        repush.push((*target, package.clone()));
+                    }
                 }
             }
-        }
-        // Restore pushes are fire-and-forget (no pending operation records
-        // them), but they still consume sequence ids so gateway
-        // deduplication and ordering stay uniform.
-        for (target, package) in repush {
-            Self::queue_envelope(
-                record,
-                target,
-                incarnation,
-                ManagementMessage::Install(package),
-            );
-            pushed += 1;
-        }
-        self.ledger.restores += pushed as u64;
+            // Restore pushes are fire-and-forget (no pending operation
+            // records them), but they still consume sequence ids so gateway
+            // deduplication and ordering stay uniform.
+            for (target, package) in repush {
+                Self::queue_envelope(
+                    record,
+                    target,
+                    incarnation,
+                    ManagementMessage::Install(package),
+                );
+                pushed += 1;
+            }
+            pushed
+        };
+        shard.note_dirty(vehicle);
+        self.shared.ledger.lock().restores += pushed as u64;
         Ok(pushed)
     }
 
@@ -808,22 +1016,24 @@ impl TrustedServer {
     /// now on; already-outstanding packages keep their deadlines).
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.journal_append(|| JournalRecord::SetRetryPolicy(policy.clone()));
-        self.policy = policy;
+        *self.shared.policy.write() = policy;
     }
 
     /// The active retransmission policy.
-    pub fn retry_policy(&self) -> &RetryPolicy {
-        &self.policy
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.shared.policy.read().clone()
     }
 
     /// The retry horizon: worst-case ticks from first push to escalation.
     pub fn retry_horizon_ticks(&self) -> u64 {
-        self.policy.ack_deadline_ticks * u64::from(self.policy.max_attempts)
+        let policy = self.shared.policy.read();
+        policy.ack_deadline_ticks * u64::from(policy.max_attempts)
     }
 
     /// Downlink packages of `vehicle` still awaiting an acknowledgement.
     pub fn outstanding_count(&self, vehicle: &VehicleId) -> usize {
-        self.vehicles
+        self.shard_of(vehicle)
+            .vehicles
             .get(vehicle)
             .map(|v| v.outstanding.len())
             .unwrap_or(0)
@@ -832,6 +1042,7 @@ impl TrustedServer {
     /// Applications of `vehicle` with an operation still in flight.
     pub fn pending_operations(&self, vehicle: &VehicleId) -> Vec<AppId> {
         let mut apps: Vec<AppId> = self
+            .shard_of(vehicle)
             .vehicles
             .get(vehicle)
             .map(|v| v.pending.keys().cloned().collect())
@@ -847,7 +1058,8 @@ impl TrustedServer {
     /// The vehicle's desired manifest: the applications it should converge
     /// to, in sorted order.
     pub fn desired_manifest(&self, vehicle: &VehicleId) -> Vec<AppId> {
-        self.vehicles
+        self.shard_of(vehicle)
+            .vehicles
             .get(vehicle)
             .map(|v| v.desired.iter().cloned().collect())
             .unwrap_or_default()
@@ -873,12 +1085,20 @@ impl TrustedServer {
             JournalRecord::SetDesired(user.clone(), vehicle.clone(), app.clone())
         });
         self.check_owner(user, vehicle)?;
-        if !self.apps.contains_key(app) {
+        let apps = self.shared.apps.read();
+        if !apps.contains_key(app) {
             return Err(DynarError::not_found("app", app));
         }
-        let record = self.vehicles.get_mut(vehicle).expect("owner checked");
+        let ctx = self.shared.op_ctx(&apps);
+        let mut shard = self.shard_of(vehicle);
+        let record = shard.vehicles.get_mut(vehicle).expect("owner checked");
         record.desired.insert(app.clone());
-        self.reconcile_inner(vehicle)
+        let reconciled = {
+            let mut ledger = self.shared.ledger.lock();
+            Self::op_reconcile(&mut shard, &mut ledger, &ctx, vehicle)
+        };
+        shard.note_dirty(vehicle);
+        reconciled
     }
 
     /// Removes `app` from the vehicle's desired manifest and reconciles
@@ -897,9 +1117,17 @@ impl TrustedServer {
             JournalRecord::ClearDesired(user.clone(), vehicle.clone(), app.clone())
         });
         self.check_owner(user, vehicle)?;
-        let record = self.vehicles.get_mut(vehicle).expect("owner checked");
+        let apps = self.shared.apps.read();
+        let ctx = self.shared.op_ctx(&apps);
+        let mut shard = self.shard_of(vehicle);
+        let record = shard.vehicles.get_mut(vehicle).expect("owner checked");
         record.desired.remove(app);
-        self.reconcile_inner(vehicle)
+        let reconciled = {
+            let mut ledger = self.shared.ledger.lock();
+            Self::op_reconcile(&mut shard, &mut ledger, &ctx, vehicle)
+        };
+        shard.note_dirty(vehicle);
+        reconciled
     }
 
     /// Diffs the vehicle's desired manifest against its observed state and
@@ -926,14 +1154,27 @@ impl TrustedServer {
     /// Returns [`DynarError::NotFound`] for unknown vehicles.
     pub fn reconcile(&mut self, vehicle: &VehicleId) -> Result<usize> {
         self.journal_append(|| JournalRecord::Reconcile(vehicle.clone()));
-        self.reconcile_inner(vehicle)
+        let apps = self.shared.apps.read();
+        let ctx = self.shared.op_ctx(&apps);
+        let mut shard = self.shard_of(vehicle);
+        let reconciled = {
+            let mut ledger = self.shared.ledger.lock();
+            Self::op_reconcile(&mut shard, &mut ledger, &ctx, vehicle)
+        };
+        shard.note_dirty(vehicle);
+        reconciled
     }
 
-    /// [`TrustedServer::reconcile`] without the journal hook (shared with
-    /// the mutators that already journaled their own triggering record).
-    fn reconcile_inner(&mut self, vehicle: &VehicleId) -> Result<usize> {
+    /// [`TrustedServer::reconcile`] against an already-locked shard (shared
+    /// with the mutators that already journaled their own triggering record).
+    fn op_reconcile(
+        shard: &mut Shard,
+        ledger: &mut Ledger,
+        ctx: &OpCtx<'_>,
+        vehicle: &VehicleId,
+    ) -> Result<usize> {
         let (to_install, to_uninstall) = {
-            let record = self
+            let record = shard
                 .vehicles
                 .get(vehicle)
                 .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
@@ -953,7 +1194,7 @@ impl TrustedServer {
                     // Keep dependency order: a still-depended-on app waits
                     // for the next round, after its dependents are removed.
                     !record.installed.keys().any(|other| {
-                        self.apps
+                        ctx.apps
                             .get(other)
                             .is_some_and(|d| d.requires.contains(*app))
                     })
@@ -967,22 +1208,22 @@ impl TrustedServer {
         };
         let mut pushed = 0;
         for app in &to_install {
-            if let Some(record) = self.vehicles.get_mut(vehicle) {
+            if let Some(record) = shard.vehicles.get_mut(vehicle) {
                 record.failed.remove(app);
             }
-            match self.push_install(vehicle, app) {
+            match Self::op_push_install(shard, ledger, ctx, vehicle, app) {
                 Ok(count) => pushed += count,
                 Err(err) => {
                     // Not pushable right now (e.g. a dependency that has not
                     // converged yet): surface the reason and let the next
                     // reconciliation retry.
-                    let record = self.vehicles.get_mut(vehicle).expect("checked above");
+                    let record = shard.vehicles.get_mut(vehicle).expect("checked above");
                     record.failed.insert(app.clone(), err.to_string());
                 }
             }
         }
         for app in &to_uninstall {
-            pushed += self.push_uninstall(vehicle, app)?;
+            pushed += Self::op_push_uninstall(shard, ledger, ctx, vehicle, app)?;
         }
         Ok(pushed)
     }
@@ -993,19 +1234,25 @@ impl TrustedServer {
     /// against a dead link.
     pub fn mark_offline(&mut self, vehicle: &VehicleId) {
         self.journal_append(|| JournalRecord::MarkOffline(vehicle.clone()));
-        if let Some(record) = self.vehicles.get_mut(vehicle) {
+        if let Some(record) = self.shard_of(vehicle).vehicles.get_mut(vehicle) {
             record.online = false;
         }
     }
 
     /// Returns `true` if the vehicle is registered and not parked offline.
     pub fn is_online(&self, vehicle: &VehicleId) -> bool {
-        self.vehicles.get(vehicle).is_some_and(|v| v.online)
+        self.shard_of(vehicle)
+            .vehicles
+            .get(vehicle)
+            .is_some_and(|v| v.online)
     }
 
     /// The vehicle boot epoch the server currently stamps into downlinks.
     pub fn vehicle_boot_epoch(&self, vehicle: &VehicleId) -> Option<u32> {
-        self.vehicles.get(vehicle).map(|v| v.boot_epoch)
+        self.shard_of(vehicle)
+            .vehicles
+            .get(vehicle)
+            .map(|v| v.boot_epoch)
     }
 
     /// Brings a parked vehicle back: outstanding deadlines are re-armed
@@ -1018,12 +1265,16 @@ impl TrustedServer {
     /// new epoch.
     pub fn mark_online(&mut self, vehicle: &VehicleId, boot_epoch: u32) {
         self.journal_append(|| JournalRecord::MarkOnline(vehicle.clone(), boot_epoch));
-        let now = self.now;
-        let policy = self.policy.clone();
-        if let Some(record) = self.vehicles.get_mut(vehicle) {
-            Self::bring_online(record, &mut self.ledger, now, &policy, boot_epoch);
+        let apps = self.shared.apps.read();
+        let ctx = self.shared.op_ctx(&apps);
+        let mut shard = self.shard_of(vehicle);
+        let mut ledger = self.shared.ledger.lock();
+        if let Some(record) = shard.vehicles.get_mut(vehicle) {
+            Self::bring_online(record, &mut ledger, ctx.now, &ctx.policy, boot_epoch);
         }
-        let _ = self.reconcile_inner(vehicle);
+        let _ = Self::op_reconcile(&mut shard, &mut ledger, &ctx, vehicle);
+        drop(ledger);
+        shard.note_dirty(vehicle);
     }
 
     /// Declares a vehicle permanently unreachable (its endpoint was removed,
@@ -1033,8 +1284,10 @@ impl TrustedServer {
     /// "retry budget exhausted".  Returns the escalated failures.
     pub fn mark_unreachable(&mut self, vehicle: &VehicleId) -> Vec<RetryFailure> {
         self.journal_append(|| JournalRecord::MarkUnreachable(vehicle.clone()));
-        let ledger = &mut self.ledger;
-        let Some(record) = self.vehicles.get_mut(vehicle) else {
+        let mut shard = self.shard_of(vehicle);
+        let mut ledger = self.shared.ledger.lock();
+        let ledger = &mut *ledger;
+        let Some(record) = shard.vehicles.get_mut(vehicle) else {
             return Vec::new();
         };
         record.online = false;
@@ -1076,9 +1329,8 @@ impl TrustedServer {
 
     /// Queues a [`ManagementMessage::StateReportRequest`] towards the
     /// vehicle's ECM, asking for its ground-truth plug-in inventory (answered
-    /// with a state report that [`TrustedServer::resync`] consumes).  The
-    /// request is fire-and-forget: callers poll and re-request if the answer
-    /// is lost.
+    /// with a state report that the resync path consumes).  The request is
+    /// fire-and-forget: callers poll and re-request if the answer is lost.
     ///
     /// # Errors
     ///
@@ -1087,15 +1339,22 @@ impl TrustedServer {
     /// declares no ECM.
     pub fn request_state_report(&mut self, vehicle: &VehicleId) -> Result<()> {
         self.journal_append(|| JournalRecord::RequestStateReport(vehicle.clone()));
-        self.request_state_report_inner(vehicle)
+        let incarnation = self.shared.incarnation();
+        let mut shard = self.shard_of(vehicle);
+        let result = Self::op_request_state_report(&mut shard, incarnation, vehicle);
+        shard.note_dirty(vehicle);
+        result
     }
 
     /// [`TrustedServer::request_state_report`] without the journal hook
     /// (shared with the resync and incarnation paths, whose own records
     /// already cover the request).
-    fn request_state_report_inner(&mut self, vehicle: &VehicleId) -> Result<()> {
-        let incarnation = self.incarnation;
-        let record = self
+    fn op_request_state_report(
+        shard: &mut Shard,
+        incarnation: u32,
+        vehicle: &VehicleId,
+    ) -> Result<()> {
+        let record = shard
             .vehicles
             .get_mut(vehicle)
             .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
@@ -1127,19 +1386,22 @@ impl TrustedServer {
     /// * finally the vehicle is reconciled.
     ///
     /// Stale reports from before the last known epoch are ignored.
-    fn resync(&mut self, vehicle: &VehicleId, epoch: u32, plugins: &[(PluginId, AppId, EcuId)]) {
-        let now = self.now;
-        let policy = self.policy.clone();
-        let incarnation = self.incarnation;
-        let ledger = &mut self.ledger;
-        let Some(record) = self.vehicles.get_mut(vehicle) else {
+    fn op_resync(
+        shard: &mut Shard,
+        ledger: &mut Ledger,
+        ctx: &OpCtx<'_>,
+        vehicle: &VehicleId,
+        epoch: u32,
+        plugins: &[(PluginId, AppId, EcuId)],
+    ) {
+        let Some(record) = shard.vehicles.get_mut(vehicle) else {
             return;
         };
         if epoch < record.boot_epoch {
             return;
         }
         ledger.resyncs += 1;
-        let rebooted = Self::bring_online(record, ledger, now, &policy, epoch);
+        let rebooted = Self::bring_online(record, ledger, ctx.now, &ctx.policy, epoch);
         // A report answering our own request is *solicited*; anything else —
         // in particular the first report after a reboot — is the gateway
         // announcing itself.  An epoch bump voids any older request.
@@ -1166,9 +1428,9 @@ impl TrustedServer {
             if !accounted {
                 Self::push_tracked(
                     record,
-                    now,
-                    &policy,
-                    incarnation,
+                    ctx.now,
+                    &ctx.policy,
+                    ctx.incarnation,
                     *ecu,
                     plugin.clone(),
                     app.clone(),
@@ -1180,15 +1442,15 @@ impl TrustedServer {
                 orphan_pushes += 1;
             }
         }
-        self.ledger.orphan_uninstalls += orphan_pushes as u64;
-        let reconciled = self.reconcile_inner(vehicle).unwrap_or(0);
+        ledger.orphan_uninstalls += orphan_pushes as u64;
+        let reconciled = Self::op_reconcile(shard, ledger, ctx, vehicle).unwrap_or(0);
         // An announcing gateway re-announces until a downlink of its own
         // epoch proves the server resynced.  When the resync itself produced
         // no downlink (empty manifest, everything already converged), answer
         // with a state-report request: it confirms the epoch, and its reply
         // arrives flagged as solicited so this cannot ping-pong.
         if !solicited && orphan_pushes == 0 && reconciled == 0 {
-            let _ = self.request_state_report_inner(vehicle);
+            let _ = Self::op_request_state_report(shard, ctx.incarnation, vehicle);
         }
     }
 
@@ -1242,6 +1504,15 @@ impl TrustedServer {
         }
     }
 
+    /// Journals the tick record and advances the shared clock — the serial
+    /// prologue of a (possibly parallel) tick.  The `Tick` journal record is
+    /// written *before* any shard runs, so replay performs the same full
+    /// sweep at the same point in the record stream.
+    pub fn begin_tick(&mut self, now: Tick) {
+        self.journal_append(|| JournalRecord::Tick(now));
+        self.shared.now.store(now.as_u64(), Ordering::Relaxed);
+    }
+
     /// Advances the reliability plane to `now`: every outstanding package
     /// whose deadline lapsed is either retransmitted (same sequence id) or —
     /// once its attempt budget is spent — escalated into a typed
@@ -1251,13 +1522,35 @@ impl TrustedServer {
     /// Deadlines are tracked in a per-vehicle min-heap with lazy
     /// invalidation: a vehicle with nothing due costs a single peek, so a
     /// quiescent fleet tick is O(1) in the number of outstanding packages.
+    ///
+    /// This is the serial form; a parallel driver calls
+    /// [`TrustedServer::begin_tick`] and fans out over
+    /// [`TrustedServer::shard_handles`] instead.
     pub fn tick(&mut self, now: Tick) -> Vec<RetryFailure> {
-        self.journal_append(|| JournalRecord::Tick(now));
-        self.now = now;
-        let policy = self.policy.clone();
+        self.begin_tick(now);
+        let policy = self.shared.policy.read().clone();
         let mut failures = Vec::new();
-        let ledger = &mut self.ledger;
-        for (vehicle_id, record) in &mut self.vehicles {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let mut ledger = self.shared.ledger.lock();
+            Self::op_tick(&mut shard, &mut ledger, &policy, now, &mut failures);
+        }
+        failures
+    }
+
+    /// The per-shard tick sweep (shared by the serial [`TrustedServer::tick`]
+    /// and [`ShardHandle::tick`]).
+    fn op_tick(
+        shard: &mut Shard,
+        ledger: &mut Ledger,
+        policy: &RetryPolicy,
+        now: Tick,
+        failures: &mut Vec<RetryFailure>,
+    ) {
+        let Shard {
+            vehicles, dirty, ..
+        } = shard;
+        for (vehicle_id, record) in vehicles.iter_mut() {
             if !record.online {
                 // Parked: an offline vehicle's deadlines freeze — the link is
                 // known dead, so retransmitting would only burn the retry
@@ -1317,8 +1610,12 @@ impl TrustedServer {
                     record.deadlines.push(Reverse((entry.deadline, seq)));
                 }
             }
+            // Retransmissions queued above make the vehicle pollable again.
+            if !record.in_dirty && !record.downlink.is_empty() {
+                record.in_dirty = true;
+                dirty.push(vehicle_id.clone());
+            }
         }
-        failures
     }
 
     /// Assigns the next sequence id, encodes the envelope and queues it on
@@ -1378,6 +1675,7 @@ impl TrustedServer {
     /// report) brings the vehicle back.
     pub fn poll_downlink(&mut self, vehicle: &VehicleId) -> Vec<Payload> {
         let drained = self
+            .shard_of(vehicle)
             .vehicles
             .get_mut(vehicle)
             .filter(|v| v.online)
@@ -1385,17 +1683,74 @@ impl TrustedServer {
             .unwrap_or_default();
         // Journaled only when something actually left the queue: the fleet
         // polls every vehicle every tick, and an empty drain is a no-op that
-        // would otherwise dominate the journal.
+        // would otherwise dominate the journal.  (The vehicle may still sit
+        // in its shard's dirty set; the next dirty drain pops it, sees the
+        // empty queue and skips it.)
         if !drained.is_empty() {
             self.journal_append(|| JournalRecord::PollDownlink(vehicle.clone()));
         }
         drained
     }
 
+    /// Drains the downlink queues of every *dirty* vehicle (one with queued
+    /// payloads), invoking `f` per payload in sorted-VIN order, and returns
+    /// the number of vehicles drained.  A quiescent fleet costs O(shards),
+    /// independent of the vehicle count — this is the serial form of
+    /// [`ShardHandle::poll_downlink_dirty`].
+    pub fn poll_downlink_dirty(&mut self, mut f: impl FnMut(&VehicleId, Payload)) -> u64 {
+        let journaling = self.journal.is_some();
+        let mut polls = 0;
+        for shard in &self.shards {
+            polls += Self::op_poll_dirty(&mut shard.lock(), journaling, &mut f);
+        }
+        self.merge_shard_journals();
+        polls
+    }
+
+    /// Drains one shard's dirty set.  The per-vehicle `PollDownlink` journal
+    /// records land in the shard buffer (in drain order), exactly as the
+    /// serial [`TrustedServer::poll_downlink`] would have journaled them.
+    fn op_poll_dirty(
+        shard: &mut Shard,
+        journaling: bool,
+        f: &mut dyn FnMut(&VehicleId, Payload),
+    ) -> u64 {
+        if shard.dirty.is_empty() {
+            return 0;
+        }
+        let mut dirty = std::mem::take(&mut shard.dirty);
+        // Sorted VIN order: the dirty set fills in operation order (which is
+        // nondeterministic across HashMap sweeps), but delivery order — and
+        // the journal record order derived from it — must be reproducible.
+        dirty.sort();
+        let mut polls = 0;
+        for vehicle in dirty.drain(..) {
+            let Some(record) = shard.vehicles.get_mut(&vehicle) else {
+                continue;
+            };
+            record.in_dirty = false;
+            // Parked queues stay parked (the entry re-arms via `note_dirty`
+            // when the vehicle returns); an already-drained queue is a no-op.
+            if !record.online || record.downlink.is_empty() {
+                continue;
+            }
+            polls += 1;
+            for payload in record.downlink.drain(..) {
+                f(&vehicle, payload);
+            }
+            if journaling {
+                shard.journal_buf.push(JournalRecord::PollDownlink(vehicle));
+            }
+        }
+        // Hand the (now empty) allocation back — the steady state reuses it.
+        shard.dirty = dirty;
+        polls
+    }
+
     /// Processes an uplink message from a vehicle: an acknowledgement updates
     /// the installed-app records; a [`ManagementMessage::StateReport`]
     /// resynchronises the server's observed state from the vehicle's ground
-    /// truth (see [`TrustedServer::resync`]).
+    /// truth.
     ///
     /// # Errors
     ///
@@ -1404,26 +1759,45 @@ impl TrustedServer {
     /// payloads.
     pub fn process_uplink(&mut self, vehicle: &VehicleId, payload: &[u8]) -> Result<()> {
         self.journal_append(|| JournalRecord::ProcessUplink(vehicle.clone(), payload.to_vec()));
-        if !self.vehicles.contains_key(vehicle) {
+        let apps = self.shared.apps.read();
+        let ctx = self.shared.op_ctx(&apps);
+        let mut shard = self.shard_of(vehicle);
+        let mut ledger = self.shared.ledger.lock();
+        Self::op_process_uplink(&mut shard, &mut ledger, &ctx, vehicle, payload)
+    }
+
+    /// The shard-local uplink path (shared by the serial
+    /// [`TrustedServer::process_uplink`] and [`ShardHandle::process_uplink`]).
+    fn op_process_uplink(
+        shard: &mut Shard,
+        ledger: &mut Ledger,
+        ctx: &OpCtx<'_>,
+        vehicle: &VehicleId,
+        payload: &[u8],
+    ) -> Result<()> {
+        if !shard.vehicles.contains_key(vehicle) {
             return Err(DynarError::not_found("vehicle", vehicle));
         }
-        match ManagementMessage::from_bytes(payload)? {
+        let result = match ManagementMessage::from_bytes(payload)? {
             ManagementMessage::Ack(ack) => {
-                let record = self.vehicles.get_mut(vehicle).expect("checked above");
-                Self::apply_ack(record, &mut self.ledger, &ack);
+                let record = shard.vehicles.get_mut(vehicle).expect("checked above");
+                Self::apply_ack(record, ledger, &ack);
                 Ok(())
             }
             ManagementMessage::StateReport {
                 boot_epoch,
                 plugins,
             } => {
-                self.resync(vehicle, boot_epoch, &plugins);
+                Self::op_resync(shard, ledger, ctx, vehicle, boot_epoch, &plugins);
                 Ok(())
             }
             _ => Err(DynarError::ProtocolViolation(
                 "uplink message is neither an acknowledgement nor a state report".into(),
             )),
-        }
+        };
+        // Resyncs and ack-triggered reconciliations queue downlinks.
+        shard.note_dirty(vehicle);
+        result
     }
 
     /// Applies one acknowledgement: settles the outstanding retransmission
@@ -1553,12 +1927,12 @@ impl TrustedServer {
 
     /// The server incarnation id currently stamped into downlink envelopes.
     pub fn incarnation(&self) -> u32 {
-        self.incarnation
+        self.shared.incarnation()
     }
 
-    /// The operation-accounting ledger (see [`Ledger`]).
-    pub fn ledger(&self) -> &Ledger {
-        &self.ledger
+    /// A copy of the operation-accounting ledger (see [`Ledger`]).
+    pub fn ledger(&self) -> Ledger {
+        self.shared.ledger.lock().clone()
     }
 
     /// Turns the write-ahead journal on: every mutating API call from now on
@@ -1583,6 +1957,9 @@ impl TrustedServer {
     /// state *before* the new record is appended — the snapshot captures
     /// exactly what every previously journaled record replays to, so replay
     /// is always `snapshot ⊕ remaining records`, in order.
+    ///
+    /// Must be called before any shard or ledger guard is taken: the
+    /// compaction snapshot locks the whole plane.
     fn journal_append(&mut self, record: impl FnOnce() -> JournalRecord) {
         if self.journal.is_none() {
             return;
@@ -1595,9 +1972,57 @@ impl TrustedServer {
         self.journal.as_mut().expect("checked").append(&record);
     }
 
-    /// Rebuilds a server from journal bytes: decodes each frame and applies
-    /// it through the same public API the live server ran.  The result is
-    /// byte-identical to the journaling server at its last append
+    /// Hands out one concurrently usable [`ShardHandle`] per shard, for a
+    /// parallel per-vehicle phase between [`TrustedServer::begin_tick`] and
+    /// [`TrustedServer::merge_shard_journals`].  The handles buffer their
+    /// journal records in their shards; nothing touches the journal itself,
+    /// so the borrow of `self` ends before the fan-out.
+    pub fn shard_handles(&self) -> Vec<ShardHandle> {
+        let journaling = self.journal.is_some();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| ShardHandle {
+                index,
+                shard: Arc::clone(shard),
+                shared: Arc::clone(&self.shared),
+                journaling,
+            })
+            .collect()
+    }
+
+    /// Drains every shard's buffered journal records into the journal, in
+    /// deterministic order: shard id first, per-shard sequence second.
+    /// Replay equivalence holds because a vehicle's records all live in its
+    /// own shard's buffer (per-vehicle order is preserved exactly) and
+    /// records of different vehicles commute.  No-op (beyond clearing the
+    /// buffers) while journaling is off.
+    pub fn merge_shard_journals(&mut self) {
+        if self.journal.is_none() {
+            for shard in &self.shards {
+                shard.lock().journal_buf.clear();
+            }
+            return;
+        }
+        let mut merged = Vec::new();
+        for shard in &self.shards {
+            merged.append(&mut shard.lock().journal_buf);
+        }
+        let journal = self.journal.as_mut().expect("checked");
+        for record in &merged {
+            journal.append(record);
+        }
+        // Compact only after the whole merge: a mid-merge snapshot would
+        // capture later shards' effects ahead of their records.
+        if self.journal.as_ref().expect("checked").due_for_compaction() {
+            let snapshot = self.snapshot_value();
+            self.journal.as_mut().expect("checked").compact(snapshot);
+        }
+    }
+
+    /// Rebuilds a single-shard server from journal bytes: decodes each frame
+    /// and applies it through the same public API the live server ran.  The
+    /// result is byte-identical to the journaling server at its last append
     /// ([`TrustedServer::snapshot_bytes`] is the comparison form).  The
     /// rebuilt server has journaling off — re-enable it (and start a new
     /// incarnation with [`TrustedServer::begin_incarnation`]) to resume.
@@ -1607,7 +2032,19 @@ impl TrustedServer {
     /// Returns [`DynarError::ProtocolViolation`] for truncated, corrupted or
     /// malformed journal bytes.
     pub fn replay(bytes: &[u8]) -> Result<TrustedServer> {
-        let mut server = TrustedServer::new();
+        Self::replay_with_shards(bytes, 1)
+    }
+
+    /// [`TrustedServer::replay`] into a `shards`-way sharded server.  The
+    /// journal carries no shard count — the layout is the reader's choice,
+    /// and the replayed state is byte-identical regardless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] for truncated, corrupted or
+    /// malformed journal bytes.
+    pub fn replay_with_shards(bytes: &[u8], shards: usize) -> Result<TrustedServer> {
+        let mut server = TrustedServer::with_shards(shards);
         let mut reader = FrameReader::new(bytes);
         while let Some(frame) = reader.next_frame()? {
             let record = JournalRecord::from_bytes(frame)?;
@@ -1623,7 +2060,7 @@ impl TrustedServer {
     fn apply_record(&mut self, record: JournalRecord) -> Result<()> {
         match record {
             JournalRecord::Snapshot(state) => {
-                *self = TrustedServer::from_snapshot_value(&state)?;
+                *self = TrustedServer::from_snapshot_value(&state, self.shards.len())?;
             }
             JournalRecord::CreateUser(user) => {
                 let _ = self.create_user(user);
@@ -1693,14 +2130,21 @@ impl TrustedServer {
     /// vehicles solicited.
     pub fn begin_incarnation(&mut self) -> usize {
         self.journal_append(|| JournalRecord::BeginIncarnation);
-        self.incarnation += 1;
-        let incarnation = self.incarnation;
-        // Sorted: `vehicles` is a HashMap and the sequence ids consumed by
+        let incarnation = self.shared.incarnation() + 1;
+        self.shared
+            .incarnation
+            .store(incarnation, Ordering::Relaxed);
+        // Sorted: the shards are HashMaps and the sequence ids consumed by
         // the solicitations must be reproducible under journal replay.
-        let mut vehicles: Vec<VehicleId> = self.vehicles.keys().cloned().collect();
+        let mut vehicles: Vec<VehicleId> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.lock().vehicles.keys().cloned().collect::<Vec<_>>())
+            .collect();
         vehicles.sort();
         for vehicle in &vehicles {
-            let record = self.vehicles.get_mut(vehicle).expect("key just listed");
+            let mut shard = self.shard_of(vehicle);
+            let record = shard.vehicles.get_mut(vehicle).expect("key just listed");
             for payload in &mut record.downlink {
                 *payload = Self::restamp(payload, incarnation);
             }
@@ -1708,7 +2152,8 @@ impl TrustedServer {
                 entry.payload = Self::restamp(&entry.payload, incarnation);
             }
             // No-ECM vehicles simply get no solicitation.
-            let _ = self.request_state_report_inner(vehicle);
+            let _ = Self::op_request_state_report(&mut shard, incarnation, vehicle);
+            shard.note_dirty(vehicle);
         }
         vehicles.len()
     }
@@ -1724,22 +2169,31 @@ impl TrustedServer {
     /// The canonical full-state snapshot as a [`Value`]: every map and set
     /// is emitted in sorted order, so two servers in the same logical state
     /// encode identically — [`TrustedServer::snapshot_bytes`] equality *is*
-    /// the state-equality check the restart scenario asserts.  The deadline
-    /// heaps are not part of the snapshot: they are a rebuildable view over
-    /// the outstanding entries (stale lazy entries are behavioural no-ops).
+    /// the state-equality check the restart scenario asserts.  The shard
+    /// count is deliberately absent (it is a runtime layout choice, so
+    /// differently sharded servers in the same state compare equal), and the
+    /// deadline heaps and dirty flags are not part of the snapshot: both are
+    /// rebuildable views over the outstanding entries and downlink queues.
     pub fn snapshot_value(&self) -> Value {
         let mut users: Vec<&UserId> = self.users.iter().collect();
         users.sort();
-        let mut apps: Vec<&AppId> = self.apps.keys().collect();
+        let apps_guard = self.shared.apps.read();
+        let mut apps: Vec<&AppId> = apps_guard.keys().collect();
         apps.sort();
-        let mut vehicles: Vec<&VehicleId> = self.vehicles.keys().collect();
-        vehicles.sort();
+        let guards: Vec<MutexGuard<'_, Shard>> =
+            self.shards.iter().map(|shard| shard.lock()).collect();
+        let mut vehicles: Vec<(&VehicleId, &VehicleRecord)> = guards
+            .iter()
+            .flat_map(|guard| guard.vehicles.iter())
+            .collect();
+        vehicles.sort_by(|a, b| a.0.cmp(b.0));
+        let policy = self.shared.policy.read();
         Value::List(vec![
-            Value::I64(i64::from(self.incarnation)),
-            Value::I64(self.now.as_u64() as i64),
+            Value::I64(i64::from(self.shared.incarnation())),
+            Value::I64(self.shared.now().as_u64() as i64),
             Value::List(vec![
-                Value::I64(self.policy.ack_deadline_ticks as i64),
-                Value::I64(i64::from(self.policy.max_attempts)),
+                Value::I64(policy.ack_deadline_ticks as i64),
+                Value::I64(i64::from(policy.max_attempts)),
             ]),
             Value::List(
                 users
@@ -1747,19 +2201,16 @@ impl TrustedServer {
                     .map(|u| Value::Text(u.name().to_owned()))
                     .collect(),
             ),
-            Value::List(apps.iter().map(|a| self.apps[*a].to_value()).collect()),
+            Value::List(apps.iter().map(|a| apps_guard[*a].to_value()).collect()),
             Value::List(
                 vehicles
                     .iter()
-                    .map(|v| {
-                        Value::List(vec![
-                            Value::Text(v.vin().to_owned()),
-                            self.vehicles[*v].to_value(),
-                        ])
+                    .map(|(vin, record)| {
+                        Value::List(vec![Value::Text(vin.vin().to_owned()), record.to_value()])
                     })
                     .collect(),
             ),
-            self.ledger.to_value(),
+            self.shared.ledger.lock().to_value(),
         ])
     }
 
@@ -1768,20 +2219,20 @@ impl TrustedServer {
         codec::encode_value(&self.snapshot_value())
     }
 
-    /// Decodes a server from a snapshot value.  The rebuilt server has
-    /// journaling off.
+    /// Decodes a server from a snapshot value into a `shards`-way layout.
+    /// The rebuilt server has journaling off.
     ///
     /// # Errors
     ///
     /// Returns [`DynarError::ProtocolViolation`] for malformed snapshots.
-    fn from_snapshot_value(value: &Value) -> Result<TrustedServer> {
+    fn from_snapshot_value(value: &Value, shards: usize) -> Result<TrustedServer> {
         let parts = value.as_list().ok_or_else(|| snap_err("not a list"))?;
         let [incarnation, now, policy, users, apps, vehicles, ledger] = parts else {
             return Err(snap_err("top-level arity"));
         };
         let incarnation =
             u32::try_from(incarnation.expect_i64()?).map_err(|_| snap_err("incarnation"))?;
-        let now = Tick::new(u64::try_from(now.expect_i64()?).map_err(|_| snap_err("now"))?);
+        let now = u64::try_from(now.expect_i64()?).map_err(|_| snap_err("now"))?;
         let policy = {
             let parts = policy.as_list().ok_or_else(|| snap_err("policy"))?;
             let [ack_deadline_ticks, max_attempts] = parts else {
@@ -1813,33 +2264,41 @@ impl TrustedServer {
                 Ok((definition.id.clone(), definition))
             })
             .collect::<Result<HashMap<AppId, AppDefinition>>>()?;
-        let vehicles = vehicles
-            .as_list()
-            .ok_or_else(|| snap_err("vehicles"))?
-            .iter()
-            .map(|entry| {
-                let parts = entry.as_list().ok_or_else(|| snap_err("vehicle entry"))?;
-                let [vin, record] = parts else {
-                    return Err(snap_err("vehicle entry arity"));
-                };
-                let vin = VehicleId::new(vin.as_text().ok_or_else(|| snap_err("vin"))?);
-                Ok((vin, VehicleRecord::from_value(record)?))
-            })
-            .collect::<Result<HashMap<VehicleId, VehicleRecord>>>()?;
-        Ok(TrustedServer {
-            users,
-            vehicles,
-            apps,
-            policy,
-            now,
-            incarnation,
-            ledger: Ledger::from_value(ledger)?,
-            journal: None,
-        })
+        let server = TrustedServer::with_shards(shards);
+        server
+            .shared
+            .incarnation
+            .store(incarnation, Ordering::Relaxed);
+        server.shared.now.store(now, Ordering::Relaxed);
+        *server.shared.policy.write() = policy;
+        *server.shared.apps.write() = apps;
+        *server.shared.ledger.lock() = Ledger::from_value(ledger)?;
+        let count = server.shards.len();
+        for entry in vehicles.as_list().ok_or_else(|| snap_err("vehicles"))? {
+            let parts = entry.as_list().ok_or_else(|| snap_err("vehicle entry"))?;
+            let [vin, record] = parts else {
+                return Err(snap_err("vehicle entry arity"));
+            };
+            let vin = VehicleId::new(vin.as_text().ok_or_else(|| snap_err("vin"))?);
+            let mut record = VehicleRecord::from_value(record)?;
+            let mut shard = server.shards[Self::shard_index(&vin, count)].lock();
+            // The dirty set is a rebuildable view: a vehicle with queued
+            // downlinks is pollable (offline queues re-arm via `note_dirty`
+            // when the vehicle returns).
+            record.in_dirty = record.online && !record.downlink.is_empty();
+            if record.in_dirty {
+                shard.dirty.push(vin.clone());
+            }
+            shard.vehicles.insert(vin, record);
+        }
+        let mut server = server;
+        server.users = users;
+        Ok(server)
     }
 
     fn check_owner(&self, user: &UserId, vehicle: &VehicleId) -> Result<()> {
-        let record = self
+        let shard = self.shard_of(vehicle);
+        let record = shard
             .vehicles
             .get(vehicle)
             .ok_or_else(|| DynarError::not_found("vehicle", vehicle))?;
@@ -1850,6 +2309,79 @@ impl TrustedServer {
             ));
         }
         Ok(())
+    }
+}
+
+impl ShardHandle {
+    /// The shard this handle drives (the value [`TrustedServer::shard_index`]
+    /// maps this shard's vehicles to).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Runs the retransmission sweep over this shard's vehicles (the
+    /// per-shard half of [`TrustedServer::tick`]; the caller journals the
+    /// tick serially via [`TrustedServer::begin_tick`] first).  Escalated
+    /// failures are appended to `failures`.
+    pub fn tick(&self, now: Tick, failures: &mut Vec<RetryFailure>) {
+        let policy = self.shared.policy.read().clone();
+        let mut delta = Ledger::default();
+        {
+            let mut shard = self.shard.lock();
+            TrustedServer::op_tick(&mut shard, &mut delta, &policy, now, failures);
+        }
+        // Fold the commutative counter delta in *after* releasing the shard:
+        // the ledger lock must never serialize the parallel sweep.
+        self.shared.ledger.lock().merge_from(&delta);
+    }
+
+    /// Drains this shard's dirty downlink queues (see
+    /// [`TrustedServer::poll_downlink_dirty`]); returns the number of
+    /// vehicles drained.
+    pub fn poll_downlink_dirty(&self, mut f: impl FnMut(&VehicleId, Payload)) -> u64 {
+        let mut shard = self.shard.lock();
+        TrustedServer::op_poll_dirty(&mut shard, self.journaling, &mut f)
+    }
+
+    /// Processes one uplink message from a vehicle of this shard (see
+    /// [`TrustedServer::process_uplink`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for unknown vehicles and
+    /// [`DynarError::ProtocolViolation`] for malformed or unexpected uplink
+    /// payloads.
+    pub fn process_uplink(&self, vehicle: &VehicleId, payload: &[u8]) -> Result<()> {
+        let apps = self.shared.apps.read();
+        let ctx = self.shared.op_ctx(&apps);
+        let mut delta = Ledger::default();
+        let result = {
+            let mut shard = self.shard.lock();
+            if self.journaling {
+                // Journal-first, like the serial path: even a rejected uplink
+                // is recorded (it replays to the same rejection).
+                shard.journal_buf.push(JournalRecord::ProcessUplink(
+                    vehicle.clone(),
+                    payload.to_vec(),
+                ));
+            }
+            TrustedServer::op_process_uplink(&mut shard, &mut delta, &ctx, vehicle, payload)
+        };
+        self.shared.ledger.lock().merge_from(&delta);
+        result
+    }
+
+    /// Parks a vehicle of this shard (see [`TrustedServer::mark_offline`]).
+    pub fn mark_offline(&self, vehicle: &VehicleId) {
+        let mut shard = self.shard.lock();
+        if self.journaling {
+            shard
+                .journal_buf
+                .push(JournalRecord::MarkOffline(vehicle.clone()));
+        }
+        if let Some(record) = shard.vehicles.get_mut(vehicle) {
+            record.online = false;
+        }
     }
 }
 
@@ -2229,10 +2761,10 @@ impl VehicleRecord {
             next_seq: snap_u64(next_seq, "next seq")?,
             outstanding,
             deadlines,
+            in_dirty: false,
         })
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

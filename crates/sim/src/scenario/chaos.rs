@@ -60,6 +60,9 @@ pub struct ChaosConfig {
     pub retry: RetryPolicy,
     /// Convergence horizon per wave, in ticks.
     pub max_ticks_per_wave: u64,
+    /// Server shard count (1 = serial fleet tick; more shards run the same
+    /// campaign shard-parallel).
+    pub shards: usize,
 }
 
 impl Default for ChaosConfig {
@@ -79,6 +82,7 @@ impl Default for ChaosConfig {
             }),
             retry: RetryPolicy::default(),
             max_ticks_per_wave: 600,
+            shards: 1,
         }
     }
 }
@@ -135,12 +139,15 @@ impl ChaosScenario {
                 loss_probability: config.loss_probability,
                 seed: config.seed,
             },
+            shards: config.shards,
             ..FleetScenarioConfig::default()
         })?;
         inner.fleet.server.set_retry_policy(config.retry.clone());
 
         // Per-link faults: jitter on both directions, asymmetric loss on the
-        // uplink when configured.
+        // uplink when configured.  Faults are keyed by endpoint names, so
+        // installing them on every shard hub is inert where a pair never
+        // communicates.
         {
             let ids = inner.fleet.vehicle_ids();
             let server = inner.fleet.server_endpoint().to_owned();
@@ -148,16 +155,15 @@ impl ChaosScenario {
                 .iter()
                 .filter_map(|id| inner.fleet.endpoint_of(id).map(str::to_owned))
                 .collect();
-            let mut hub = inner.fleet.hub.lock();
             for endpoint in endpoints {
-                hub.set_link_fault(
-                    server.clone(),
-                    endpoint.clone(),
+                inner.fleet.set_link_fault(
+                    &server,
+                    &endpoint,
                     LinkFault::jittery(config.jitter_ticks),
                 );
-                hub.set_link_fault(
-                    endpoint,
-                    server.clone(),
+                inner.fleet.set_link_fault(
+                    &endpoint,
+                    &server,
                     LinkFault {
                         loss_probability: config.uplink_loss_probability,
                         jitter_ticks: config.jitter_ticks,
@@ -200,15 +206,14 @@ impl ChaosScenario {
                     .take(plan.vehicles)
                     .filter_map(|id| self.inner.fleet.endpoint_of(id).map(str::to_owned))
                     .collect();
-                let mut hub = self.inner.fleet.hub.lock();
                 for endpoint in cut {
-                    hub.partition(&server, &endpoint, heal_at);
+                    self.inner.fleet.partition(&server, &endpoint, heal_at);
                 }
                 self.partition_injected = true;
             }
         }
         self.inner.fleet.step()?;
-        let stats = self.inner.fleet.hub.lock().stats();
+        let stats = self.inner.fleet.transport_stats();
         if !stats.is_conserved() {
             return Err(DynarError::ProtocolViolation(format!(
                 "transport stats conservation violated at tick {}: {stats:?}",
@@ -324,7 +329,7 @@ impl ChaosScenario {
         self.verify_no_duplicates()?;
         report.ticks = self.inner.fleet.stats().ticks;
         report.retry_failures = self.inner.fleet.stats().retry_failures;
-        report.transport = self.inner.fleet.hub.lock().stats();
+        report.transport = self.inner.fleet.transport_stats();
         Ok(report)
     }
 

@@ -81,6 +81,9 @@ pub struct ChurnConfig {
     pub max_ticks: u64,
     /// The scheduled churn events.
     pub plan: ChurnPlan,
+    /// Server shard count (1 = serial fleet tick; more shards run the same
+    /// campaign shard-parallel).
+    pub shards: usize,
 }
 
 impl Default for ChurnConfig {
@@ -106,6 +109,7 @@ impl Default for ChurnConfig {
                 removals: vec![(8, 1)],
                 additions: vec![80],
             },
+            shards: 1,
         }
     }
 }
@@ -170,6 +174,7 @@ impl ChurnScenario {
                 loss_probability: config.loss_probability,
                 seed: config.seed,
             },
+            shards: config.shards,
             ..FleetScenarioConfig::default()
         })?;
         inner.fleet.server.set_retry_policy(config.retry.clone());
@@ -204,7 +209,7 @@ impl ChurnScenario {
     /// [`DynarError::ProtocolViolation`] if conservation is violated.
     pub fn step(&mut self) -> Result<()> {
         self.inner.fleet.step()?;
-        let stats = self.inner.fleet.hub.lock().stats();
+        let stats = self.inner.fleet.transport_stats();
         if !stats.is_conserved() {
             return Err(DynarError::ProtocolViolation(format!(
                 "transport stats conservation violated at tick {}: {stats:?}",
@@ -385,7 +390,7 @@ impl ChurnScenario {
             .flat_map(|h| h.workers.iter())
             .map(|(_, _, pirte)| pirte.lock().stats().reinstalls)
             .sum();
-        report.transport = self.inner.fleet.hub.lock().stats();
+        report.transport = self.inner.fleet.transport_stats();
         Ok(report)
     }
 
@@ -521,13 +526,12 @@ fn scenario_install_jitter(inner: &FleetScenario, id: &VehicleId, jitter_ticks: 
         return;
     };
     let server = inner.fleet.server_endpoint().to_owned();
-    let mut hub = inner.fleet.hub.lock();
-    hub.set_link_fault(
-        server.clone(),
-        endpoint.clone(),
-        LinkFault::jittery(jitter_ticks),
-    );
-    hub.set_link_fault(endpoint, server, LinkFault::jittery(jitter_ticks));
+    inner
+        .fleet
+        .set_link_fault(&server, &endpoint, LinkFault::jittery(jitter_ticks));
+    inner
+        .fleet
+        .set_link_fault(&endpoint, &server, LinkFault::jittery(jitter_ticks));
 }
 
 #[cfg(test)]
@@ -596,11 +600,11 @@ mod tests {
         // Even with an empty manifest the server confirmed the epoch (a
         // state-report request is an own-epoch downlink), so the gateway
         // stops re-announcing: the external link goes and stays quiet.
-        let before = scenario.inner.fleet.hub.lock().stats().sent;
+        let before = scenario.inner.fleet.transport_stats().sent;
         for _ in 0..100 {
             scenario.step().unwrap();
         }
-        let after = scenario.inner.fleet.hub.lock().stats().sent;
+        let after = scenario.inner.fleet.transport_stats().sent;
         assert_eq!(
             before, after,
             "no unbounded re-announce traffic after confirmation"

@@ -22,7 +22,7 @@ use dynar_core::plugin::PluginPortDirection;
 use dynar_core::swc::{PluginSwc, PluginSwcConfig, SharedPirte};
 use dynar_core::virtual_port::{PortDataDirection, PortKind, VirtualPortSpec};
 use dynar_ecm::gateway::{EcmConfig, EcmSwc, SharedHub};
-use dynar_fes::transport::{TransportConfig, TransportHub};
+use dynar_fes::transport::TransportConfig;
 use dynar_foundation::error::Result;
 use dynar_foundation::ids::{AppId, EcuId, PluginId, SwcId, UserId, VehicleId};
 use dynar_foundation::value::Value;
@@ -65,6 +65,9 @@ pub struct FleetScenarioConfig {
     pub bus: BusConfig,
     /// External transport configuration of the shared hub.
     pub transport: TransportConfig,
+    /// Server shard count (1 = the serial control plane; more shards run the
+    /// fleet tick shard-parallel on the worker pool).
+    pub shards: usize,
 }
 
 impl Default for FleetScenarioConfig {
@@ -77,6 +80,7 @@ impl Default for FleetScenarioConfig {
                 ..BusConfig::default()
             },
             transport: TransportConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -264,16 +268,13 @@ impl FleetScenario {
         let workers = config.workers_per_vehicle;
 
         // --- Trusted server: one catalogue, every vehicle registered ------
-        let mut server = TrustedServer::new();
+        let mut server = TrustedServer::with_shards(config.shards);
         let user = UserId::new("fleet-ops");
         server.create_user(user.clone())?;
         server.upload_app(telemetry_app(APP_TELEMETRY, "", GAIN_V1, workers)?)?;
         server.upload_app(telemetry_app(APP_TELEMETRY_V2, "2", GAIN_V2, workers)?)?;
 
-        let hub: SharedHub = std::sync::Arc::new(parking_lot::Mutex::new(TransportHub::new(
-            config.transport.clone(),
-        )));
-        let mut fleet = Fleet::with_hub(server, "server", hub.clone());
+        let mut fleet = Fleet::new(server, "server", config.transport.clone());
 
         let mut handles = Vec::with_capacity(config.vehicles);
         for index in 0..config.vehicles {
@@ -286,6 +287,8 @@ impl FleetScenario {
             )?;
             fleet.server.bind_vehicle(&user, &vehicle_id)?;
 
+            // Each vehicle's ECM registers on the hub of *its* shard.
+            let hub = fleet.hub_for(&vehicle_id);
             let (vehicle, worker_handles) =
                 build_vehicle(&endpoint, workers, config.bus.clone(), &hub, 0)?;
             fleet.add_vehicle(vehicle_id.clone(), endpoint, vehicle)?;
@@ -349,9 +352,9 @@ impl FleetScenario {
         // Park the server first (no more pushes), then void the dead
         // incarnation's endpoint before the new one registers.
         self.fleet.server.mark_offline(vehicle);
-        self.fleet.hub.lock().unregister(&endpoint);
+        self.fleet.unregister_endpoint(&endpoint);
 
-        let hub = self.fleet.hub.clone();
+        let hub = self.fleet.hub_for(vehicle);
         let (fresh, worker_handles) = build_vehicle(
             &endpoint,
             self.workers_per_vehicle,
@@ -399,7 +402,7 @@ impl FleetScenario {
             fleet_system(workers),
         )?;
         self.fleet.server.bind_vehicle(&self.user, &vehicle_id)?;
-        let hub = self.fleet.hub.clone();
+        let hub = self.fleet.hub_for(&vehicle_id);
         let (vehicle, worker_handles) =
             build_vehicle(&endpoint, workers, self.bus.clone(), &hub, 0)?;
         self.fleet
@@ -642,7 +645,7 @@ mod tests {
         let user = scenario.user.clone();
         let victim = scenario.fleet.vehicle_ids()[0].clone();
         let endpoint = scenario.fleet.endpoint_of(&victim).unwrap().to_owned();
-        scenario.fleet.hub.lock().unregister(&endpoint);
+        scenario.fleet.unregister_endpoint(&endpoint);
 
         let app = AppId::new(APP_TELEMETRY);
         scenario
@@ -695,11 +698,11 @@ mod tests {
         // resolves to its own entry and endpoint.
         for id in [&ids[0], &ids[2], &ids[3]] {
             assert!(scenario.fleet.vehicle(id).is_some(), "{id} resolves");
-            let endpoint = scenario.fleet.endpoint_of(id).unwrap();
-            assert!(scenario.fleet.hub.lock().is_registered(endpoint));
+            let endpoint = scenario.fleet.endpoint_of(id).unwrap().to_owned();
+            assert!(scenario.fleet.endpoint_registered(&endpoint));
         }
         assert!(
-            !scenario.fleet.hub.lock().is_registered("vehicle-1"),
+            !scenario.fleet.endpoint_registered("vehicle-1"),
             "removed endpoint unregistered"
         );
         // Removing twice errors; the fleet keeps running and can grow again.

@@ -65,6 +65,9 @@ pub struct RestartConfig {
     pub reboot: Option<(u64, usize)>,
     /// Hard horizon for the whole campaign, in ticks.
     pub max_ticks: u64,
+    /// Server shard count (1 = serial fleet tick; more shards run the same
+    /// campaign shard-parallel — the journal and its replay stay identical).
+    pub shards: usize,
 }
 
 impl Default for RestartConfig {
@@ -85,6 +88,7 @@ impl Default for RestartConfig {
             // window, so a boot-epoch bump races the incarnation bump.
             reboot: Some((14, 1)),
             max_ticks: 3_000,
+            shards: 1,
         }
     }
 }
@@ -142,6 +146,7 @@ impl RestartScenario {
                 loss_probability: config.loss_probability,
                 seed: config.seed,
             },
+            shards: config.shards,
             ..FleetScenarioConfig::default()
         })?;
         inner.fleet.server.set_retry_policy(config.retry.clone());
@@ -169,7 +174,7 @@ impl RestartScenario {
     /// [`DynarError::ProtocolViolation`] if conservation is violated.
     pub fn step(&mut self) -> Result<()> {
         self.inner.fleet.step()?;
-        let stats = self.inner.fleet.hub.lock().stats();
+        let stats = self.inner.fleet.transport_stats();
         if !stats.is_conserved() {
             return Err(DynarError::ProtocolViolation(format!(
                 "transport stats conservation violated at tick {}: {stats:?}",
@@ -201,7 +206,10 @@ impl RestartScenario {
                 DynarError::ProtocolViolation("crash scheduled but journaling is off".into())
             })?
             .to_vec();
-        let mut replayed = TrustedServer::replay(&journal)?;
+        // The successor shards its state exactly like the crashed process
+        // did — replay is shard-agnostic, so this is a choice, not a need.
+        let shards = self.inner.fleet.server.shard_count();
+        let mut replayed = TrustedServer::replay_with_shards(&journal, shards)?;
 
         // Byte identity: the recovered state *is* the crashed state.
         let live = self.inner.fleet.server.snapshot_bytes();
@@ -313,7 +321,10 @@ impl RestartScenario {
             .journal_bytes()
             .expect("successor journals")
             .to_vec();
-        let shadow = TrustedServer::replay(&successor_journal)?;
+        let shadow = TrustedServer::replay_with_shards(
+            &successor_journal,
+            self.inner.fleet.server.shard_count(),
+        )?;
         if shadow.snapshot_bytes() != self.inner.fleet.server.snapshot_bytes() {
             return Err(DynarError::ProtocolViolation(
                 "post-recovery journal replay diverges".into(),
@@ -323,7 +334,7 @@ impl RestartScenario {
         report.ticks = self.inner.fleet.stats().ticks;
         report.incarnation = self.inner.fleet.server.incarnation();
         report.retry_failures = self.inner.fleet.stats().retry_failures;
-        report.transport = self.inner.fleet.hub.lock().stats();
+        report.transport = self.inner.fleet.transport_stats();
         Ok(report)
     }
 
@@ -419,15 +430,14 @@ impl RestartScenario {
             return;
         };
         let server = self.inner.fleet.server_endpoint().to_owned();
-        let mut hub = self.inner.fleet.hub.lock();
-        hub.set_link_fault(
-            server.clone(),
-            endpoint.clone(),
+        self.inner.fleet.set_link_fault(
+            &server,
+            &endpoint,
             LinkFault::jittery(self.config.jitter_ticks),
         );
-        hub.set_link_fault(
-            endpoint,
-            server,
+        self.inner.fleet.set_link_fault(
+            &endpoint,
+            &server,
             LinkFault::jittery(self.config.jitter_ticks),
         );
     }

@@ -2,21 +2,31 @@
 //! trusted server, installed in staged waves, then updated in place while
 //! the rest of the fleet keeps driving.
 //!
+//! The server runs **sharded** (4 shards, one transport hub each), so the
+//! fleet tick fans out over the fixed worker pool — the same campaign at
+//! `shards: 1` produces byte-identical server state.
+//!
 //! ```console
 //! $ cargo run --release --example fleet_scale
 //! ```
 
 use dynar::foundation::ids::EcuId;
 use dynar::foundation::value::Value;
-use dynar::sim::scenario::fleet::{FleetScenario, GAIN_V1, GAIN_V2};
+use dynar::sim::scenario::fleet::{FleetScenario, FleetScenarioConfig, GAIN_V1, GAIN_V2};
 
 fn main() {
     let vehicles = 50;
-    let mut scenario = FleetScenario::build(vehicles).expect("fleet builds");
+    let mut scenario = FleetScenario::build_with(FleetScenarioConfig {
+        vehicles,
+        shards: 4,
+        ..FleetScenarioConfig::default()
+    })
+    .expect("fleet builds");
     println!(
-        "built a fleet of {} vehicles x {} ECUs",
+        "built a fleet of {} vehicles x {} ECUs across {} server shards",
         scenario.fleet.len(),
-        1 + scenario.workers_per_vehicle()
+        1 + scenario.workers_per_vehicle(),
+        scenario.fleet.server.shard_count()
     );
 
     scenario

@@ -59,6 +59,14 @@ if not any("lossy" in r["bench"] for r in results):
 if not any("tick_with_journal" in r["bench"] for r in results):
     sys.exit("bench snapshot is missing the bench_fleet_tick tick_with_journal datapoint")
 
+# ... and the sharded-control-plane datapoints: the 10k-vehicle serial tick
+# (linear-scaling evidence) and the 8-shard parallel tick next to its serial
+# twin (BENCH_PAR_SPEEDUP in scripts/bench_compare.sh).
+benches = {r["bench"] for r in results}
+for required in ("bench_fleet_tick/tick/10000", "bench_fleet_tick/par_tick/500"):
+    if required not in benches:
+        sys.exit(f"bench snapshot is missing the {required} datapoint")
+
 rev = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 ).stdout.strip()

@@ -70,12 +70,22 @@ fn quiescent_fleet_tick_is_allocation_free() {
 
     let periods = 4usize;
     let window = periods * SENSOR_PERIOD as usize;
+    let polls_before = scenario.fleet.stats().downlink_polls;
     let mut per_tick = Vec::with_capacity(window);
     for _ in 0..window {
         let (allocations, result) = CountingAllocator::count(|| scenario.fleet.step());
         result.expect("fleet step");
         per_tick.push(allocations);
     }
+
+    // The dirty-set downlink sweep: a management-quiescent tick must visit
+    // zero vehicles (O(active), not O(V)) — the whole window's sweep work is
+    // a constant per-shard check.
+    let polls = scenario.fleet.stats().downlink_polls - polls_before;
+    assert_eq!(
+        polls, 0,
+        "quiescent ticks must not visit any vehicle in the downlink sweep"
+    );
 
     // The sensor fires every SENSOR_PERIOD ticks; its broadcast allocates on
     // exactly two ticks per period (codec encode onto the bus, then

@@ -77,7 +77,7 @@ mod lossy {
                 "{vehicle}: outstanding retransmission state survived the horizon"
             );
         }
-        let transport = scenario.fleet.hub.lock().stats();
+        let transport = scenario.fleet.transport_stats();
         assert!(
             transport.lost > 0,
             "the loss model must bite: {transport:?}"
