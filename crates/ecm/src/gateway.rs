@@ -53,16 +53,19 @@ use dynar_core::message::ManagementMessage;
 use dynar_core::pirte::Pirte;
 use dynar_core::swc::{PluginSwc, PluginSwcConfig, SharedPirte};
 use dynar_fes::device::{decode_device_message, encode_device_message};
-use dynar_fes::transport::{EndpointName, TransportHub};
+use dynar_fes::transport::{EndpointName, SharedTransport};
 use dynar_foundation::error::Result;
 use dynar_foundation::ids::{AppId, EcuId, PluginId, PluginPortId, PortId};
 use dynar_foundation::payload::Payload;
 use dynar_foundation::value::Value;
 use dynar_rte::component::{ComponentBehavior, RteContext, SwcDescriptor};
 
-/// A shared handle to the external transport hub, used by the ECM and the
-/// simulation harness.
-pub type SharedHub = Arc<Mutex<TransportHub>>;
+/// A shared handle to the external transport, used by the ECM and the
+/// simulation harness.  The gateway only sees the [`Transport`] trait, so
+/// the deterministic hub and the UDP wire backend are interchangeable here.
+///
+/// [`Transport`]: dynar_fes::transport::Transport
+pub type SharedHub = SharedTransport;
 
 /// How many downlink sequence ids the gateway remembers for deduplication;
 /// ids older than `highest_seen - DEDUP_WINDOW` are pruned.
@@ -678,7 +681,7 @@ impl EcmSwc {
         let _ = hub.send(
             &self.config.own_endpoint,
             &route.endpoint,
-            encode_device_message(message_id, payload),
+            encode_device_message(message_id, payload).into(),
         );
     }
 
@@ -690,7 +693,7 @@ impl EcmSwc {
                 let _ = hub.send(
                     &self.config.own_endpoint,
                     &route.endpoint,
-                    encode_device_message(&route.message_id, &value),
+                    encode_device_message(&route.message_id, &value).into(),
                 );
             }
         }
@@ -760,6 +763,17 @@ mod tests {
         hub.register("server");
         hub.register("phone");
         Arc::new(Mutex::new(hub))
+    }
+
+    /// Test-side downlink encoder returning a ready-to-send [`Payload`].
+    fn encode_downlink(
+        target: EcuId,
+        seq: u64,
+        boot_epoch: u32,
+        incarnation: u32,
+        message: &ManagementMessage,
+    ) -> Payload {
+        crate::protocol::encode_downlink(target, seq, boot_epoch, incarnation, message).into()
     }
 
     fn com_package() -> InstallationPackage {
@@ -836,7 +850,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     0,
                     0,
@@ -850,7 +864,7 @@ mod tests {
 
         assert_eq!(pirte.lock().plugin_count(), 1);
         hub.lock().step(Tick::new(2));
-        let uplink = hub.lock().receive("server");
+        let uplink = hub.lock().drain("server");
         assert_eq!(uplink.len(), 1);
         let message = crate::protocol::decode_uplink(&uplink[0].1).unwrap();
         match message {
@@ -868,7 +882,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(EcuId::new(2), 0, 0, 0, &package),
+                encode_downlink(EcuId::new(2), 0, 0, 0, &package),
             )
             .unwrap();
         hub.lock().step(Tick::new(1));
@@ -887,7 +901,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(9),
                     0,
                     0,
@@ -899,7 +913,7 @@ mod tests {
         hub.lock().step(Tick::new(1));
         ecu.run(2).unwrap();
         hub.lock().step(Tick::new(2));
-        let uplink = hub.lock().receive("server");
+        let uplink = hub.lock().drain("server");
         assert_eq!(uplink.len(), 1);
         match crate::protocol::decode_uplink(&uplink[0].1).unwrap() {
             ManagementMessage::Ack(ack) => assert!(matches!(ack.status, AckStatus::Failed(_))),
@@ -916,7 +930,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     0,
                     0,
@@ -933,7 +947,7 @@ mod tests {
             .send(
                 "phone",
                 "vehicle-1",
-                encode_device_message("Wheels", &Value::F64(12.0)),
+                encode_device_message("Wheels", &Value::F64(12.0)).into(),
             )
             .unwrap();
         hub.lock().step(Tick::new(2));
@@ -967,7 +981,7 @@ mod tests {
         ecu.deliver_inbound(frame, ack.to_value());
         ecu.run(2).unwrap();
         hub.lock().step(Tick::new(1));
-        let uplink = hub.lock().receive("server");
+        let uplink = hub.lock().drain("server");
         assert_eq!(uplink.len(), 1);
         assert_eq!(crate::protocol::decode_uplink(&uplink[0].1).unwrap(), ack);
     }
@@ -976,7 +990,7 @@ mod tests {
     fn duplicate_downlinks_are_deduplicated_and_acks_replayed() {
         let hub = hub();
         let (mut ecu, pirte) = build_ecu(&hub);
-        let downlink = crate::protocol::encode_downlink(
+        let downlink = encode_downlink(
             EcuId::new(1),
             7,
             0,
@@ -992,7 +1006,7 @@ mod tests {
         ecu.run(2).unwrap();
         assert_eq!(pirte.lock().plugin_count(), 1);
         hub.lock().step(Tick::new(2));
-        let first = hub.lock().receive("server");
+        let first = hub.lock().drain("server");
         assert_eq!(first.len(), 1);
 
         // A retransmission of the same sequence id must not reinstall — the
@@ -1009,7 +1023,7 @@ mod tests {
         );
         assert_eq!(pirte.lock().stats().installs, 1);
         hub.lock().step(Tick::new(4));
-        let replayed = hub.lock().receive("server");
+        let replayed = hub.lock().drain("server");
         assert_eq!(replayed.len(), 1);
         assert_eq!(
             crate::protocol::decode_uplink(&replayed[0].1).unwrap(),
@@ -1023,7 +1037,7 @@ mod tests {
         let hub = hub();
         let (mut ecu, _pirte) = build_ecu(&hub);
         let package = ManagementMessage::Install(com_package());
-        let downlink = crate::protocol::encode_downlink(EcuId::new(2), 3, 0, 0, &package);
+        let downlink = encode_downlink(EcuId::new(2), 3, 0, 0, &package);
 
         // First delivery relays towards ECU 2.
         hub.lock()
@@ -1039,7 +1053,7 @@ mod tests {
         hub.lock().step(Tick::new(2));
         ecu.run(3).unwrap();
         hub.lock().step(Tick::new(3));
-        assert!(hub.lock().receive("server").is_empty());
+        assert!(hub.lock().drain("server").is_empty());
 
         // The remote SW-C acks; the gateway forwards and caches it.
         let ack = ManagementMessage::Ack(dynar_core::message::Ack {
@@ -1054,14 +1068,14 @@ mod tests {
         ecu.deliver_inbound(frame, ack.to_value());
         ecu.run(4).unwrap();
         hub.lock().step(Tick::new(4));
-        assert_eq!(hub.lock().receive("server").len(), 1);
+        assert_eq!(hub.lock().drain("server").len(), 1);
 
         // Another duplicate now replays the cached remote ack.
         hub.lock().send("server", "vehicle-1", downlink).unwrap();
         hub.lock().step(Tick::new(5));
         ecu.run(5).unwrap();
         hub.lock().step(Tick::new(6));
-        let replayed = hub.lock().receive("server");
+        let replayed = hub.lock().drain("server");
         assert_eq!(replayed.len(), 1);
         assert_eq!(crate::protocol::decode_uplink(&replayed[0].1).unwrap(), ack);
     }
@@ -1079,7 +1093,7 @@ mod tests {
 
     fn uplinks(hub: &SharedHub) -> Vec<ManagementMessage> {
         hub.lock()
-            .receive("server")
+            .drain("server")
             .iter()
             .map(|(_, payload)| crate::protocol::decode_uplink(payload).unwrap())
             .collect()
@@ -1099,7 +1113,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     0,
                     0,
@@ -1124,7 +1138,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     1,
                     1,
@@ -1168,7 +1182,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     0,
                     2,
@@ -1202,7 +1216,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     0,
                     0,
@@ -1221,7 +1235,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     1,
                     0,
@@ -1255,7 +1269,7 @@ mod tests {
     fn below_horizon_duplicates_are_rejected_not_reapplied() {
         let hub = hub();
         let (mut ecu, pirte) = build_ecu(&hub);
-        let install = crate::protocol::encode_downlink(
+        let install = encode_downlink(
             EcuId::new(1),
             0,
             0,
@@ -1274,7 +1288,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     DEDUP_WINDOW + 1,
                     0,
@@ -1288,7 +1302,7 @@ mod tests {
         hub.lock().step(Tick::new(2));
         ecu.run(2).unwrap();
         hub.lock().step(Tick::new(3));
-        hub.lock().receive("server");
+        hub.lock().drain("server");
 
         // seq 0 now lies below the horizon (highest 1025 - window 1024 = 1):
         // the duplicate is rejected — not re-applied, not acknowledged.
@@ -1313,7 +1327,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     1,
                     0,
@@ -1349,7 +1363,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     0,
                     0,
@@ -1381,7 +1395,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     0,
                     0,
@@ -1415,7 +1429,7 @@ mod tests {
             .send(
                 "server",
                 "vehicle-1",
-                crate::protocol::encode_downlink(
+                encode_downlink(
                     EcuId::new(1),
                     0,
                     0,
@@ -1431,7 +1445,7 @@ mod tests {
 
         // The server restarts and speaks with incarnation 1: the gateway
         // reports what is actually installed before handling the message.
-        let stop = crate::protocol::encode_downlink(
+        let stop = encode_downlink(
             EcuId::new(1),
             1,
             0,

@@ -4,7 +4,7 @@ use dynar_foundation::codec;
 use dynar_foundation::error::Result;
 use dynar_foundation::value::Value;
 
-use crate::transport::TransportHub;
+use crate::transport::{EndpointName, Payload, Transport};
 
 /// The smart phone of the paper's demonstrator: it sends `Wheels` and `Speed`
 /// commands to the vehicle's ECM and collects whatever the vehicle reports
@@ -12,12 +12,14 @@ use crate::transport::TransportHub;
 ///
 /// Messages on the wire are `[message id, payload]` pairs encoded with the
 /// shared value codec — the same format the ECM's External Connection
-/// Context routes on.
+/// Context routes on.  The phone is transport-agnostic: it talks to any
+/// [`Transport`] backend, in-memory hub or real sockets alike.
 #[derive(Debug, Clone)]
 pub struct SmartPhone {
     endpoint: String,
     vehicle_endpoint: String,
     received: Vec<(String, Value)>,
+    inbox: Vec<(EndpointName, Payload)>,
 }
 
 impl SmartPhone {
@@ -28,6 +30,7 @@ impl SmartPhone {
             endpoint: endpoint.into(),
             vehicle_endpoint: vehicle_endpoint.into(),
             received: Vec::new(),
+            inbox: Vec::new(),
         }
     }
 
@@ -36,9 +39,9 @@ impl SmartPhone {
         &self.endpoint
     }
 
-    /// Registers the phone's endpoint on the hub.
-    pub fn attach(&self, hub: &mut TransportHub) {
-        hub.register(&self.endpoint);
+    /// Registers the phone's endpoint on the transport.
+    pub fn attach(&self, transport: &mut dyn Transport) {
+        transport.register(&self.endpoint);
     }
 
     /// Sends a steering command (`Wheels` message) to the vehicle.
@@ -46,8 +49,8 @@ impl SmartPhone {
     /// # Errors
     ///
     /// Propagates transport errors.
-    pub fn steer(&self, hub: &mut TransportHub, angle_degrees: f64) -> Result<()> {
-        self.send(hub, "Wheels", Value::F64(angle_degrees))
+    pub fn steer(&self, transport: &mut dyn Transport, angle_degrees: f64) -> Result<()> {
+        self.send(transport, "Wheels", Value::F64(angle_degrees))
     }
 
     /// Sends a speed command (`Speed` message) to the vehicle.
@@ -55,8 +58,8 @@ impl SmartPhone {
     /// # Errors
     ///
     /// Propagates transport errors.
-    pub fn set_speed(&self, hub: &mut TransportHub, speed: f64) -> Result<()> {
-        self.send(hub, "Speed", Value::F64(speed))
+    pub fn set_speed(&self, transport: &mut dyn Transport, speed: f64) -> Result<()> {
+        self.send(transport, "Speed", Value::F64(speed))
     }
 
     /// Sends an arbitrary external message to the vehicle.
@@ -64,20 +67,26 @@ impl SmartPhone {
     /// # Errors
     ///
     /// Propagates transport errors.
-    pub fn send(&self, hub: &mut TransportHub, message_id: &str, payload: Value) -> Result<()> {
+    pub fn send(
+        &self,
+        transport: &mut dyn Transport,
+        message_id: &str,
+        payload: Value,
+    ) -> Result<()> {
         let message = Value::List(vec![Value::Text(message_id.to_owned()), payload]);
-        hub.send(
+        transport.send(
             &self.endpoint,
             &self.vehicle_endpoint,
-            codec::encode_value(&message),
+            codec::encode_value(&message).into(),
         )
     }
 
     /// Drains everything the vehicle sent back to the phone, decoding the
     /// `[message id, payload]` envelope (malformed messages are dropped).
-    pub fn poll(&mut self, hub: &mut TransportHub) -> Vec<(String, Value)> {
+    pub fn poll(&mut self, transport: &mut dyn Transport) -> Vec<(String, Value)> {
+        transport.drain_into(&self.endpoint, &mut self.inbox);
         let mut fresh = Vec::new();
-        for (_, payload) in hub.receive(&self.endpoint) {
+        for (_, payload) in self.inbox.drain(..) {
             if let Ok(Value::List(parts)) = codec::decode_value(&payload) {
                 if let [Value::Text(id), value] = parts.as_slice() {
                     fresh.push((id.clone(), value.clone()));
@@ -124,7 +133,7 @@ pub fn encode_device_message(message_id: &str, payload: &Value) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::TransportConfig;
+    use crate::transport::{TransportConfig, TransportHub};
     use dynar_foundation::time::Tick;
 
     #[test]
@@ -137,7 +146,7 @@ mod tests {
         phone.set_speed(&mut hub, 3.5).unwrap();
         hub.step(Tick::new(1));
         let messages: Vec<(String, Value)> = hub
-            .receive("vehicle")
+            .drain("vehicle")
             .into_iter()
             .map(|(_, p)| decode_device_message(&p).unwrap())
             .collect();

@@ -4,15 +4,17 @@
 //! different products that cooperate through external communication
 //! (paper §1, [9]).  In the paper's demonstrator a smart phone remotely
 //! controls a model car; the phone talks to the vehicle's external
-//! communication manager over TCP.  This crate provides the simulated
-//! equivalent: an in-memory [`transport::TransportHub`] with named endpoints,
-//! configurable latency and loss, plus device models such as the
+//! communication manager over TCP.  This crate provides the communication
+//! layer behind the [`transport::Transport`] trait, with two backends: the
+//! deterministic in-memory [`transport::TransportHub`] (named endpoints,
+//! configurable latency and loss — the default test backend) and the real
+//! loopback-socket [`udp::UdpTransport`], plus device models such as the
 //! [`device::SmartPhone`] used by the Figure 3 scenario.
 //!
 //! # Example
 //!
 //! ```
-//! use dynar_fes::transport::{TransportConfig, TransportHub};
+//! use dynar_fes::transport::{Transport, TransportConfig, TransportHub};
 //! use dynar_foundation::time::Tick;
 //!
 //! # fn main() -> Result<(), dynar_foundation::error::DynarError> {
@@ -22,9 +24,9 @@
 //!
 //! hub.send("server", "vehicle-1", b"hello".to_vec())?;
 //! hub.step(Tick::new(1));
-//! let delivered = hub.receive("vehicle-1");
+//! let delivered = hub.drain("vehicle-1");
 //! assert_eq!(delivered.len(), 1);
-//! assert_eq!(delivered[0].0, "server");
+//! assert_eq!(delivered[0].0.as_ref(), "server");
 //! assert_eq!(delivered[0].1, b"hello".to_vec());
 //! # Ok(())
 //! # }
@@ -35,6 +37,11 @@
 
 pub mod device;
 pub mod transport;
+pub mod udp;
 
 pub use device::SmartPhone;
-pub use transport::{TransportConfig, TransportHub};
+pub use transport::{
+    shared_transport, FaultInjection, LinkFault, SharedTransport, Transport, TransportConfig,
+    TransportHub, TransportStats,
+};
+pub use udp::{UdpConfig, UdpTransport};

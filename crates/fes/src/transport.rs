@@ -54,18 +54,137 @@ use rand::{Rng, SeedableRng};
 
 use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::intern::Slot;
-use dynar_foundation::payload::Payload;
+pub use dynar_foundation::payload::Payload;
 use dynar_foundation::time::Tick;
 
 /// The shared endpoint name attached to delivered messages (an `Arc<str>`
 /// clone of the name captured at send time — no allocation per message).
 pub type EndpointName = Arc<str>;
 
+/// A shared, lockable handle to any [`Transport`] backend — what the trusted
+/// server, every ECM gateway and external devices clone.  The deterministic
+/// [`TransportHub`] and the socket-backed [`crate::udp::UdpTransport`] both
+/// coerce into it.
+pub type SharedTransport = Arc<parking_lot::Mutex<dyn Transport>>;
+
+/// Wraps a backend into the [`SharedTransport`] handle federation components
+/// clone (the unsized coercion happens here, once).
+pub fn shared_transport(backend: impl Transport + 'static) -> SharedTransport {
+    Arc::new(parking_lot::Mutex::new(backend))
+}
+
+/// The transport abstraction between federation participants: named
+/// endpoints exchanging addressed, ordered byte messages.
+///
+/// Backends differ in *how* messages move — the deterministic in-memory
+/// [`TransportHub`] resolves them inside [`Transport::step`] under one seed,
+/// the [`crate::udp::UdpTransport`] pushes real datagrams through loopback
+/// sockets — but every backend upholds the same contract, pinned by the
+/// shared conformance suite (`tests/transport_conformance.rs`):
+///
+/// * **Registration** is idempotent; sending from or to an unknown endpoint
+///   is a typed [`DynarError::TransportClosed`] error.
+/// * **Per-link FIFO**: a later message never overtakes an earlier one on
+///   the same `from → to` link (absent induced reordering faults).
+/// * **Conservation**: `sent == delivered + lost + dropped + in_flight`
+///   at every observation point ([`TransportStats::is_conserved`]).
+/// * **Unregister feedback**: traffic towards a departed endpoint counts as
+///   `dropped` and surfaces the destination name through
+///   [`Transport::take_dropped_destinations`], never reaches a later tenant
+///   of the endpoint name.
+///
+/// Fault injection (per-link loss, jitter, partitions) is an *optional
+/// capability*: backends that can fault deterministically expose it through
+/// [`Transport::fault_injection`]; wire backends model their induced faults
+/// at construction time instead.
+pub trait Transport: std::fmt::Debug + Send {
+    /// Registers an endpoint (idempotent).
+    fn register(&mut self, name: &str);
+
+    /// Unregisters an endpoint, voiding traffic still in flight towards it
+    /// (counted as `dropped` when it arrives).  Returns `true` if the
+    /// endpoint was registered.
+    fn unregister(&mut self, name: &str) -> bool;
+
+    /// Returns `true` if the endpoint is registered.
+    fn is_registered(&self, name: &str) -> bool;
+
+    /// Sends a message from one endpoint to another.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::TransportClosed`] if either endpoint is unknown.
+    fn send(&mut self, from: &str, to: &str, payload: Payload) -> Result<()>;
+
+    /// Advances the backend to `now`, moving due messages into destination
+    /// mailboxes (and, for wire backends, pumping the underlying sockets).
+    fn step(&mut self, now: Tick);
+
+    /// Drains every message delivered to `endpoint` into `into`, as
+    /// `(sender, payload)` pairs in delivery order, without allocating.
+    /// An empty mailbox leaves `into` untouched.
+    fn drain_into(&mut self, endpoint: &str, into: &mut Vec<(EndpointName, Payload)>);
+
+    /// Number of messages waiting for `endpoint`.
+    fn pending_for(&self, endpoint: &str) -> usize;
+
+    /// Traffic statistics accumulated so far.
+    fn stats(&self) -> TransportStats;
+
+    /// Drains the names of destinations whose in-flight messages were
+    /// dropped because the endpoint unregistered (one entry per dropped
+    /// message).  Senders use this to park traffic instead of retrying into
+    /// a void.
+    fn take_dropped_destinations(&mut self) -> Vec<EndpointName>;
+
+    /// The deterministic fault-injection capability, if this backend has
+    /// one.  The default is `None`: callers must treat fault injection as
+    /// optional and skip (not fail) when it is absent.
+    fn fault_injection(&mut self) -> Option<&mut dyn FaultInjection> {
+        None
+    }
+
+    /// Drains every message delivered to `endpoint` into a fresh vector —
+    /// the allocating convenience over [`Transport::drain_into`] for tests
+    /// and one-shot consumers.  Steady-state consumers (the fleet scheduler,
+    /// the ECM gateway) use `drain_into` with a reused buffer instead.
+    fn drain(&mut self, endpoint: &str) -> Vec<(EndpointName, Payload)> {
+        let mut drained = Vec::new();
+        self.drain_into(endpoint, &mut drained);
+        drained
+    }
+}
+
+/// Deterministic per-link fault injection: the optional [`Transport`]
+/// capability the chaos scenarios drive.  All parameters are keyed by
+/// endpoint *names* and may be installed before the endpoints register.
+pub trait FaultInjection {
+    /// Installs (or replaces) the fault model of the directed link
+    /// `from → to`.
+    fn set_link_fault(&mut self, from: &str, to: &str, fault: LinkFault);
+
+    /// Removes the fault model of the directed link `from → to`.
+    fn clear_link_fault(&mut self, from: &str, to: &str);
+
+    /// The fault currently installed on `from → to`, if any.
+    fn link_fault(&self, from: &str, to: &str) -> Option<&LinkFault>;
+
+    /// Partitions both directions between `a` and `b` until `heal_at`.
+    fn partition(&mut self, a: &str, b: &str, heal_at: Tick);
+
+    /// Heals a partition between `a` and `b` immediately (both directions).
+    fn heal(&mut self, a: &str, b: &str);
+
+    /// Returns `true` if `from → to` is partitioned at the backend's
+    /// current time.
+    fn is_partitioned(&self, from: &str, to: &str) -> bool;
+}
+
 /// Upper bound on undrained dropped-destination feedback entries (see
 /// [`TransportHub::take_dropped_destinations`]): hubs whose owner never
 /// drains the feedback must not accumulate one name per dropped message for
 /// the life of the simulation.
-const DROPPED_FEEDBACK_CAP: usize = 1024;
+pub(crate) const DROPPED_FEEDBACK_CAP: usize = 1024;
 
 /// Configuration of the simulated external network.
 #[derive(Debug, Clone, PartialEq)]
@@ -662,25 +781,6 @@ impl TransportHub {
         }
     }
 
-    /// Drains every message delivered to `endpoint`, as `(sender, payload)`
-    /// pairs in delivery order.
-    ///
-    /// Convenience wrapper over [`TransportHub::drain_into`] that allocates a
-    /// fresh vector (and a `String` per sender); steady-state consumers — the
-    /// fleet scheduler, the ECM gateway — use `drain_into` instead.
-    pub fn receive(&mut self, endpoint: &str) -> Vec<(String, Payload)> {
-        let Some(slot) = self.endpoints.get(endpoint) else {
-            return Vec::new();
-        };
-        match self.mailboxes[slot.index()].as_mut() {
-            Some(mailbox) => mailbox
-                .drain(..)
-                .map(|(from, payload)| (from.as_ref().to_owned(), payload))
-                .collect(),
-            None => Vec::new(),
-        }
-    }
-
     /// Number of messages waiting for `endpoint`.
     pub fn pending_for(&self, endpoint: &str) -> usize {
         self.endpoints
@@ -714,6 +814,75 @@ impl TransportHub {
     }
 }
 
+impl Transport for TransportHub {
+    fn register(&mut self, name: &str) {
+        TransportHub::register(self, name);
+    }
+
+    fn unregister(&mut self, name: &str) -> bool {
+        TransportHub::unregister(self, name)
+    }
+
+    fn is_registered(&self, name: &str) -> bool {
+        TransportHub::is_registered(self, name)
+    }
+
+    fn send(&mut self, from: &str, to: &str, payload: Payload) -> Result<()> {
+        TransportHub::send(self, from, to, payload)
+    }
+
+    fn step(&mut self, now: Tick) {
+        TransportHub::step(self, now);
+    }
+
+    fn drain_into(&mut self, endpoint: &str, into: &mut Vec<(EndpointName, Payload)>) {
+        TransportHub::drain_into(self, endpoint, into);
+    }
+
+    fn pending_for(&self, endpoint: &str) -> usize {
+        TransportHub::pending_for(self, endpoint)
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportHub::stats(self)
+    }
+
+    fn take_dropped_destinations(&mut self) -> Vec<EndpointName> {
+        TransportHub::take_dropped_destinations(self)
+    }
+
+    /// The hub *is* the deterministic fault-injection backend.
+    fn fault_injection(&mut self) -> Option<&mut dyn FaultInjection> {
+        Some(self)
+    }
+}
+
+impl FaultInjection for TransportHub {
+    fn set_link_fault(&mut self, from: &str, to: &str, fault: LinkFault) {
+        TransportHub::set_link_fault(self, from, to, fault);
+    }
+
+    fn clear_link_fault(&mut self, from: &str, to: &str) {
+        TransportHub::clear_link_fault(self, from, to);
+    }
+
+    fn link_fault(&self, from: &str, to: &str) -> Option<&LinkFault> {
+        TransportHub::link_fault(self, from, to)
+    }
+
+    fn partition(&mut self, a: &str, b: &str, heal_at: Tick) {
+        TransportHub::partition(self, a, b, heal_at);
+    }
+
+    fn heal(&mut self, a: &str, b: &str) {
+        TransportHub::heal(self, a, b);
+    }
+
+    fn is_partitioned(&self, from: &str, to: &str) -> bool {
+        TransportHub::is_partitioned(self, from, to)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,9 +895,9 @@ mod tests {
     }
 
     fn received(hub: &mut TransportHub, endpoint: &str) -> Vec<(String, Vec<u8>)> {
-        hub.receive(endpoint)
+        hub.drain(endpoint)
             .into_iter()
-            .map(|(from, payload)| (from, payload.as_slice().to_vec()))
+            .map(|(from, payload)| (from.as_ref().to_owned(), payload.as_slice().to_vec()))
             .collect()
     }
 
@@ -738,7 +907,7 @@ mod tests {
         hub.send("a", "b", vec![1, 2]).unwrap();
         hub.step(Tick::new(1));
         assert_eq!(received(&mut hub, "b"), vec![("a".to_string(), vec![1, 2])]);
-        assert!(hub.receive("b").is_empty());
+        assert!(hub.drain("b").is_empty());
         assert_eq!(hub.stats().delivered, 1);
         assert!(hub.stats().is_conserved());
     }
@@ -801,7 +970,7 @@ mod tests {
             hub.send("a", "b", vec![i]).unwrap();
         }
         hub.step(Tick::new(1));
-        let payloads: Vec<u8> = hub.receive("b").into_iter().map(|(_, p)| p[0]).collect();
+        let payloads: Vec<u8> = hub.drain("b").into_iter().map(|(_, p)| p[0]).collect();
         assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
     }
 
@@ -820,7 +989,7 @@ mod tests {
         let mut received = Vec::new();
         for t in 1..=16u64 {
             hub.step(Tick::new(t));
-            received.extend(hub.receive("b").into_iter().map(|(_, p)| p[0]));
+            received.extend(hub.drain("b").into_iter().map(|(_, p)| p[0]));
         }
         assert_eq!(received.len(), 40, "jitter only delays, never loses");
         assert!(
@@ -905,7 +1074,7 @@ mod tests {
         hub.unregister("b");
         hub.register("b");
         assert_eq!(hub.pending_for("b"), 0);
-        assert!(hub.receive("b").is_empty());
+        assert!(hub.drain("b").is_empty());
 
         // …but fresh traffic flows normally again.
         hub.send("a", "b", vec![2]).unwrap();
@@ -998,7 +1167,7 @@ mod tests {
         let mut received = Vec::new();
         for t in 1..=32u64 {
             hub.step(Tick::new(t));
-            received.extend(hub.receive("b").into_iter().map(|(_, p)| p[0]));
+            received.extend(hub.drain("b").into_iter().map(|(_, p)| p[0]));
         }
         assert_eq!(received.len(), 20);
         assert!(
@@ -1082,7 +1251,7 @@ mod tests {
         let payload = Payload::from(vec![1, 2, 3]);
         hub.send("a", "b", payload.clone()).unwrap();
         hub.step(Tick::new(1));
-        let delivered = hub.receive("b");
+        let delivered = hub.drain("b");
         assert_eq!(delivered[0].1, payload);
         assert_eq!(
             delivered[0].1.as_slice().as_ptr(),
@@ -1109,8 +1278,8 @@ mod tests {
             hub.send("b", "c", vec![t as u8]).unwrap();
             hub.step(Tick::new(t));
             assert!(hub.stats().is_conserved(), "tick {t}: {:?}", hub.stats());
-            hub.receive("b");
-            hub.receive("c");
+            hub.drain("b");
+            hub.drain("c");
         }
         hub.step(Tick::new(40));
         let stats = hub.stats();

@@ -120,6 +120,9 @@ pub enum DynarError {
         /// The vehicle whose endpoint disappeared.
         vehicle: String,
     },
+    /// An operating-system I/O failure (journal file sink, sockets), carrying
+    /// the display form of the underlying OS error.
+    Io(String),
 }
 
 impl DynarError {
@@ -219,7 +222,14 @@ impl fmt::Display for DynarError {
             DynarError::VehicleUnreachable { vehicle } => {
                 write!(f, "vehicle unreachable: {vehicle}")
             }
+            DynarError::Io(reason) => write!(f, "i/o failure: {reason}"),
         }
+    }
+}
+
+impl From<std::io::Error> for DynarError {
+    fn from(err: std::io::Error) -> Self {
+        DynarError::Io(err.to_string())
     }
 }
 

@@ -134,6 +134,71 @@ impl Clock {
     }
 }
 
+/// A wall-clock source of [`Tick`] values, for the actor runtime and other
+/// real-time frontends.
+///
+/// The deterministic planes never touch this: everything below the
+/// federation keeps advancing on explicit ticks.  A `WallClock` sits at the
+/// *boundary* and maps elapsed real time onto the same tick axis by dividing
+/// it into fixed quanta, so tick-denominated protocol state (retry budgets,
+/// announce periods, partition heal times) keeps its meaning when driven by
+/// real threads instead of a simulated loop.
+///
+/// # Example
+/// ```
+/// use std::time::Duration;
+/// use dynar_foundation::time::WallClock;
+///
+/// let clock = WallClock::new(Duration::from_millis(1));
+/// let t0 = clock.now();
+/// assert!(clock.now() >= t0, "wall-clock ticks are monotonic");
+/// assert_eq!(clock.until_tick(t0), Duration::ZERO, "the past is due now");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    start: std::time::Instant,
+    quantum: std::time::Duration,
+}
+
+impl WallClock {
+    /// Creates a clock where one [`Tick`] spans `quantum` of real time,
+    /// starting at [`Tick::ZERO`] now.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero quantum — it would map every instant to tick
+    /// infinity.
+    pub fn new(quantum: std::time::Duration) -> Self {
+        assert!(!quantum.is_zero(), "wall-clock quantum must be non-zero");
+        WallClock {
+            start: std::time::Instant::now(),
+            quantum,
+        }
+    }
+
+    /// The real-time span of one tick.
+    pub fn quantum(&self) -> std::time::Duration {
+        self.quantum
+    }
+
+    /// The current wall-clock time, in ticks since the clock was created.
+    pub fn now(&self) -> Tick {
+        let elapsed = self.start.elapsed();
+        Tick::new((elapsed.as_nanos() / self.quantum.as_nanos().max(1)) as u64)
+    }
+
+    /// How long to sleep until `tick` is reached ([`Duration::ZERO`] if it
+    /// already passed).
+    ///
+    /// [`Duration::ZERO`]: std::time::Duration::ZERO
+    pub fn until_tick(&self, tick: Tick) -> std::time::Duration {
+        let due = self
+            .quantum
+            .saturating_mul(u32::try_from(tick.as_u64()).unwrap_or(u32::MAX));
+        due.saturating_sub(self.start.elapsed())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +247,25 @@ mod tests {
     #[test]
     fn display_formats_with_prefix() {
         assert_eq!(Tick::new(42).to_string(), "t42");
+    }
+
+    #[test]
+    fn wall_clock_advances_and_schedules() {
+        let clock = WallClock::new(std::time::Duration::from_micros(100));
+        let t0 = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t1 = clock.now();
+        assert!(t1.is_after(t0), "real time maps onto increasing ticks");
+        assert_eq!(clock.until_tick(t0), std::time::Duration::ZERO);
+        let far = t1.advance(10_000);
+        let wait = clock.until_tick(far);
+        assert!(wait > std::time::Duration::ZERO);
+        assert!(wait <= std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn wall_clock_rejects_zero_quantum() {
+        let _ = WallClock::new(std::time::Duration::ZERO);
     }
 }

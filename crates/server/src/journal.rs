@@ -343,12 +343,78 @@ impl JournalRecord {
     }
 }
 
-/// The in-memory write-ahead journal buffer of one [`crate::TrustedServer`].
-#[derive(Debug, Clone)]
+/// A file-backed sink mirroring the journal to disk.
+///
+/// Every appended frame is written through to the log file immediately (the
+/// OS page cache holds it), but `fdatasync` is only issued once per
+/// `fsync_interval` appends — batching the expensive flush the way real
+/// write-ahead logs do.  A crash can therefore lose at most the last
+/// `fsync_interval - 1` *synced* records plus one torn frame at the tail;
+/// the frame checksums make the torn tail detectable, and
+/// [`crate::TrustedServer::replay_recover`] truncates it instead of failing.
+#[derive(Debug)]
+struct FileSink {
+    file: std::fs::File,
+    path: std::path::PathBuf,
+    fsync_interval: u32,
+    appends_since_sync: u32,
+}
+
+impl FileSink {
+    /// Creates (or truncates) the log file and seeds it with `contents`,
+    /// synced to disk.
+    fn create(path: &std::path::Path, fsync_interval: u32, contents: &[u8]) -> Result<FileSink> {
+        use std::io::Write;
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(contents)?;
+        file.sync_data()?;
+        Ok(FileSink {
+            file,
+            path: path.to_path_buf(),
+            fsync_interval: fsync_interval.max(1),
+            appends_since_sync: 0,
+        })
+    }
+
+    /// Appends one already-framed record, syncing once per interval.
+    fn append(&mut self, frame: &[u8]) -> Result<()> {
+        use std::io::Write;
+        self.file.write_all(frame)?;
+        self.appends_since_sync += 1;
+        if self.appends_since_sync >= self.fsync_interval {
+            self.file.sync_data()?;
+            self.appends_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Atomically replaces the log with `contents` (compaction): the new
+    /// image is written and synced to a sibling temp file, then renamed over
+    /// the log, so a crash mid-compaction leaves either the complete old log
+    /// or the complete new one — never a half-written snapshot.
+    fn rewrite(&mut self, contents: &[u8]) -> Result<()> {
+        use std::io::Write;
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(".compact");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = file;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+}
+
+/// The write-ahead journal buffer of one [`crate::TrustedServer`], optionally
+/// mirrored to a file sink with batched fsync.
+#[derive(Debug)]
 pub struct Journal {
     buffer: Vec<u8>,
     compaction_interval: u32,
     records_since_snapshot: u32,
+    sink: Option<FileSink>,
 }
 
 impl Journal {
@@ -359,14 +425,41 @@ impl Journal {
             buffer: Vec::new(),
             compaction_interval: compaction_interval.max(1),
             records_since_snapshot: 0,
+            sink: None,
         }
+    }
+
+    /// Attaches a file sink at `path` (created or truncated), seeding it
+    /// with the journal's current contents and syncing.  Subsequent appends
+    /// and compactions are mirrored with `fsync` batched every
+    /// `fsync_interval` appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Io`] when the file cannot be created or written.
+    pub(crate) fn attach_file_sink(
+        &mut self,
+        path: &std::path::Path,
+        fsync_interval: u32,
+    ) -> Result<()> {
+        self.sink = Some(FileSink::create(path, fsync_interval, &self.buffer)?);
+        Ok(())
     }
 
     /// Appends one record frame.
     pub(crate) fn append(&mut self, record: &JournalRecord) {
         let payload = codec::encode_value(&record.to_value());
+        let frame_start = self.buffer.len();
         append_frame(&mut self.buffer, &payload);
         self.records_since_snapshot += 1;
+        if let Some(sink) = &mut self.sink {
+            // A sink write failure must not desynchronise the in-memory
+            // journal (the durability story degrades, the replay story
+            // must not): drop the sink and keep running from memory.
+            if sink.append(&self.buffer[frame_start..]).is_err() {
+                self.sink = None;
+            }
+        }
     }
 
     /// `true` once enough records accumulated since the last snapshot.
@@ -380,6 +473,11 @@ impl Journal {
         let payload = codec::encode_value(&JournalRecord::Snapshot(state).to_value());
         append_frame(&mut self.buffer, &payload);
         self.records_since_snapshot = 0;
+        if let Some(sink) = &mut self.sink {
+            if sink.rewrite(&self.buffer).is_err() {
+                self.sink = None;
+            }
+        }
     }
 
     /// The journal's framed byte buffer (what a crash would leave behind;

@@ -1538,6 +1538,33 @@ impl TrustedServer {
         failures
     }
 
+    /// The earliest retransmission deadline over every online vehicle, if
+    /// any — the timer a tick-free driver (the actor runtime) arms instead
+    /// of sweeping [`TrustedServer::tick`] every quantum: it sleeps until
+    /// this tick or the next uplink, whichever comes first.
+    ///
+    /// The value may be *early* (heap entries are lazily invalidated, so a
+    /// settled package can still surface its stale deadline) but never late;
+    /// a spurious early wake-up just runs a cheap quiescent sweep.  Offline
+    /// vehicles are skipped — their deadlines are frozen by contract.
+    pub fn next_deadline(&self) -> Option<Tick> {
+        let mut earliest: Option<Tick> = None;
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for record in shard.vehicles.values() {
+                if !record.online || record.outstanding.is_empty() {
+                    continue;
+                }
+                if let Some(&Reverse((deadline, _))) = record.deadlines.peek() {
+                    if earliest.is_none_or(|e| deadline < e) {
+                        earliest = Some(deadline);
+                    }
+                }
+            }
+        }
+        earliest
+    }
+
     /// The per-shard tick sweep (shared by the serial [`TrustedServer::tick`]
     /// and [`ShardHandle::tick`]).
     fn op_tick(
@@ -1946,6 +1973,30 @@ impl TrustedServer {
         self.journal = Some(journal);
     }
 
+    /// [`TrustedServer::enable_journal`] mirrored to a file at `path` with
+    /// `fsync` batched every `fsync_interval` appends: the in-memory journal
+    /// stays the replay source of truth, and the file is what survives a
+    /// process crash.  Recover with [`TrustedServer::replay_recover`] over
+    /// the file's bytes — a torn tail frame (crash mid-write) is detected by
+    /// its checksum and truncated, not fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::Io`] when the file cannot be created or the
+    /// seed snapshot cannot be written.
+    pub fn enable_journal_file(
+        &mut self,
+        path: &std::path::Path,
+        compaction_interval: u32,
+        fsync_interval: u32,
+    ) -> Result<()> {
+        let mut journal = Journal::new(compaction_interval);
+        journal.compact(self.snapshot_value());
+        journal.attach_file_sink(path, fsync_interval)?;
+        self.journal = Some(journal);
+        Ok(())
+    }
+
     /// The journal's framed bytes (what a crash would leave behind; feed
     /// them to [`TrustedServer::replay`]), `None` while journaling is off.
     pub fn journal_bytes(&self) -> Option<&[u8]> {
@@ -2051,6 +2102,41 @@ impl TrustedServer {
             server.apply_record(record)?;
         }
         Ok(server)
+    }
+
+    /// Crash recovery from a journal *file* image: replays every intact
+    /// frame and treats the first torn or corrupted frame as the end of the
+    /// log — exactly what a crash mid-append leaves behind under the
+    /// checksummed frame format.  Returns the recovered server and the
+    /// length of the clean prefix (the offset a resuming writer should
+    /// truncate the file to).
+    ///
+    /// A *decodable frame with malformed contents* is still fatal: the
+    /// checksum proves those bytes were written intact, so the corruption is
+    /// real, not a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::ProtocolViolation`] when an intact frame holds
+    /// a malformed record.
+    pub fn replay_recover(bytes: &[u8], shards: usize) -> Result<(TrustedServer, usize)> {
+        let mut server = TrustedServer::with_shards(shards);
+        let mut reader = FrameReader::new(bytes);
+        let mut clean = 0usize;
+        loop {
+            match reader.next_frame() {
+                Ok(Some(frame)) => {
+                    let record = JournalRecord::from_bytes(frame)?;
+                    server.apply_record(record)?;
+                    clean = reader.offset();
+                }
+                Ok(None) => break,
+                // Torn tail: the remaining bytes never made it to disk as a
+                // whole frame.  The clean prefix is the recovered log.
+                Err(_) => break,
+            }
+        }
+        Ok((server, clean))
     }
 
     /// Applies one journaled record.  Command *failures* are deliberately
@@ -3942,6 +4028,71 @@ mod tests {
             TrustedServer::replay(&bytes[..bytes.len() - 4]),
             Err(DynarError::ProtocolViolation(_))
         ));
+    }
+
+    #[test]
+    fn file_journal_survives_a_torn_tail() {
+        let path = std::env::temp_dir().join(format!(
+            "dynar-journal-torn-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let (mut server, user, vehicle) = server_with_vehicle();
+        // fsync every 4 appends: the batched path and the unsynced tail are
+        // both exercised by the workout.
+        server.enable_journal_file(&path, 1024, 4).unwrap();
+        durability_workout(&mut server, &user, &vehicle);
+
+        // The mirrored file replays to the same bytes as the in-memory
+        // journal.
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk, server.journal_bytes().unwrap());
+        let (recovered, clean) = TrustedServer::replay_recover(&on_disk, 1).unwrap();
+        assert_eq!(clean, on_disk.len());
+        assert_eq!(recovered.snapshot_bytes(), server.snapshot_bytes());
+
+        // Crash mid-append: the tail frame is half-written.  Recovery
+        // replays the clean prefix and reports where it ends.
+        let torn = &on_disk[..on_disk.len() - 3];
+        let (recovered, clean) = TrustedServer::replay_recover(torn, 1).unwrap();
+        assert!(clean < torn.len());
+        let (clean_server, reclean) = TrustedServer::replay_recover(&on_disk[..clean], 1).unwrap();
+        assert_eq!(reclean, clean, "the clean prefix is wholly intact");
+        assert_eq!(recovered.snapshot_bytes(), clean_server.snapshot_bytes());
+
+        // An intact-but-malformed frame is corruption, not a torn tail.
+        let mut corrupted = Vec::new();
+        dynar_foundation::journal::append_frame(&mut corrupted, &[0xFF, 0xFE]);
+        assert!(matches!(
+            TrustedServer::replay_recover(&corrupted, 1),
+            Err(DynarError::ProtocolViolation(_))
+        ));
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_journal_compaction_rewrites_atomically() {
+        let path = std::env::temp_dir().join(format!(
+            "dynar-journal-compact-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let (mut server, user, vehicle) = server_with_vehicle();
+        // Interval 2 forces several compactions (file rewrites) mid-workout.
+        server.enable_journal_file(&path, 2, 1).unwrap();
+        durability_workout(&mut server, &user, &vehicle);
+
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk, server.journal_bytes().unwrap());
+        let (recovered, _) = TrustedServer::replay_recover(&on_disk, 1).unwrap();
+        assert_eq!(recovered.snapshot_bytes(), server.snapshot_bytes());
+        assert!(
+            !path.with_extension("log.compact").exists(),
+            "compaction temp files are renamed away"
+        );
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

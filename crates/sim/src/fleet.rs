@@ -140,7 +140,8 @@ impl Fleet {
             .map(|_| {
                 let mut hub = TransportHub::new(transport.clone());
                 hub.register(&server_endpoint);
-                Arc::new(Mutex::new(hub))
+                let shared: SharedHub = Arc::new(Mutex::new(hub));
+                shared
             })
             .collect();
         Self::assemble(server, server_endpoint, hubs)
@@ -234,17 +235,33 @@ impl Fleet {
     /// Installs a fault model on the directed link `from` → `to` of every
     /// shard hub.  Faults are keyed by endpoint names, so the entry is inert
     /// on hubs that never carry that pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard backend does not support fault injection — induced
+    /// faults are a capability of the deterministic hub, not of wire
+    /// transports.
     pub fn set_link_fault(&self, from: &str, to: &str, fault: LinkFault) {
         for hub in &self.hubs {
-            hub.lock().set_link_fault(from, to, fault.clone());
+            hub.lock()
+                .fault_injection()
+                .expect("fleet transport backend supports fault injection")
+                .set_link_fault(from, to, fault.clone());
         }
     }
 
     /// Partitions `a` ↔ `b` until `heal_at` on every shard hub (inert where
     /// the pair never communicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard backend does not support fault injection.
     pub fn partition(&self, a: &str, b: &str, heal_at: Tick) {
         for hub in &self.hubs {
-            hub.lock().partition(a, b, heal_at);
+            hub.lock()
+                .fault_injection()
+                .expect("fleet transport backend supports fault injection")
+                .partition(a, b, heal_at);
         }
     }
 

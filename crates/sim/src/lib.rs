@@ -8,16 +8,22 @@
 //! The [`scenario`] module builds concrete systems: [`scenario::remote_car`]
 //! — the remotely controlled model car of the paper's Section 4 (Figure 3) —
 //! and [`scenario::fleet`] — the federated-scale fleet — which the examples,
-//! integration tests and benchmarks all reuse.
+//! integration tests and benchmarks all reuse.  The [`actors`] module is the
+//! concurrent counterpart of [`fleet::Fleet`]: server and vehicles as real
+//! threads over any [`Transport`] backend, driven by wall-clock time.
+//!
+//! [`Transport`]: dynar_fes::transport::Transport
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actors;
 pub mod fleet;
 pub mod plant;
 pub mod scenario;
 pub mod world;
 
+pub use actors::{ActorFederation, FederationOutcome};
 pub use fleet::{Fleet, FleetStats};
 pub use plant::{CarPlant, PlantState, SharedPlantState};
 pub use world::{Vehicle, World};

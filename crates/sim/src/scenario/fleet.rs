@@ -141,7 +141,9 @@ fn mgmt_up_frame(worker: EcuId) -> CanId {
     CanId::new(0x400 + u32::from(worker.index())).expect("static frame id")
 }
 
-fn fleet_hw(workers: u16) -> HwConf {
+/// The hardware configuration the server registers for a fleet vehicle with
+/// `workers` worker ECUs.
+pub fn fleet_hw(workers: u16) -> HwConf {
     let mut hw = HwConf::new().with_ecu(EcuId::new(1), 1024);
     for worker in worker_ids(workers) {
         hw = hw.with_ecu(worker, 512);
@@ -149,7 +151,8 @@ fn fleet_hw(workers: u16) -> HwConf {
     hw
 }
 
-fn fleet_system(workers: u16) -> SystemSwConf {
+/// The system software configuration matching [`fleet_hw`].
+pub fn fleet_system(workers: u16) -> SystemSwConf {
     let mut system = SystemSwConf::new(FLEET_MODEL).with_swc(PluginSwcDecl {
         ecu: EcuId::new(1),
         swc_name: "ecm-swc".into(),
@@ -468,7 +471,10 @@ impl FleetScenario {
 
 /// Wires one fleet vehicle: the ECM ECU (gateway + speed sensor) and
 /// `workers` worker ECUs with plug-in SW-Cs, at the given boot epoch.
-fn build_vehicle(
+///
+/// Public so other harnesses (the actor runtime, the UDP federation
+/// example) can build protocol-complete vehicles on any transport backend.
+pub fn build_vehicle(
     endpoint: &str,
     workers: u16,
     bus: BusConfig,

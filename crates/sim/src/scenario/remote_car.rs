@@ -199,7 +199,7 @@ impl RemoteCarScenario {
         );
 
         let phone = SmartPhone::new("phone", "vehicle-1");
-        phone.attach(&mut world.hub.lock());
+        phone.attach(&mut *world.hub.lock());
 
         Ok(RemoteCarScenario {
             world,
@@ -274,8 +274,8 @@ impl RemoteCarScenario {
                 let speed = 5.0 + ((tick / 10) % 10) as f64;
                 {
                     let mut hub = self.world.hub.lock();
-                    self.phone.steer(&mut hub, angle)?;
-                    self.phone.set_speed(&mut hub, speed)?;
+                    self.phone.steer(&mut *hub, angle)?;
+                    self.phone.set_speed(&mut *hub, speed)?;
                 }
                 sent += 2;
             }

@@ -505,7 +505,7 @@ impl Fleet {
 
         let world = World::new(server, vehicle, vehicle_id, "server", "vehicle-1", hub);
         let console = SmartPhone::new("console", "vehicle-1");
-        console.attach(&mut world.hub.lock());
+        console.attach(&mut *world.hub.lock());
 
         Fleet {
             world,
@@ -561,7 +561,7 @@ impl Fleet {
                 let mut hub = self.world.hub.lock();
                 self.console
                     .send(
-                        &mut hub,
+                        &mut *hub,
                         &format!("{message_prefix}{worker}"),
                         Value::I64(value(tick)),
                     )

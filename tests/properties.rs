@@ -306,7 +306,7 @@ proptest! {
         ),
         seed in 0u64..1024,
     ) {
-        use dynar::fes::transport::{LinkFault, TransportConfig, TransportHub};
+        use dynar::fes::transport::{LinkFault, Transport, TransportConfig, TransportHub};
         use dynar::foundation::time::Tick;
         use std::collections::HashMap;
 
@@ -343,9 +343,9 @@ proptest! {
                     hub.step(Tick::new(now));
                 }
                 3 => {
-                    for (sender, payload) in hub.receive(names[a]) {
+                    for (sender, payload) in hub.drain(names[a]) {
                         let seq = u64::from_be_bytes(payload.as_slice().try_into().unwrap());
-                        let key = (sender, names[a].to_owned());
+                        let key = (sender.as_ref().to_owned(), names[a].to_owned());
                         let last = last_seen.get(&key).copied().unwrap_or(0);
                         prop_assert!(
                             seq > last,

@@ -1,0 +1,268 @@
+//! Transport conformance suite: the behavioural contract every
+//! [`Transport`] backend must honour, run against both the deterministic
+//! [`TransportHub`] and the socket-backed [`UdpTransport`].
+//!
+//! The protocol layers above (ECM gateways, the trusted server, the actor
+//! runtime) are written against the trait, so anything they rely on must be
+//! pinned here rather than in backend-specific tests:
+//!
+//! * registration is idempotent, unregistration reports membership, and a
+//!   send towards an unregistered destination fails loudly;
+//! * per-link FIFO — on a fault-free link a later message never overtakes
+//!   an earlier one (the ECM's sequence-number plane assumes this for the
+//!   common case and only tolerates reordering as a *fault*);
+//! * conservation — every accepted message is eventually delivered, lost,
+//!   dropped or in flight; nothing disappears silently;
+//! * unregistering mid-flight converts in-flight traffic into `dropped`
+//!   plus dropped-destination feedback (how the server learns a vehicle
+//!   vanished);
+//! * re-registration restores a working mailbox.
+//!
+//! The UDP variants drive real loopback sockets, so they are `#[ignore]`d
+//! out of the default tier-1 run and executed by the dedicated socket/actor
+//! CI step (single-threaded, generous timeout).
+//!
+//! [`Transport`]: dynar::fes::Transport
+//! [`TransportHub`]: dynar::fes::TransportHub
+//! [`UdpTransport`]: dynar::fes::UdpTransport
+
+use std::time::Duration;
+
+use dynar::fes::{Transport, TransportConfig, TransportHub, UdpConfig, UdpTransport};
+use dynar::foundation::payload::Payload;
+use dynar::foundation::time::Tick;
+
+/// Steps the transport until nothing is in flight.  `pause` separates the
+/// tick-driven hub (zero pause, each step advances simulated time) from the
+/// socket backend (a short real-time pause lets loopback datagrams land).
+fn settle(transport: &mut dyn Transport, now: &mut u64, pause: Duration) {
+    for _ in 0..500 {
+        *now += 1;
+        transport.step(Tick::new(*now));
+        if transport.stats().in_flight == 0 {
+            return;
+        }
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+    }
+    panic!("transport did not settle: {:?}", transport.stats());
+}
+
+/// One numbered payload, recognisable after the round trip.
+fn numbered(i: u64) -> Payload {
+    i.to_le_bytes().to_vec().into()
+}
+
+fn registration_contract(transport: &mut dyn Transport) {
+    transport.register("alpha");
+    transport.register("alpha"); // idempotent, not a duplicate error
+    transport.register("beta");
+    assert!(transport.is_registered("alpha"));
+    assert!(transport.is_registered("beta"));
+    assert!(!transport.is_registered("gamma"));
+
+    transport
+        .send("alpha", "gamma", numbered(0))
+        .expect_err("sending towards an unregistered destination must fail");
+    transport
+        .send("alpha", "beta", numbered(1))
+        .expect("a registered pair must accept traffic");
+
+    assert!(transport.unregister("beta"), "beta was a member");
+    assert!(
+        !transport.unregister("beta"),
+        "second unregister is a no-op"
+    );
+    assert!(!transport.is_registered("beta"));
+    assert!(!transport.unregister("gamma"), "never-registered name");
+}
+
+fn per_link_fifo_contract(transport: &mut dyn Transport, now: &mut u64, pause: Duration) {
+    transport.register("sender");
+    transport.register("receiver");
+    const COUNT: u64 = 32;
+    for i in 0..COUNT {
+        transport
+            .send("sender", "receiver", numbered(i))
+            .expect("fault-free send");
+    }
+    settle(transport, now, pause);
+
+    let mut inbox = Vec::new();
+    transport.drain_into("receiver", &mut inbox);
+    assert_eq!(inbox.len() as u64, COUNT, "all messages arrive");
+    for (i, (from, payload)) in inbox.iter().enumerate() {
+        assert_eq!(from.as_ref(), "sender");
+        assert_eq!(
+            payload.as_slice(),
+            (i as u64).to_le_bytes(),
+            "on a fault-free link, arrival order is send order"
+        );
+    }
+    assert_eq!(
+        transport.pending_for("receiver"),
+        0,
+        "drain empties the mailbox"
+    );
+}
+
+fn conservation_contract(transport: &mut dyn Transport, now: &mut u64, pause: Duration) {
+    for name in ["a", "b", "c"] {
+        transport.register(name);
+    }
+    let mut sent = 0u64;
+    for round in 0..4u64 {
+        for (from, to) in [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")] {
+            transport.send(from, to, numbered(round)).expect("send");
+            sent += 1;
+        }
+        let stats = transport.stats();
+        assert!(stats.is_conserved(), "conserved mid-traffic: {stats:?}");
+    }
+    settle(transport, now, pause);
+
+    let stats = transport.stats();
+    assert!(stats.is_conserved(), "conserved after settling: {stats:?}");
+    assert_eq!(stats.sent, sent);
+    assert_eq!(stats.lost, 0, "no loss model configured");
+    assert_eq!(stats.dropped, 0, "every destination stayed registered");
+
+    let mut inbox = Vec::new();
+    let mut drained = 0u64;
+    for name in ["a", "b", "c"] {
+        transport.drain_into(name, &mut inbox);
+        drained += inbox.len() as u64;
+        inbox.clear();
+    }
+    assert_eq!(
+        drained, stats.delivered,
+        "every delivered message is drainable"
+    );
+}
+
+fn unregister_feedback_contract(transport: &mut dyn Transport, now: &mut u64, pause: Duration) {
+    transport.register("tower");
+    transport.register("vanishing");
+    for i in 0..8 {
+        transport
+            .send("tower", "vanishing", numbered(i))
+            .expect("send");
+    }
+    // The messages are accepted (possibly already on the wire) — now the
+    // destination disappears before anyone drains them.
+    assert!(transport.unregister("vanishing"));
+    settle(transport, now, pause);
+
+    let stats = transport.stats();
+    assert!(stats.is_conserved(), "conserved after drops: {stats:?}");
+    assert_eq!(
+        stats.dropped + stats.delivered,
+        8,
+        "traffic towards the unregistered endpoint is dropped (or was \
+         delivered before the unregister), never lost silently: {stats:?}"
+    );
+    if stats.dropped > 0 {
+        let fed_back = transport.take_dropped_destinations();
+        assert!(
+            fed_back.iter().any(|name| name.as_ref() == "vanishing"),
+            "dropped-destination feedback names the dead endpoint: {fed_back:?}"
+        );
+    }
+    assert!(
+        transport.take_dropped_destinations().is_empty(),
+        "feedback is take-once"
+    );
+}
+
+fn reregistration_contract(transport: &mut dyn Transport, now: &mut u64, pause: Duration) {
+    transport.register("base");
+    transport.register("phoenix");
+    transport.unregister("phoenix");
+    transport.register("phoenix");
+    assert!(transport.is_registered("phoenix"));
+
+    transport
+        .send("base", "phoenix", numbered(99))
+        .expect("send after rebirth");
+    settle(transport, now, pause);
+    let mut inbox = Vec::new();
+    transport.drain_into("phoenix", &mut inbox);
+    assert_eq!(inbox.len(), 1, "the re-registered endpoint receives again");
+    assert_eq!(inbox[0].1.as_slice(), 99u64.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic hub backend (tier-1: no sockets, no wall-clock time).
+// ---------------------------------------------------------------------------
+
+fn fresh_hub() -> TransportHub {
+    TransportHub::new(TransportConfig::default())
+}
+
+#[test]
+fn hub_registration() {
+    registration_contract(&mut fresh_hub());
+}
+
+#[test]
+fn hub_per_link_fifo() {
+    per_link_fifo_contract(&mut fresh_hub(), &mut 0, Duration::ZERO);
+}
+
+#[test]
+fn hub_conservation() {
+    conservation_contract(&mut fresh_hub(), &mut 0, Duration::ZERO);
+}
+
+#[test]
+fn hub_unregister_feedback() {
+    unregister_feedback_contract(&mut fresh_hub(), &mut 0, Duration::ZERO);
+}
+
+#[test]
+fn hub_reregistration() {
+    reregistration_contract(&mut fresh_hub(), &mut 0, Duration::ZERO);
+}
+
+// ---------------------------------------------------------------------------
+// UDP loopback backend (socket CI step: `-- --ignored --test-threads=1`).
+// ---------------------------------------------------------------------------
+
+fn fresh_udp() -> UdpTransport {
+    // No induced faults: the conformance contract is about the fault-free
+    // baseline; the chaos behaviour is pinned in tests/udp_federation.rs.
+    UdpTransport::new(UdpConfig::default())
+}
+
+const UDP_PAUSE: Duration = Duration::from_millis(1);
+
+#[test]
+#[ignore = "binds loopback sockets; run by the dedicated socket CI step"]
+fn udp_registration() {
+    registration_contract(&mut fresh_udp());
+}
+
+#[test]
+#[ignore = "binds loopback sockets; run by the dedicated socket CI step"]
+fn udp_per_link_fifo() {
+    per_link_fifo_contract(&mut fresh_udp(), &mut 0, UDP_PAUSE);
+}
+
+#[test]
+#[ignore = "binds loopback sockets; run by the dedicated socket CI step"]
+fn udp_conservation() {
+    conservation_contract(&mut fresh_udp(), &mut 0, UDP_PAUSE);
+}
+
+#[test]
+#[ignore = "binds loopback sockets; run by the dedicated socket CI step"]
+fn udp_unregister_feedback() {
+    unregister_feedback_contract(&mut fresh_udp(), &mut 0, UDP_PAUSE);
+}
+
+#[test]
+#[ignore = "binds loopback sockets; run by the dedicated socket CI step"]
+fn udp_reregistration() {
+    reregistration_contract(&mut fresh_udp(), &mut 0, UDP_PAUSE);
+}
