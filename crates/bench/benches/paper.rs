@@ -17,6 +17,7 @@ use dynar_rte::component::SwcDescriptor;
 use dynar_rte::port::{PortDirection, PortSpec};
 use dynar_rte::rte::Rte;
 use dynar_server::baseline::ReflashBaseline;
+use dynar_server::campaign::{CampaignId, CampaignSpec, HealthGate, VehicleSelector, WavePlan};
 use dynar_server::server::TrustedServer;
 use dynar_sim::scenario::fleet::{FleetScenario, FleetScenarioConfig};
 use dynar_sim::scenario::remote_car::{remote_control_app, RemoteCarScenario};
@@ -336,6 +337,44 @@ fn bench_fleet_tick(c: &mut Criterion) {
                 .install_telemetry(10)
                 .expect("install waves complete");
             group.bench_function("tick_with_journal/50", |b| {
+                b.iter(|| scenario.fleet.step().expect("fleet step"));
+            });
+        }
+        // Campaign-plane overhead, measured the same way: the identical
+        // 50-vehicle steady-state tick while a rollout campaign is held
+        // mid-wave by an unreachable soak gate — the whole fleet exposed,
+        // every install acknowledged, the health gate re-evaluated on every
+        // round.  scripts/bench_compare.sh gates the gap against `tick/50`
+        // (BENCH_CAMPAIGN_OVERHEAD_PCT), so the price of orchestration is a
+        // datapoint, not a guess.
+        if vehicles == 50 {
+            let mut scenario = FleetScenario::build(50).expect("fleet builds");
+            scenario
+                .install_telemetry(10)
+                .expect("install waves complete");
+            let user = scenario.user.clone();
+            let spec = CampaignSpec {
+                id: CampaignId::new("bench-rollout"),
+                app: AppId::new(dynar_sim::scenario::fleet::APP_TELEMETRY_V2),
+                replaces: Some(AppId::new(dynar_sim::scenario::fleet::APP_TELEMETRY)),
+                selector: VehicleSelector::All,
+                plan: WavePlan {
+                    canary: 50,
+                    ramp_percent: Vec::new(),
+                },
+                gate: HealthGate {
+                    min_soak_ticks: u64::MAX,
+                    pause_failed: 0,
+                    abort_failed: 0,
+                },
+            };
+            scenario
+                .fleet
+                .server
+                .create_campaign(&user, spec)
+                .expect("campaign creates");
+            scenario.fleet.run(120).expect("update wave converges");
+            group.bench_function("campaign_tick/50", |b| {
                 b.iter(|| scenario.fleet.step().expect("fleet step"));
             });
         }

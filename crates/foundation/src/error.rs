@@ -75,6 +75,17 @@ pub enum DynarError {
         /// The installed plug-in it conflicts with.
         conflicts_with: String,
     },
+    /// Two active rollout campaigns target the same app on overlapping
+    /// vehicles; accepting the second would make the desired manifests
+    /// last-writer-wins.
+    CampaignConflict {
+        /// The campaign being created.
+        campaign: String,
+        /// The already-active campaign it collides with.
+        conflicts_with: String,
+        /// The contested application.
+        app: String,
+    },
     /// A plug-in cannot be uninstalled because others depend on it.
     DependentsExist {
         /// The plug-in whose removal was requested.
@@ -193,6 +204,14 @@ impl fmt::Display for DynarError {
                 f,
                 "plug-in {plugin} conflicts with installed {conflicts_with}"
             ),
+            DynarError::CampaignConflict {
+                campaign,
+                conflicts_with,
+                app,
+            } => write!(
+                f,
+                "campaign {campaign} conflicts with active campaign {conflicts_with} over app {app}"
+            ),
             DynarError::DependentsExist { plugin, dependents } => write!(
                 f,
                 "plug-in {plugin} cannot be removed, depended on by {}",
@@ -262,6 +281,11 @@ mod tests {
             DynarError::PluginConflict {
                 plugin: "ECO".into(),
                 conflicts_with: "SPORT".into(),
+            },
+            DynarError::CampaignConflict {
+                campaign: "rollout-2".into(),
+                conflicts_with: "rollout-1".into(),
+                app: "telemetry-v2".into(),
             },
             DynarError::DependentsExist {
                 plugin: "COM".into(),

@@ -26,6 +26,7 @@ use dynar_foundation::journal::append_frame;
 use dynar_foundation::time::Tick;
 use dynar_foundation::value::Value;
 
+use crate::campaign::{CampaignId, CampaignSpec};
 use crate::model::{AppDefinition, HwConf, SystemSwConf};
 use crate::server::RetryPolicy;
 
@@ -77,6 +78,22 @@ pub(crate) enum JournalRecord {
     PollDownlink(VehicleId),
     /// `begin_incarnation`.
     BeginIncarnation,
+    /// `create_campaign` (the target resolution replays deterministically
+    /// from the spec against the fleet state at this record's position).
+    CampaignCreate(UserId, CampaignSpec),
+    /// A campaign advanced one wave — journaled as the health gate's
+    /// *decision*, so replay re-exposes the same wave without re-evaluating
+    /// the gate.
+    CampaignAdvance(CampaignId),
+    /// A campaign paused (gate trip or `pause_campaign`).
+    CampaignPause(CampaignId),
+    /// `resume_campaign`.
+    CampaignResume(CampaignId),
+    /// A campaign aborted and rolled its exposed vehicles back (gate trip or
+    /// `abort_campaign`).
+    CampaignAbort(CampaignId),
+    /// Every target converged; the campaign completed.
+    CampaignComplete(CampaignId),
 }
 
 const TAG_SNAPSHOT: i64 = 0;
@@ -99,6 +116,12 @@ const TAG_TICK: i64 = 16;
 const TAG_PROCESS_UPLINK: i64 = 17;
 const TAG_POLL_DOWNLINK: i64 = 18;
 const TAG_BEGIN_INCARNATION: i64 = 19;
+const TAG_CAMPAIGN_CREATE: i64 = 20;
+const TAG_CAMPAIGN_ADVANCE: i64 = 21;
+const TAG_CAMPAIGN_PAUSE: i64 = 22;
+const TAG_CAMPAIGN_RESUME: i64 = 23;
+const TAG_CAMPAIGN_ABORT: i64 = 24;
+const TAG_CAMPAIGN_COMPLETE: i64 = 25;
 
 fn malformed(what: &str) -> DynarError {
     DynarError::ProtocolViolation(format!("malformed journal record: {what}"))
@@ -121,6 +144,12 @@ impl JournalRecord {
         };
         let vehicle_only = |tag: i64, vehicle: &VehicleId| {
             Value::List(vec![Value::I64(tag), Value::Text(vehicle.vin().to_owned())])
+        };
+        let campaign_only = |tag: i64, campaign: &CampaignId| {
+            Value::List(vec![
+                Value::I64(tag),
+                Value::Text(campaign.name().to_owned()),
+            ])
         };
         match self {
             JournalRecord::Snapshot(state) => {
@@ -187,6 +216,16 @@ impl JournalRecord {
             ]),
             JournalRecord::PollDownlink(vehicle) => vehicle_only(TAG_POLL_DOWNLINK, vehicle),
             JournalRecord::BeginIncarnation => Value::List(vec![Value::I64(TAG_BEGIN_INCARNATION)]),
+            JournalRecord::CampaignCreate(user, spec) => Value::List(vec![
+                Value::I64(TAG_CAMPAIGN_CREATE),
+                Value::Text(user.name().to_owned()),
+                spec.to_value(),
+            ]),
+            JournalRecord::CampaignAdvance(id) => campaign_only(TAG_CAMPAIGN_ADVANCE, id),
+            JournalRecord::CampaignPause(id) => campaign_only(TAG_CAMPAIGN_PAUSE, id),
+            JournalRecord::CampaignResume(id) => campaign_only(TAG_CAMPAIGN_RESUME, id),
+            JournalRecord::CampaignAbort(id) => campaign_only(TAG_CAMPAIGN_ABORT, id),
+            JournalRecord::CampaignComplete(id) => campaign_only(TAG_CAMPAIGN_COMPLETE, id),
         }
     }
 
@@ -216,6 +255,12 @@ impl JournalRecord {
                 return Err(malformed("vehicle arity"));
             };
             Ok(VehicleId::new(text(vehicle, "vehicle")?))
+        };
+        let campaign_only = |fields: &[Value]| -> Result<CampaignId> {
+            let [campaign] = fields else {
+                return Err(malformed("campaign arity"));
+            };
+            Ok(CampaignId::new(text(campaign, "campaign")?))
         };
         Ok(match tag {
             TAG_SNAPSHOT => {
@@ -329,6 +374,20 @@ impl JournalRecord {
                 }
                 JournalRecord::BeginIncarnation
             }
+            TAG_CAMPAIGN_CREATE => {
+                let [user, spec] = fields else {
+                    return Err(malformed("campaign-create arity"));
+                };
+                JournalRecord::CampaignCreate(
+                    UserId::new(text(user, "user")?),
+                    CampaignSpec::from_value(spec)?,
+                )
+            }
+            TAG_CAMPAIGN_ADVANCE => JournalRecord::CampaignAdvance(campaign_only(fields)?),
+            TAG_CAMPAIGN_PAUSE => JournalRecord::CampaignPause(campaign_only(fields)?),
+            TAG_CAMPAIGN_RESUME => JournalRecord::CampaignResume(campaign_only(fields)?),
+            TAG_CAMPAIGN_ABORT => JournalRecord::CampaignAbort(campaign_only(fields)?),
+            TAG_CAMPAIGN_COMPLETE => JournalRecord::CampaignComplete(campaign_only(fields)?),
             other => return Err(malformed(&format!("unknown tag {other}"))),
         })
     }
@@ -537,6 +596,29 @@ mod tests {
             JournalRecord::ProcessUplink(VehicleId::new("vin-1"), vec![1, 2, 3]),
             JournalRecord::PollDownlink(VehicleId::new("vin-1")),
             JournalRecord::BeginIncarnation,
+            JournalRecord::CampaignCreate(
+                UserId::new("alice"),
+                CampaignSpec {
+                    id: CampaignId::new("rollout-1"),
+                    app: AppId::new("app-v2"),
+                    replaces: Some(AppId::new("app")),
+                    selector: crate::campaign::VehicleSelector::Model("model-car".into()),
+                    plan: crate::campaign::WavePlan {
+                        canary: 2,
+                        ramp_percent: vec![25, 100],
+                    },
+                    gate: crate::campaign::HealthGate {
+                        min_soak_ticks: 30,
+                        pause_failed: 0,
+                        abort_failed: 1,
+                    },
+                },
+            ),
+            JournalRecord::CampaignAdvance(CampaignId::new("rollout-1")),
+            JournalRecord::CampaignPause(CampaignId::new("rollout-1")),
+            JournalRecord::CampaignResume(CampaignId::new("rollout-1")),
+            JournalRecord::CampaignAbort(CampaignId::new("rollout-1")),
+            JournalRecord::CampaignComplete(CampaignId::new("rollout-1")),
         ];
         for record in records {
             let decoded = JournalRecord::from_value(&record.to_value()).unwrap();

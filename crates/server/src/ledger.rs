@@ -47,6 +47,18 @@ pub struct Ledger {
     pub orphan_uninstalls: u64,
     /// Packages re-pushed by ECU restore operations.
     pub restores: u64,
+    /// Vehicles whose desired manifest a rollout campaign rewrote (canary
+    /// and ramp waves alike; one event per vehicle per campaign).
+    pub campaign_exposures: u64,
+    /// Vehicles restored to their recorded last-good manifest by a campaign
+    /// abort.  A rollback is a manifest restore, **not** an uninstall: the
+    /// replaced version re-enters the desired set and reconciliation
+    /// reinstalls it.
+    pub campaign_rollbacks: u64,
+    /// Campaigns that converged every target to the new version.
+    pub campaigns_completed: u64,
+    /// Campaigns aborted (manually or by their health gate).
+    pub campaigns_aborted: u64,
 }
 
 impl Ledger {
@@ -66,6 +78,10 @@ impl Ledger {
         self.resyncs += other.resyncs;
         self.orphan_uninstalls += other.orphan_uninstalls;
         self.restores += other.restores;
+        self.campaign_exposures += other.campaign_exposures;
+        self.campaign_rollbacks += other.campaign_rollbacks;
+        self.campaigns_completed += other.campaigns_completed;
+        self.campaigns_aborted += other.campaigns_aborted;
     }
 
     /// Encodes the ledger as a [`Value`] (a fixed-arity list of counters).
@@ -84,6 +100,10 @@ impl Ledger {
                 self.resyncs,
                 self.orphan_uninstalls,
                 self.restores,
+                self.campaign_exposures,
+                self.campaign_rollbacks,
+                self.campaigns_completed,
+                self.campaigns_aborted,
             ]
             .iter()
             .map(|&c| Value::I64(c as i64))
@@ -103,7 +123,7 @@ impl Ledger {
             .iter()
             .map(|v| u64::try_from(v.expect_i64()?).map_err(|_| malformed()))
             .collect::<Result<Vec<u64>>>()?;
-        let [installs_pushed, uninstalls_pushed, installs_completed, uninstalls_completed, operations_failed, retransmissions, retries_exhausted, unreachable_failures, operations_voided, resyncs, orphan_uninstalls, restores] =
+        let [installs_pushed, uninstalls_pushed, installs_completed, uninstalls_completed, operations_failed, retransmissions, retries_exhausted, unreachable_failures, operations_voided, resyncs, orphan_uninstalls, restores, campaign_exposures, campaign_rollbacks, campaigns_completed, campaigns_aborted] =
             counters[..]
         else {
             return Err(malformed());
@@ -121,6 +141,10 @@ impl Ledger {
             resyncs,
             orphan_uninstalls,
             restores,
+            campaign_exposures,
+            campaign_rollbacks,
+            campaigns_completed,
+            campaigns_aborted,
         })
     }
 }
@@ -144,6 +168,10 @@ mod tests {
             resyncs: 10,
             orphan_uninstalls: 11,
             restores: 12,
+            campaign_exposures: 13,
+            campaign_rollbacks: 14,
+            campaigns_completed: 15,
+            campaigns_aborted: 16,
         };
         assert_eq!(Ledger::from_value(&ledger.to_value()).unwrap(), ledger);
     }
@@ -152,6 +180,6 @@ mod tests {
     fn malformed_ledgers_are_rejected() {
         assert!(Ledger::from_value(&Value::I64(1)).is_err());
         assert!(Ledger::from_value(&Value::List(vec![Value::I64(1)])).is_err());
-        assert!(Ledger::from_value(&Value::List(vec![Value::I64(-1); 12])).is_err());
+        assert!(Ledger::from_value(&Value::List(vec![Value::I64(-1); 16])).is_err());
     }
 }

@@ -17,18 +17,26 @@
 //!   benchmarks compare against;
 //! * [`journal`] / [`ledger`] — the durability plane: a write-ahead journal
 //!   of every state transition with periodic snapshot compaction, and the
-//!   operation-accounting ledger carried inside the snapshots.
+//!   operation-accounting ledger carried inside the snapshots;
+//! * [`campaign`] — fleet-wide rollout orchestration layered on the
+//!   desired-state plane: staged waves (canary + percentage ramps), per-tick
+//!   health gates, and automatic rollback to recorded last-good manifests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod campaign;
 pub mod journal;
 pub mod ledger;
 pub mod model;
 pub mod server;
 
 pub use baseline::ReflashBaseline;
+pub use campaign::{
+    Campaign, CampaignCounters, CampaignEvent, CampaignId, CampaignSpec, CampaignStatus,
+    HealthGate, VehicleSelector, WavePlan,
+};
 pub use journal::Journal;
 pub use ledger::Ledger;
 pub use model::{

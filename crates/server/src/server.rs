@@ -82,7 +82,7 @@
 //! process cannot race its successor.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -102,6 +102,9 @@ use dynar_foundation::payload::Payload;
 use dynar_foundation::time::Tick;
 use dynar_foundation::value::Value;
 
+use crate::campaign::{
+    Campaign, CampaignEvent, CampaignId, CampaignSpec, CampaignStatus, VehicleSelector,
+};
 use crate::journal::{Journal, JournalRecord};
 use crate::ledger::Ledger;
 use crate::model::{
@@ -324,6 +327,11 @@ pub struct TrustedServer {
     users: HashSet<UserId>,
     shared: Arc<SharedPlane>,
     shards: Vec<Arc<Mutex<Shard>>>,
+    /// Rollout campaigns keyed by id: serial bookkeeping owned by the
+    /// journal owner (`&mut self` only), layered over the sharded
+    /// per-vehicle state — the parallel per-shard phase never touches it,
+    /// so campaign decisions are deterministic at every shard count.
+    campaigns: BTreeMap<CampaignId, Campaign>,
     /// The write-ahead journal, `None` until
     /// [`TrustedServer::enable_journal`].  Never set on a replayed-into
     /// server while records apply, so replay cannot re-journal itself.
@@ -369,6 +377,7 @@ impl TrustedServer {
             shards: (0..shards)
                 .map(|_| Arc::new(Mutex::new(Shard::default())))
                 .collect(),
+            campaigns: BTreeMap::new(),
             journal: None,
         }
     }
@@ -2201,6 +2210,21 @@ impl TrustedServer {
             JournalRecord::BeginIncarnation => {
                 let _ = self.begin_incarnation();
             }
+            JournalRecord::CampaignCreate(user, spec) => {
+                let _ = self.create_campaign(&user, spec);
+            }
+            // The decision records replay through the internal apply
+            // functions, not through gate evaluation: the live server
+            // journaled the *verdict*, so replay reproduces it verbatim.
+            JournalRecord::CampaignAdvance(id) => {
+                let _ = self.campaign_apply_advance(&id);
+            }
+            JournalRecord::CampaignPause(id) => self.campaign_apply_pause(&id),
+            JournalRecord::CampaignResume(id) => self.campaign_apply_resume(&id),
+            JournalRecord::CampaignAbort(id) => {
+                let _ = self.campaign_apply_abort(&id);
+            }
+            JournalRecord::CampaignComplete(id) => self.campaign_apply_complete(&id),
         }
         Ok(())
     }
@@ -2297,6 +2321,7 @@ impl TrustedServer {
                     .collect(),
             ),
             self.shared.ledger.lock().to_value(),
+            Value::List(self.campaigns.values().map(Campaign::to_value).collect()),
         ])
     }
 
@@ -2313,7 +2338,7 @@ impl TrustedServer {
     /// Returns [`DynarError::ProtocolViolation`] for malformed snapshots.
     fn from_snapshot_value(value: &Value, shards: usize) -> Result<TrustedServer> {
         let parts = value.as_list().ok_or_else(|| snap_err("not a list"))?;
-        let [incarnation, now, policy, users, apps, vehicles, ledger] = parts else {
+        let [incarnation, now, policy, users, apps, vehicles, ledger, campaigns] = parts else {
             return Err(snap_err("top-level arity"));
         };
         let incarnation =
@@ -2379,7 +2404,446 @@ impl TrustedServer {
         }
         let mut server = server;
         server.users = users;
+        for entry in campaigns.as_list().ok_or_else(|| snap_err("campaigns"))? {
+            let campaign = Campaign::from_value(entry)?;
+            server.campaigns.insert(campaign.id.clone(), campaign);
+        }
         Ok(server)
+    }
+
+    // ------------------------------------------------------------------
+    // Campaign plane: staged rollouts over the desired-state manifests
+    // ------------------------------------------------------------------
+
+    /// Creates a rollout campaign and immediately exposes its canary wave:
+    /// the selector is resolved against the creating user's bound vehicles
+    /// into a sorted target list, and the first wave's vehicles have their
+    /// desired manifests rewritten (the replaced app removed, the campaign
+    /// app inserted; the pre-campaign manifest recorded as *last-good*) and
+    /// reconciled through the ordinary loop.  Returns the number of
+    /// vehicles exposed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown user or app,
+    /// [`DynarError::Duplicate`] for a reused campaign id,
+    /// [`DynarError::InvalidConfiguration`] when the selector resolves to no
+    /// vehicles, and [`DynarError::CampaignConflict`] when another active
+    /// campaign already targets the same app on an overlapping vehicle.
+    pub fn create_campaign(&mut self, user: &UserId, spec: CampaignSpec) -> Result<usize> {
+        self.journal_append(|| JournalRecord::CampaignCreate(user.clone(), spec.clone()));
+        if !self.users.contains(user) {
+            return Err(DynarError::not_found("user", user));
+        }
+        {
+            let apps = self.shared.apps.read();
+            if !apps.contains_key(&spec.app) {
+                return Err(DynarError::not_found("app", &spec.app));
+            }
+            if let Some(replaces) = &spec.replaces {
+                if !apps.contains_key(replaces) {
+                    return Err(DynarError::not_found("app", replaces));
+                }
+            }
+        }
+        if self.campaigns.contains_key(&spec.id) {
+            return Err(DynarError::duplicate("campaign", &spec.id));
+        }
+        let targets = self.resolve_selector(user, &spec.selector);
+        if targets.is_empty() {
+            return Err(DynarError::invalid_config(format!(
+                "campaign {} selects no vehicles bound to {user}",
+                spec.id
+            )));
+        }
+        for other in self.campaigns.values() {
+            if other.is_active()
+                && other.app == spec.app
+                && targets
+                    .iter()
+                    .any(|t| other.targets.binary_search(t).is_ok())
+            {
+                return Err(DynarError::CampaignConflict {
+                    campaign: spec.id.name().to_owned(),
+                    conflicts_with: other.id.name().to_owned(),
+                    app: spec.app.name().to_owned(),
+                });
+            }
+        }
+        let id = spec.id.clone();
+        self.campaigns
+            .insert(id.clone(), Campaign::new(spec, user.clone(), targets));
+        Ok(self.campaign_expose_next_wave(&id))
+    }
+
+    /// Pauses a running campaign (an operator hold: exposure freezes until
+    /// [`TrustedServer::resume_campaign`] or
+    /// [`TrustedServer::abort_campaign`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown or foreign campaign
+    /// and [`DynarError::InvalidConfiguration`] when it is not running.
+    pub fn pause_campaign(&mut self, user: &UserId, id: &CampaignId) -> Result<()> {
+        self.check_campaign(user, id, &[CampaignStatus::Running])?;
+        self.journal_append(|| JournalRecord::CampaignPause(id.clone()));
+        self.campaign_apply_pause(id);
+        Ok(())
+    }
+
+    /// Resumes a paused campaign.  The soak dwell restarts: the ticks spent
+    /// paused do not count towards [`crate::campaign::HealthGate::min_soak_ticks`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown or foreign campaign
+    /// and [`DynarError::InvalidConfiguration`] when it is not paused.
+    pub fn resume_campaign(&mut self, user: &UserId, id: &CampaignId) -> Result<()> {
+        self.check_campaign(user, id, &[CampaignStatus::Paused])?;
+        self.journal_append(|| JournalRecord::CampaignResume(id.clone()));
+        self.campaign_apply_resume(id);
+        Ok(())
+    }
+
+    /// Aborts a running or paused campaign, rolling every exposed vehicle
+    /// back to its recorded last-good manifest.  Returns the number of
+    /// vehicles restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynarError::NotFound`] for an unknown or foreign campaign
+    /// and [`DynarError::InvalidConfiguration`] when it already ended.
+    pub fn abort_campaign(&mut self, user: &UserId, id: &CampaignId) -> Result<usize> {
+        self.check_campaign(user, id, &[CampaignStatus::Running, CampaignStatus::Paused])?;
+        self.journal_append(|| JournalRecord::CampaignAbort(id.clone()));
+        Ok(self.campaign_apply_abort(id))
+    }
+
+    /// Evaluates every running campaign's health gate against the current
+    /// vehicle state and applies the verdicts: **abort** (and roll back) at
+    /// [`crate::campaign::HealthGate::abort_failed`] failures, **pause** at
+    /// `pause_failed`, **advance** once the wave soaked with every exposed
+    /// vehicle acknowledged — or **complete** when the final wave converges.
+    /// Each verdict is journaled as its own decision record, so
+    /// [`TrustedServer::replay`] re-applies the decision without
+    /// re-evaluating the gate: the journal stays a log of inputs, and a
+    /// mid-campaign crash replays byte-identically.  Call once per tick from
+    /// the driving runtime (never during replay).
+    pub fn step_campaigns(&mut self) -> Vec<CampaignEvent> {
+        let ids: Vec<CampaignId> = self.campaigns.keys().cloned().collect();
+        let mut events = Vec::new();
+        for id in ids {
+            let Some(campaign) = self.campaigns.get(&id) else {
+                continue;
+            };
+            if campaign.status != CampaignStatus::Running {
+                continue;
+            }
+            let gate = campaign.gate.clone();
+            let wave_started = campaign.wave_started;
+            let exposed = campaign.last_good.len() as u64;
+            let total = campaign.targets.len();
+            let final_wave = campaign.plan.cumulative_target(campaign.wave, total) >= total;
+            let (succeeded, failed, pending) = self.campaign_health(&id);
+            let now = self.shared.now();
+            let soaked = now.as_u64().saturating_sub(wave_started.as_u64()) >= gate.min_soak_ticks;
+            if gate.abort_failed > 0 && failed >= gate.abort_failed {
+                self.journal_append(|| JournalRecord::CampaignAbort(id.clone()));
+                let rolled_back = self.campaign_apply_abort(&id);
+                events.push(CampaignEvent::Aborted {
+                    campaign: id,
+                    failed,
+                    rolled_back,
+                });
+            } else if gate.pause_failed > 0 && failed >= gate.pause_failed {
+                self.journal_append(|| JournalRecord::CampaignPause(id.clone()));
+                self.campaign_apply_pause(&id);
+                events.push(CampaignEvent::Paused {
+                    campaign: id,
+                    failed,
+                });
+            } else if soaked && pending == 0 && failed == 0 && succeeded == exposed {
+                if final_wave {
+                    self.journal_append(|| JournalRecord::CampaignComplete(id.clone()));
+                    self.campaign_apply_complete(&id);
+                    events.push(CampaignEvent::Completed {
+                        campaign: id,
+                        succeeded,
+                    });
+                } else {
+                    self.journal_append(|| JournalRecord::CampaignAdvance(id.clone()));
+                    let newly = self.campaign_apply_advance(&id);
+                    let wave = self.campaigns.get(&id).map_or(0, |c| c.wave);
+                    events.push(CampaignEvent::Advanced {
+                        campaign: id,
+                        wave,
+                        exposed: newly,
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// The campaign registered under `id`, if any.
+    pub fn campaign(&self, id: &CampaignId) -> Option<&Campaign> {
+        self.campaigns.get(id)
+    }
+
+    /// Every registered campaign id, sorted.
+    pub fn campaign_ids(&self) -> Vec<CampaignId> {
+        self.campaigns.keys().cloned().collect()
+    }
+
+    /// `true` while any campaign is running — the tick-free actor runtime
+    /// keeps ticking (and stepping campaigns) while this holds, so soak
+    /// dwells elapse even with no retransmission deadline armed.
+    pub fn has_active_campaigns(&self) -> bool {
+        self.campaigns
+            .values()
+            .any(|c| c.status == CampaignStatus::Running)
+    }
+
+    /// Resolves a selector into the sorted list of vehicles bound to `user`
+    /// that the campaign will target.  Shard iteration order does not leak:
+    /// the result is sorted, so resolution is deterministic under journal
+    /// replay at any shard count.
+    fn resolve_selector(&self, user: &UserId, selector: &VehicleSelector) -> Vec<VehicleId> {
+        let mut targets = Vec::new();
+        match selector {
+            VehicleSelector::Vehicles(vehicles) => {
+                for vehicle in vehicles {
+                    let shard = self.shard_of(vehicle);
+                    if shard
+                        .vehicles
+                        .get(vehicle)
+                        .is_some_and(|r| r.owner.as_ref() == Some(user))
+                    {
+                        targets.push(vehicle.clone());
+                    }
+                }
+            }
+            VehicleSelector::All | VehicleSelector::Model(_) => {
+                for shard in &self.shards {
+                    let shard = shard.lock();
+                    for (vehicle, record) in &shard.vehicles {
+                        if record.owner.as_ref() != Some(user) {
+                            continue;
+                        }
+                        if let VehicleSelector::Model(model) = selector {
+                            if record.system.model != *model {
+                                continue;
+                            }
+                        }
+                        targets.push(vehicle.clone());
+                    }
+                }
+            }
+        }
+        targets.sort();
+        targets.dedup();
+        targets
+    }
+
+    /// Opens the next wave of `id`: bumps the wave counter, stamps the soak
+    /// baseline and rewrites the desired manifest of every newly covered
+    /// target — recording its pre-campaign manifest as last-good first —
+    /// then reconciles each through the ordinary loop.  Shared by the
+    /// create and advance transitions; replay applies the journaled
+    /// decision through this same function without re-evaluating the gate.
+    fn campaign_expose_next_wave(&mut self, id: &CampaignId) -> usize {
+        let now = self.shared.now();
+        let Some(campaign) = self.campaigns.get_mut(id) else {
+            return 0;
+        };
+        let total = campaign.targets.len();
+        campaign.wave += 1;
+        campaign.wave_started = now;
+        let upto = campaign.plan.cumulative_target(campaign.wave, total);
+        let batch: Vec<VehicleId> = campaign
+            .targets
+            .iter()
+            .filter(|t| !campaign.last_good.contains_key(*t))
+            .take(upto.saturating_sub(campaign.last_good.len()))
+            .cloned()
+            .collect();
+        let app = campaign.app.clone();
+        let replaces = campaign.replaces.clone();
+        let mut exposed = Vec::with_capacity(batch.len());
+        {
+            let apps = self.shared.apps.read();
+            let ctx = self.shared.op_ctx(&apps);
+            for vehicle in &batch {
+                let mut shard = self.shard_of(vehicle);
+                let Some(record) = shard.vehicles.get_mut(vehicle) else {
+                    // Dropped from the fleet since resolution: skipped now,
+                    // never retried (`last_good` stays unset, the wave math
+                    // simply moves past it).
+                    continue;
+                };
+                let last_good = record.desired.clone();
+                if let Some(replaced) = &replaces {
+                    record.desired.remove(replaced);
+                }
+                record.desired.insert(app.clone());
+                {
+                    let mut ledger = self.shared.ledger.lock();
+                    ledger.campaign_exposures += 1;
+                    let _ = Self::op_reconcile(&mut shard, &mut ledger, &ctx, vehicle);
+                }
+                shard.note_dirty(vehicle);
+                exposed.push((vehicle.clone(), last_good));
+            }
+        }
+        let campaign = self.campaigns.get_mut(id).expect("present above");
+        let count = exposed.len();
+        for (vehicle, last_good) in exposed {
+            campaign.last_good.insert(vehicle, last_good);
+        }
+        campaign.counters.exposed = campaign.last_good.len() as u64;
+        count
+    }
+
+    /// Counts `(succeeded, failed, pending)` over every vehicle `id` has
+    /// exposed, read through the shard locks at the serial evaluation
+    /// point.  *Failed* is the per-vehicle failure record of the campaign
+    /// app — NACKed installs, retry exhaustions and state-report resyncs
+    /// all resolve into it, so the gate sees every failure mode through one
+    /// predicate.  A vehicle that vanished from the fleet counts failed.
+    fn campaign_health(&self, id: &CampaignId) -> (u64, u64, u64) {
+        let Some(campaign) = self.campaigns.get(id) else {
+            return (0, 0, 0);
+        };
+        let (mut succeeded, mut failed, mut pending) = (0u64, 0u64, 0u64);
+        for vehicle in campaign.last_good.keys() {
+            let shard = self.shard_of(vehicle);
+            match shard.vehicles.get(vehicle) {
+                Some(record) if record.failed.contains_key(&campaign.app) => failed += 1,
+                Some(record) if record.pending.contains_key(&campaign.app) => pending += 1,
+                Some(record) if record.installed.contains_key(&campaign.app) => succeeded += 1,
+                // Exposed but not yet pushed (offline, dependency wait):
+                // still converging.
+                Some(_) => pending += 1,
+                None => failed += 1,
+            }
+        }
+        (succeeded, failed, pending)
+    }
+
+    /// Recomputes the succeeded/failed counters from the vehicle state.
+    /// Only ever called inside a journaled transition — the counters are
+    /// snapshotted state, so they may only move when replay moves them too.
+    fn campaign_refresh_counters(&mut self, id: &CampaignId) {
+        let (succeeded, failed, _) = self.campaign_health(id);
+        if let Some(campaign) = self.campaigns.get_mut(id) {
+            campaign.counters.succeeded = succeeded;
+            campaign.counters.failed = failed;
+        }
+    }
+
+    /// Applies an advance decision: refreshes the counters and exposes the
+    /// next wave.
+    fn campaign_apply_advance(&mut self, id: &CampaignId) -> usize {
+        self.campaign_refresh_counters(id);
+        self.campaign_expose_next_wave(id)
+    }
+
+    /// Applies a pause decision.
+    fn campaign_apply_pause(&mut self, id: &CampaignId) {
+        self.campaign_refresh_counters(id);
+        if let Some(campaign) = self.campaigns.get_mut(id) {
+            campaign.status = CampaignStatus::Paused;
+        }
+    }
+
+    /// Applies a resume decision, restarting the soak dwell.
+    fn campaign_apply_resume(&mut self, id: &CampaignId) {
+        let now = self.shared.now();
+        if let Some(campaign) = self.campaigns.get_mut(id) {
+            campaign.status = CampaignStatus::Running;
+            campaign.wave_started = now;
+        }
+    }
+
+    /// Applies a complete decision.
+    fn campaign_apply_complete(&mut self, id: &CampaignId) {
+        self.campaign_refresh_counters(id);
+        if let Some(campaign) = self.campaigns.get_mut(id) {
+            campaign.status = CampaignStatus::Complete;
+            self.shared.ledger.lock().campaigns_completed += 1;
+        }
+    }
+
+    /// Applies an abort decision: refreshes the counters (the failure tally
+    /// that tripped the gate survives in the campaign record), restores
+    /// every exposed vehicle's last-good desired manifest in sorted vehicle
+    /// order and reconciles each — dependency order emerges from the
+    /// reconciliation loop's own skip logic, and a rollback is a manifest
+    /// *restore*, not an uninstall.  Returns the number of vehicles
+    /// restored.
+    fn campaign_apply_abort(&mut self, id: &CampaignId) -> usize {
+        self.campaign_refresh_counters(id);
+        let Some(campaign) = self.campaigns.get_mut(id) else {
+            return 0;
+        };
+        campaign.status = CampaignStatus::Aborted;
+        let restores: Vec<(VehicleId, BTreeSet<AppId>)> = campaign
+            .last_good
+            .iter()
+            .map(|(vehicle, apps)| (vehicle.clone(), apps.clone()))
+            .collect();
+        let mut restored = 0usize;
+        {
+            let apps = self.shared.apps.read();
+            let ctx = self.shared.op_ctx(&apps);
+            for (vehicle, last_good) in restores {
+                let mut shard = self.shard_of(&vehicle);
+                let Some(record) = shard.vehicles.get_mut(&vehicle) else {
+                    continue;
+                };
+                record.desired = last_good;
+                {
+                    let mut ledger = self.shared.ledger.lock();
+                    ledger.campaign_rollbacks += 1;
+                    let _ = Self::op_reconcile(&mut shard, &mut ledger, &ctx, &vehicle);
+                }
+                shard.note_dirty(&vehicle);
+                restored += 1;
+            }
+        }
+        let campaign = self.campaigns.get_mut(id).expect("present above");
+        campaign.counters.rolled_back = restored as u64;
+        self.shared.ledger.lock().campaigns_aborted += 1;
+        restored
+    }
+
+    /// Validates a manual campaign transition *before* its journal append:
+    /// the decision records replay unconditionally, so only applied
+    /// transitions may reach the journal.  (Safe ahead of `journal_append`
+    /// because it takes no locks.)
+    fn check_campaign(
+        &self,
+        user: &UserId,
+        id: &CampaignId,
+        wanted: &[CampaignStatus],
+    ) -> Result<()> {
+        let campaign = self
+            .campaigns
+            .get(id)
+            .ok_or_else(|| DynarError::not_found("campaign", id))?;
+        if campaign.user != *user {
+            return Err(DynarError::not_found(
+                "campaign owned by user",
+                format!("{id} for {user}"),
+            ));
+        }
+        if !wanted.contains(&campaign.status) {
+            return Err(DynarError::invalid_config(format!(
+                "campaign {id} cannot transition from {:?}",
+                campaign.status
+            )));
+        }
+        Ok(())
     }
 
     fn check_owner(&self, user: &UserId, vehicle: &VehicleId) -> Result<()> {
@@ -4201,5 +4665,355 @@ mod tests {
             let envelope = DownlinkEnvelope::from_bytes(payload).unwrap();
             assert_eq!(envelope.incarnation, 1);
         }
+    }
+
+    // Campaign plane --------------------------------------------------------
+
+    use crate::campaign::{HealthGate, WavePlan};
+
+    /// `n` vehicles bound to one user, the remote-control app uploaded.
+    fn campaign_fleet(n: usize) -> (TrustedServer, UserId, Vec<VehicleId>) {
+        let mut server = TrustedServer::new();
+        let user = UserId::new("alice");
+        server.create_user(user.clone()).unwrap();
+        server.upload_app(remote_control_app()).unwrap();
+        let vehicles: Vec<VehicleId> = (0..n)
+            .map(|i| VehicleId::new(format!("VIN-{i:03}")))
+            .collect();
+        for vehicle in &vehicles {
+            server
+                .register_vehicle(vehicle.clone(), hw_conf(), system_conf())
+                .unwrap();
+            server.bind_vehicle(&user, vehicle).unwrap();
+        }
+        (server, user, vehicles)
+    }
+
+    fn ack_installed(server: &mut TrustedServer, vehicle: &VehicleId, app: &str) {
+        server
+            .process_uplink(vehicle, &ack("COM", app, 1, AckStatus::Installed))
+            .unwrap();
+        server
+            .process_uplink(vehicle, &ack("OP", app, 2, AckStatus::Installed))
+            .unwrap();
+    }
+
+    /// Canary of one, then straight to 100 %; a single failure aborts.
+    fn rollout_spec(id: &str) -> CampaignSpec {
+        CampaignSpec {
+            id: CampaignId::new(id),
+            app: AppId::new("remote-control"),
+            replaces: None,
+            selector: VehicleSelector::All,
+            plan: WavePlan {
+                canary: 1,
+                ramp_percent: vec![100],
+            },
+            gate: HealthGate {
+                min_soak_ticks: 0,
+                pause_failed: 0,
+                abort_failed: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn campaign_waves_advance_on_healthy_acks_and_complete() {
+        let (mut server, user, vehicles) = campaign_fleet(3);
+        let exposed = server
+            .create_campaign(&user, rollout_spec("rollout-1"))
+            .unwrap();
+        assert_eq!(exposed, 1, "canary wave");
+        assert!(server.has_active_campaigns());
+
+        // Unacked canary: the gate holds the rollout (pending > 0).
+        assert!(server.step_campaigns().is_empty());
+
+        ack_installed(&mut server, &vehicles[0], "remote-control");
+        let events = server.step_campaigns();
+        assert!(
+            matches!(
+                events[..],
+                [CampaignEvent::Advanced {
+                    wave: 2,
+                    exposed: 2,
+                    ..
+                }]
+            ),
+            "{events:?}"
+        );
+
+        ack_installed(&mut server, &vehicles[1], "remote-control");
+        ack_installed(&mut server, &vehicles[2], "remote-control");
+        let events = server.step_campaigns();
+        assert!(
+            matches!(events[..], [CampaignEvent::Completed { succeeded: 3, .. }]),
+            "{events:?}"
+        );
+
+        let campaign = server.campaign(&CampaignId::new("rollout-1")).unwrap();
+        assert_eq!(campaign.status, CampaignStatus::Complete);
+        assert_eq!(campaign.counters.exposed, 3);
+        assert_eq!(campaign.counters.succeeded, 3);
+        assert_eq!(campaign.counters.rolled_back, 0);
+        assert!(!server.has_active_campaigns());
+        let ledger = server.ledger();
+        assert_eq!(ledger.campaign_exposures, 3);
+        assert_eq!(ledger.campaigns_completed, 1);
+    }
+
+    #[test]
+    fn campaign_soak_dwell_holds_the_wave_until_elapsed() {
+        let (mut server, user, vehicles) = campaign_fleet(2);
+        let mut spec = rollout_spec("rollout-soak");
+        spec.gate.min_soak_ticks = 10;
+        server.create_campaign(&user, spec).unwrap();
+        ack_installed(&mut server, &vehicles[0], "remote-control");
+
+        // Healthy but not soaked: no verdict yet.
+        assert!(server.step_campaigns().is_empty());
+        let _ = server.tick(Tick::new(10));
+        let events = server.step_campaigns();
+        assert!(
+            matches!(events[..], [CampaignEvent::Advanced { .. }]),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn conflicting_duplicate_and_empty_campaigns_are_rejected() {
+        let (mut server, user, _vehicles) = campaign_fleet(2);
+        server
+            .create_campaign(&user, rollout_spec("rollout-1"))
+            .unwrap();
+
+        // Same app, overlapping vehicles, both active: typed conflict.
+        let err = server
+            .create_campaign(&user, rollout_spec("rollout-2"))
+            .unwrap_err();
+        assert!(matches!(err, DynarError::CampaignConflict { .. }), "{err}");
+
+        // Reused campaign id.
+        assert!(matches!(
+            server
+                .create_campaign(&user, rollout_spec("rollout-1"))
+                .unwrap_err(),
+            DynarError::Duplicate { .. }
+        ));
+
+        // A selector that resolves to no bound vehicles.
+        let mut empty = rollout_spec("rollout-empty");
+        empty.selector = VehicleSelector::Model("lorry".into());
+        assert!(matches!(
+            server.create_campaign(&user, empty).unwrap_err(),
+            DynarError::InvalidConfiguration(_)
+        ));
+
+        // An aborted campaign frees the app for a fresh one.
+        server
+            .abort_campaign(&user, &CampaignId::new("rollout-1"))
+            .unwrap();
+        server
+            .create_campaign(&user, rollout_spec("rollout-2"))
+            .unwrap();
+    }
+
+    #[test]
+    fn campaign_pause_resume_and_ownership_checks() {
+        let (mut server, user, vehicles) = campaign_fleet(2);
+        let id = CampaignId::new("rollout-1");
+        server
+            .create_campaign(&user, rollout_spec("rollout-1"))
+            .unwrap();
+
+        // Foreign users cannot drive the campaign.
+        let mallory = UserId::new("mallory");
+        server.create_user(mallory.clone()).unwrap();
+        assert!(server.pause_campaign(&mallory, &id).is_err());
+
+        server.pause_campaign(&user, &id).unwrap();
+        assert_eq!(server.campaign(&id).unwrap().status, CampaignStatus::Paused);
+        assert!(!server.has_active_campaigns());
+
+        // A paused campaign neither advances nor aborts on its own, and
+        // invalid transitions are typed errors.
+        ack_installed(&mut server, &vehicles[0], "remote-control");
+        assert!(server.step_campaigns().is_empty());
+        assert!(server.pause_campaign(&user, &id).is_err());
+
+        server.resume_campaign(&user, &id).unwrap();
+        assert_eq!(
+            server.campaign(&id).unwrap().status,
+            CampaignStatus::Running
+        );
+        let events = server.step_campaigns();
+        assert!(
+            matches!(events[..], [CampaignEvent::Advanced { .. }]),
+            "{events:?}"
+        );
+        assert!(server.resume_campaign(&user, &id).is_err());
+    }
+
+    #[test]
+    fn the_pause_gate_holds_the_rollout_without_rolling_back() {
+        let (mut server, user, vehicles) = campaign_fleet(2);
+        let mut spec = rollout_spec("rollout-hold");
+        spec.gate = HealthGate {
+            min_soak_ticks: 0,
+            pause_failed: 1,
+            abort_failed: 0,
+        };
+        server.create_campaign(&user, spec).unwrap();
+        server
+            .process_uplink(
+                &vehicles[0],
+                &ack("COM", "remote-control", 1, AckStatus::Installed),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicles[0],
+                &ack(
+                    "OP",
+                    "remote-control",
+                    2,
+                    AckStatus::Failed("no memory".into()),
+                ),
+            )
+            .unwrap();
+        let events = server.step_campaigns();
+        assert!(
+            matches!(events[..], [CampaignEvent::Paused { failed: 1, .. }]),
+            "{events:?}"
+        );
+        let campaign = server.campaign(&CampaignId::new("rollout-hold")).unwrap();
+        assert_eq!(campaign.status, CampaignStatus::Paused);
+        assert_eq!(campaign.counters.rolled_back, 0);
+    }
+
+    /// A one-plugin v2 of the remote-control app (same model).
+    fn replacement_v2() -> AppDefinition {
+        AppDefinition::new(AppId::new("remote-control-v2"))
+            .with_plugin(PluginArtifact {
+                id: PluginId::new("OP2"),
+                binary: binary("OP2"),
+                ports: vec![],
+            })
+            .with_sw_conf(
+                SwConf::new("model-car").with_placement(PluginId::new("OP2"), EcuId::new(2)),
+            )
+    }
+
+    #[test]
+    fn bad_canary_trips_the_abort_gate_and_rolls_back_to_last_good() {
+        let (mut server, user, vehicles) = campaign_fleet(1);
+        let vehicle = vehicles[0].clone();
+        server.upload_app(replacement_v2()).unwrap();
+        server
+            .deploy(&user, &vehicle, &AppId::new("remote-control"))
+            .unwrap();
+        ack_installed(&mut server, &vehicle, "remote-control");
+
+        let spec = CampaignSpec {
+            id: CampaignId::new("v2-rollout"),
+            app: AppId::new("remote-control-v2"),
+            replaces: Some(AppId::new("remote-control")),
+            selector: VehicleSelector::Vehicles(vec![vehicle.clone()]),
+            plan: WavePlan {
+                canary: 1,
+                ramp_percent: vec![],
+            },
+            gate: HealthGate {
+                min_soak_ticks: 0,
+                pause_failed: 0,
+                abort_failed: 1,
+            },
+        };
+        assert_eq!(server.create_campaign(&user, spec).unwrap(), 1);
+
+        // The update applies: v1 uninstalls cleanly, v2's plug-in fails.
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("COM", "remote-control", 1, AckStatus::Uninstalled),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack("OP", "remote-control", 2, AckStatus::Uninstalled),
+            )
+            .unwrap();
+        server
+            .process_uplink(
+                &vehicle,
+                &ack(
+                    "OP2",
+                    "remote-control-v2",
+                    2,
+                    AckStatus::Failed("flash write failed".into()),
+                ),
+            )
+            .unwrap();
+
+        let events = server.step_campaigns();
+        assert!(
+            matches!(
+                events[..],
+                [CampaignEvent::Aborted {
+                    failed: 1,
+                    rolled_back: 1,
+                    ..
+                }]
+            ),
+            "{events:?}"
+        );
+        let campaign = server.campaign(&CampaignId::new("v2-rollout")).unwrap();
+        assert_eq!(campaign.status, CampaignStatus::Aborted);
+        assert_eq!(campaign.counters.failed, 1);
+        assert_eq!(campaign.counters.rolled_back, 1);
+
+        // Rollback is a manifest *restore*: the recorded last-good v1
+        // reinstalls through the ordinary reconciliation loop.
+        ack_installed(&mut server, &vehicle, "remote-control");
+        assert_eq!(
+            server.installed_apps(&vehicle),
+            vec![AppId::new("remote-control")]
+        );
+        let ledger = server.ledger();
+        assert_eq!(ledger.campaigns_aborted, 1);
+        assert_eq!(ledger.campaign_rollbacks, 1);
+    }
+
+    #[test]
+    fn campaign_decisions_replay_byte_identically() {
+        let (mut server, user, vehicles) = campaign_fleet(3);
+        server.enable_journal(1024);
+        let id = CampaignId::new("rollout-1");
+        server
+            .create_campaign(&user, rollout_spec("rollout-1"))
+            .unwrap();
+
+        // Mid-campaign crash: a successor replays to identical bytes.
+        let replayed = TrustedServer::replay(server.journal_bytes().unwrap()).unwrap();
+        assert_eq!(replayed.snapshot_bytes(), server.snapshot_bytes());
+
+        // Drive the full decision alphabet through the journal: advance,
+        // pause, resume, abort — each a journaled verdict replay re-applies
+        // without re-evaluating the gate.
+        ack_installed(&mut server, &vehicles[0], "remote-control");
+        let _ = server.step_campaigns();
+        server.pause_campaign(&user, &id).unwrap();
+        server.resume_campaign(&user, &id).unwrap();
+        server.abort_campaign(&user, &id).unwrap();
+
+        let replayed = TrustedServer::replay(server.journal_bytes().unwrap()).unwrap();
+        assert_eq!(replayed.snapshot_bytes(), server.snapshot_bytes());
+        let campaign = replayed.campaign(&id).unwrap();
+        assert_eq!(campaign.status, CampaignStatus::Aborted);
+        assert_eq!(
+            campaign.counters.rolled_back, 3,
+            "every exposed vehicle restores, not just the canary"
+        );
     }
 }

@@ -16,7 +16,9 @@
 //! The server actor never sweeps on a schedule.  Each iteration it:
 //!
 //! 1. fires [`TrustedServer::tick`] only when [`TrustedServer::next_deadline`]
-//!    says a retransmission deadline actually lapsed (the deadline timer),
+//!    says a retransmission deadline actually lapsed (the deadline timer) or
+//!    a rollout campaign is active — campaign health gates sample on the tick
+//!    cadence, so [`TrustedServer::step_campaigns`] runs right after,
 //! 2. pumps the transport once — queued downlinks out, arrived uplinks in —
 //!    exactly the sequence `Fleet::step` runs, minus the vehicle stepping,
 //! 3. sleeps on its command channel until the next deadline or quantum,
@@ -321,10 +323,14 @@ fn server_actor(
         last_now = now;
 
         // 1. Deadline timer: sweep the reliability plane only when a
-        //    retransmission deadline actually lapsed.
-        if server.next_deadline().is_some_and(|due| due <= now) {
+        //    retransmission deadline actually lapsed — or when a rollout
+        //    campaign is running, whose health gates are sampled on the same
+        //    tick cadence (the wall-clock quantum stands in for the fleet
+        //    round).
+        if server.next_deadline().is_some_and(|due| due <= now) || server.has_active_campaigns() {
             let failures = server.tick(now).len() as u64;
             retry_failures.fetch_add(failures, Ordering::Relaxed);
+            let _ = server.step_campaigns();
         }
 
         // 2. Transport pump (transport lock held, shard locks nest inside).

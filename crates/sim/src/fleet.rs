@@ -44,16 +44,48 @@ use dynar_fes::transport::{
     EndpointName, LinkFault, TransportConfig, TransportHub, TransportStats,
 };
 use dynar_foundation::error::{DynarError, Result};
-use dynar_foundation::ids::{AppId, UserId, VehicleId};
+use dynar_foundation::ids::{AppId, PluginId, UserId, VehicleId};
 use dynar_foundation::payload::Payload;
 use dynar_foundation::pool::ThreadPool;
 use dynar_foundation::time::{Clock, Tick};
-use dynar_server::server::{DeploymentStatus, ShardHandle, TrustedServer};
+use dynar_server::server::{DeploymentStatus, RetryFailure, ShardHandle, TrustedServer};
 
 use crate::world::Vehicle;
 
+/// Upper bound on the escalated-failure events [`FleetStats`] retains.  The
+/// counter keeps counting past the cap; only the per-event detail is bounded,
+/// so a pathological run cannot grow the stats without limit.
+pub const MAX_FAILURE_EVENTS: usize = 64;
+
+/// One escalated operation, as retained by [`FleetStats::failure_events`]:
+/// which vehicle/app/plug-in exhausted its budget and why.  Campaign health
+/// gates and tests can assert *which* operation failed instead of settling
+/// for a count.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RetryFailureEvent {
+    /// The vehicle whose link gave up.
+    pub vehicle: VehicleId,
+    /// The application the abandoned package belonged to.
+    pub app: AppId,
+    /// The plug-in the abandoned package addressed.
+    pub plugin: PluginId,
+    /// Display form of the typed escalation reason.
+    pub error: String,
+}
+
+impl From<RetryFailure> for RetryFailureEvent {
+    fn from(failure: RetryFailure) -> Self {
+        RetryFailureEvent {
+            vehicle: failure.vehicle,
+            app: failure.app,
+            plugin: failure.plugin,
+            error: failure.error.to_string(),
+        }
+    }
+}
+
 /// Counters describing fleet-level activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetStats {
     /// Batched rounds executed so far.
     pub ticks: u64,
@@ -69,6 +101,30 @@ pub struct FleetStats {
     /// quiescent tick visits none — the sweep is O(active vehicles), not
     /// O(fleet size) — which `tests/alloc_regression.rs` pins down.
     pub downlink_polls: u64,
+    /// The first [`MAX_FAILURE_EVENTS`] escalated failures, each carrying
+    /// which (vehicle, app, plug-in) exhausted its budget.  Every batch is
+    /// sorted before it is appended: a round's escalation *set* is
+    /// deterministic but its sweep order is not (per-shard hash maps), so
+    /// sorting keeps the event list — and therefore [`FleetStats`] equality
+    /// — identical at every shard count.
+    pub failure_events: Vec<RetryFailureEvent>,
+}
+
+impl FleetStats {
+    /// Counts a batch of escalated failures and retains their details up to
+    /// [`MAX_FAILURE_EVENTS`].
+    fn record_failures(&mut self, batch: Vec<RetryFailure>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.retry_failures += batch.len() as u64;
+        let mut events: Vec<RetryFailureEvent> =
+            batch.into_iter().map(RetryFailureEvent::from).collect();
+        events.sort();
+        let room = MAX_FAILURE_EVENTS.saturating_sub(self.failure_events.len());
+        events.truncate(room);
+        self.failure_events.append(&mut events);
+    }
 }
 
 #[derive(Debug)]
@@ -99,7 +155,7 @@ struct ShardOutcome {
     downlink_messages: u64,
     uplink_messages: u64,
     downlink_polls: u64,
-    retry_failures: u64,
+    retry_failures: Vec<RetryFailure>,
     error: Option<DynarError>,
 }
 
@@ -375,7 +431,7 @@ impl Fleet {
             self.ids_at.insert(self.ids[at].clone(), at);
         }
         self.hubs[shard_index].lock().unregister(&entry.endpoint);
-        self.stats.retry_failures += self.server.mark_unreachable(id).len() as u64;
+        self.stats.record_failures(self.server.mark_unreachable(id));
         Ok(entry.vehicle)
     }
 
@@ -444,8 +500,8 @@ impl Fleet {
     }
 
     /// Fleet-level activity counters.
-    pub fn stats(&self) -> FleetStats {
-        self.stats
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
     }
 
     /// Advances the whole fleet by one batched round: server downlinks reach
@@ -482,7 +538,7 @@ impl Fleet {
         let shard = &mut shards[0];
 
         // Reliability plane: requeue overdue packages, escalate dead ones.
-        stats.retry_failures += server.tick(now).len() as u64;
+        stats.record_failures(server.tick(now));
 
         // Pusher: queued downlink messages leave the server, batched under a
         // single hub lock.  Destination feedback flows straight back into the
@@ -545,6 +601,11 @@ impl Fleet {
             }
         }
         shard.uplink_scratch = uplinks;
+
+        // Campaign plane: health gates evaluate against the state this round
+        // settled into (acknowledgements processed above), and the decisions
+        // are journaled at this same point in the record stream.
+        let _ = server.step_campaigns();
         Ok(())
     }
 
@@ -571,17 +632,25 @@ impl Fleet {
             .run(tasks);
 
         let mut first_error = None;
+        let mut failures = Vec::new();
         for (index, outcome) in outcomes.into_iter().enumerate() {
             self.shards[index] = outcome.shard;
             self.stats.downlink_messages += outcome.downlink_messages;
             self.stats.uplink_messages += outcome.uplink_messages;
             self.stats.downlink_polls += outcome.downlink_polls;
-            self.stats.retry_failures += outcome.retry_failures;
+            failures.extend(outcome.retry_failures);
             if first_error.is_none() {
                 first_error = outcome.error;
             }
         }
+        // One batch per round, like the serial path: `record_failures` sorts
+        // it, so the retained events match the serial run's exactly.
+        self.stats.record_failures(failures);
         self.server.merge_shard_journals();
+        // Campaign decisions run (and journal) strictly after the shard
+        // merge — the serial point of the round, on converged state, exactly
+        // where the serial path evaluates them.
+        let _ = self.server.step_campaigns();
         match first_error {
             Some(error) => Err(error),
             None => Ok(()),
@@ -786,7 +855,7 @@ fn step_shard(
         downlink_messages,
         uplink_messages,
         downlink_polls,
-        retry_failures: retry_failures.len() as u64,
+        retry_failures,
         error,
     }
 }

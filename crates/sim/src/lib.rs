@@ -24,6 +24,6 @@ pub mod scenario;
 pub mod world;
 
 pub use actors::{ActorFederation, FederationOutcome};
-pub use fleet::{Fleet, FleetStats};
+pub use fleet::{Fleet, FleetStats, RetryFailureEvent, MAX_FAILURE_EVENTS};
 pub use plant::{CarPlant, PlantState, SharedPlantState};
 pub use world::{Vehicle, World};

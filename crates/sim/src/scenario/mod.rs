@@ -19,7 +19,12 @@
 //!   mid-campaign, is reconstructed byte-for-byte from its write-ahead
 //!   journal, and re-announces itself under a bumped incarnation id while a
 //!   vehicle reboot lands inside the recovery window.
+//! * [`campaign`] — the orchestration scenario: staged rollouts driven by
+//!   the server's campaign plane — canary waves, health gates, auto-abort on
+//!   a bad version and rollback to the recorded last-good manifests — under
+//!   loss and mid-wave reboots.
 
+pub mod campaign;
 pub mod chaos;
 pub mod churn;
 pub mod fleet;

@@ -12,6 +12,11 @@
 #                                tick_with_journal/50 over tick/50 within the
 #                                candidate snapshot, in percent (default: 50;
 #                                tighten on a quiet dedicated runner)
+#   BENCH_CAMPAIGN_OVERHEAD_PCT  maximum allowed campaign-plane overhead of
+#                                campaign_tick/50 over tick/50 within the
+#                                candidate snapshot, in percent (default: 10;
+#                                a held campaign's per-tick gate evaluation
+#                                must stay a rounding error on the fleet tick)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +28,7 @@ fi
 baseline="$1" candidate="$2" \
 tolerance="${BENCH_COMPARE_TOLERANCE_PCT:-15}" \
 journal_overhead="${BENCH_JOURNAL_OVERHEAD_PCT:-50}" \
+campaign_overhead="${BENCH_CAMPAIGN_OVERHEAD_PCT:-10}" \
 python3 - <<'PY'
 import json
 import os
@@ -32,6 +38,7 @@ baseline_path = os.environ["baseline"]
 candidate_path = os.environ["candidate"]
 tolerance = float(os.environ["tolerance"])
 journal_overhead = float(os.environ["journal_overhead"])
+campaign_overhead = float(os.environ["campaign_overhead"])
 
 # The hot paths whose trajectory is pinned PR over PR.  New benchmarks (and
 # retired ones) are reported but never fail the comparison: only a pinned
@@ -52,6 +59,7 @@ PINNED = [
     "bench_fleet_tick/par_tick/500",
     "bench_fleet_tick/lossy_tick/50",
     "bench_fleet_tick/tick_with_journal/50",
+    "bench_fleet_tick/campaign_tick/50",
 ]
 
 
@@ -137,6 +145,23 @@ print(f"journal overhead (min): tick/50 {plain:.0f} ns -> tick_with_journal/50 "
 if overhead_pct > journal_overhead:
     print(f"FAIL: journaling overhead {overhead_pct:+.1f}% exceeds "
           f"{journal_overhead:.0f}%", file=sys.stderr)
+    sys.exit(1)
+
+# The campaign plane must stay near-free on the steady-state tick: within
+# the candidate snapshot alone, the tick with a held mid-wave campaign
+# (whole fleet exposed, gate re-evaluated every round) may cost at most
+# campaign_overhead % more than the plain one.  Like the journal gate this
+# is an absolute property of the candidate, measured over min_ns; the tight
+# default catches the structural failure — gate evaluation going O(fleet)
+# work per exposed vehicle, or verdict records being journaled on held
+# rounds — not runner drift.
+campaigned = cand_min["bench_fleet_tick/campaign_tick/50"]
+overhead_pct = (campaigned - plain) / plain * 100.0
+print(f"campaign overhead (min): tick/50 {plain:.0f} ns -> campaign_tick/50 "
+      f"{campaigned:.0f} ns ({overhead_pct:+.1f}%, allowed {campaign_overhead:.0f}%)")
+if overhead_pct > campaign_overhead:
+    print(f"FAIL: campaign overhead {overhead_pct:+.1f}% exceeds "
+          f"{campaign_overhead:.0f}%", file=sys.stderr)
     sys.exit(1)
 
 # The sharded control plane, report-only: BENCH_PAR_SPEEDUP is the 8-shard

@@ -59,6 +59,12 @@ if not any("lossy" in r["bench"] for r in results):
 if not any("tick_with_journal" in r["bench"] for r in results):
     sys.exit("bench snapshot is missing the bench_fleet_tick tick_with_journal datapoint")
 
+# ... and the campaign-tick datapoint, so the orchestration plane's overhead
+# stays on the trajectory too (scripts/bench_compare.sh gates it at
+# BENCH_CAMPAIGN_OVERHEAD_PCT over tick/50).
+if not any("campaign_tick" in r["bench"] for r in results):
+    sys.exit("bench snapshot is missing the bench_fleet_tick campaign_tick datapoint")
+
 # ... and the sharded-control-plane datapoints: the 10k-vehicle serial tick
 # (linear-scaling evidence) and the 8-shard parallel tick next to its serial
 # twin (BENCH_PAR_SPEEDUP in scripts/bench_compare.sh).

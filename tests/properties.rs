@@ -15,6 +15,10 @@ use dynar::foundation::codec::{decode_value, encode_value};
 use dynar::foundation::ids::{AppId, EcuId, PluginId, PluginPortId, VirtualPortId};
 use dynar::foundation::value::Value;
 use dynar::rte::com_mapping::{Reassembler, Segmenter};
+use dynar::server::campaign::{
+    Campaign, CampaignCounters, CampaignId, CampaignSpec, CampaignStatus, HealthGate,
+    VehicleSelector, WavePlan,
+};
 use dynar::vm::assembler::{assemble, disassemble};
 use proptest::prelude::*;
 
@@ -370,6 +374,137 @@ proptest! {
     }
 }
 
+fn vehicle_id_strategy() -> impl Strategy<Value = dynar::foundation::ids::VehicleId> {
+    "[A-Z][A-Z0-9-]{1,11}".prop_map(dynar::foundation::ids::VehicleId::new)
+}
+
+fn campaign_spec_strategy() -> impl Strategy<Value = CampaignSpec> {
+    let selector = prop_oneof![
+        Just(VehicleSelector::All),
+        "[a-z][a-z0-9-]{0,11}".prop_map(VehicleSelector::Model),
+        proptest::collection::vec(vehicle_id_strategy(), 0..5).prop_map(VehicleSelector::Vehicles),
+    ];
+    (
+        "[a-z][a-z0-9-]{0,11}",
+        "[a-z][a-z0-9-]{0,11}",
+        prop_oneof![Just(None), "[a-z][a-z0-9-]{0,11}".prop_map(Some),],
+        selector,
+        (0usize..20, proptest::collection::vec(1u32..=100, 0..5)),
+        (0u64..1000, 0u64..20, 0u64..20),
+    )
+        .prop_map(|(id, app, replaces, selector, plan, gate)| CampaignSpec {
+            id: CampaignId::new(id),
+            app: AppId::new(app),
+            replaces: replaces.map(AppId::new),
+            selector,
+            plan: WavePlan {
+                canary: plan.0,
+                ramp_percent: plan.1,
+            },
+            gate: HealthGate {
+                min_soak_ticks: gate.0,
+                pause_failed: gate.1,
+                abort_failed: gate.2,
+            },
+        })
+}
+
+fn campaign_strategy() -> impl Strategy<Value = Campaign> {
+    (
+        campaign_spec_strategy(),
+        (
+            "[a-z]{1,8}",
+            proptest::collection::vec(vehicle_id_strategy(), 0..6),
+        ),
+        (0usize..6, 0u64..5000),
+        prop_oneof![
+            Just(CampaignStatus::Running),
+            Just(CampaignStatus::Paused),
+            Just(CampaignStatus::Aborted),
+            Just(CampaignStatus::Complete),
+        ],
+        proptest::collection::vec(
+            (
+                vehicle_id_strategy(),
+                proptest::collection::vec("[a-z]{1,6}".prop_map(AppId::new), 0..4),
+            ),
+            0..4,
+        ),
+        (0u64..100, 0u64..100, 0u64..100, 0u64..100),
+    )
+        .prop_map(
+            |(spec, (user, targets), (wave, wave_started), status, last_good, counters)| Campaign {
+                id: spec.id,
+                user: dynar::foundation::ids::UserId::new(user),
+                app: spec.app,
+                replaces: spec.replaces,
+                selector: spec.selector,
+                targets,
+                plan: spec.plan,
+                gate: spec.gate,
+                status,
+                wave,
+                wave_started: dynar::foundation::time::Tick::new(wave_started),
+                last_good: last_good
+                    .into_iter()
+                    .map(|(vehicle, apps)| (vehicle, apps.into_iter().collect()))
+                    .collect(),
+                counters: CampaignCounters {
+                    exposed: counters.0,
+                    succeeded: counters.1,
+                    failed: counters.2,
+                    rolled_back: counters.3,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every campaign structure — any selector shape, wave plan, gate,
+    /// lifecycle status, last-good map and counter state — survives its
+    /// canonical value encoding: the form the journal's create record and
+    /// the durability snapshot carry.
+    #[test]
+    fn campaign_codecs_round_trip(
+        spec in campaign_spec_strategy(),
+        campaign in campaign_strategy(),
+    ) {
+        prop_assert_eq!(CampaignSpec::from_value(&spec.to_value()).unwrap(), spec);
+        prop_assert_eq!(Campaign::from_value(&campaign.to_value()).unwrap(), campaign);
+    }
+
+    /// Well-formed journal frames carrying the campaign record tags (20–25)
+    /// with arbitrary payloads drive `TrustedServer::replay` through every
+    /// campaign decode-and-apply arm: a typed error or a (vacuous) success,
+    /// never a panic — decision records naming unknown campaigns included.
+    #[test]
+    fn campaign_journal_frames_never_panic_on_arbitrary_payloads(
+        records in proptest::collection::vec(
+            (20i64..=25, value_strategy(), any::<bool>()),
+            1..8,
+        ),
+    ) {
+        use dynar::foundation::codec::encode_value;
+        use dynar::foundation::journal::append_frame;
+        use dynar::server::TrustedServer;
+
+        let mut journal = Vec::new();
+        for (tag, payload, wrap) in records {
+            // Sometimes the canonical `[tag, payload]` list shape with an
+            // adversarial payload, sometimes a bare value under the tag.
+            let record = if wrap {
+                Value::List(vec![Value::I64(tag), payload])
+            } else {
+                Value::List(vec![Value::I64(tag), Value::List(vec![payload])])
+            };
+            append_frame(&mut journal, &encode_value(&record));
+        }
+        let _ = TrustedServer::replay(&journal);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -419,6 +554,12 @@ proptest! {
         }
         if let Ok(ledger) = Ledger::from_value(&value) {
             prop_assert_eq!(Ledger::from_value(&ledger.to_value()).unwrap(), ledger);
+        }
+        if let Ok(spec) = CampaignSpec::from_value(&value) {
+            prop_assert_eq!(CampaignSpec::from_value(&spec.to_value()).unwrap(), spec);
+        }
+        if let Ok(campaign) = Campaign::from_value(&value) {
+            prop_assert_eq!(Campaign::from_value(&campaign.to_value()).unwrap(), campaign);
         }
     }
 }

@@ -38,7 +38,7 @@ fn chaos_campaign(shards: usize) -> (Vec<u8>, Ledger, FleetStats) {
     (
         scenario.inner.fleet.server.snapshot_bytes(),
         scenario.inner.fleet.server.ledger(),
-        scenario.inner.fleet.stats(),
+        scenario.inner.fleet.stats().clone(),
     )
 }
 
