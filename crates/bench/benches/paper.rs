@@ -455,12 +455,113 @@ fn bench_fleet_tick(c: &mut Criterion) {
     group.finish();
 }
 
+/// E-VM — the two execution planes side by side on the dominant plug-in
+/// workload shapes: arithmetic accumulation, port forwarding and
+/// pending-guard branching.  One iteration is one full scheduling slot (the
+/// default 10 000-instruction budget), so the numbers are pure dispatch +
+/// execute cost.  scripts/bench_compare.sh pins the interpreter datapoints
+/// as the regression baseline and reports `BENCH_VM_SPEEDUP` for the
+/// compiled plane next to them; scripts/bench_snapshot.sh refuses snapshots
+/// that miss the compiled datapoint.
+fn bench_vm(c: &mut Criterion) {
+    use dynar_vm::{Budget, CompiledVm, PortHost, Vm};
+
+    /// All host calls answer without allocating, so the loop body stays on
+    /// the VM itself.
+    struct BenchHost {
+        writes: u64,
+    }
+    impl PortHost for BenchHost {
+        fn read_port(&mut self, _slot: u32) -> dynar_foundation::error::Result<Value> {
+            Ok(Value::I64(1))
+        }
+        fn take_port(&mut self, _slot: u32) -> dynar_foundation::error::Result<Value> {
+            Ok(Value::I64(1))
+        }
+        fn write_port(&mut self, _slot: u32, _value: Value) -> dynar_foundation::error::Result<()> {
+            self.writes += 1;
+            Ok(())
+        }
+        fn pending(&mut self, _slot: u32) -> dynar_foundation::error::Result<usize> {
+            Ok(1)
+        }
+        fn log(&mut self, _message: &str) {}
+    }
+
+    let workloads = [
+        (
+            "arith",
+            r#"
+                push_int 0
+                store 0
+            loop:
+                load 0
+                push_int 1
+                add
+                store 0
+                jump loop
+            "#,
+        ),
+        (
+            "ports",
+            r#"
+            loop:
+                take_port 0
+                store 0
+                load 0
+                write_port 1
+                jump loop
+            "#,
+        ),
+        (
+            "branch",
+            r#"
+            loop:
+                port_pending 0
+                push_int 0
+                gt
+                jump_if_false idle
+                take_port 0
+                pop
+                jump loop
+            idle:
+                jump loop
+            "#,
+        ),
+    ];
+
+    let mut group = c.benchmark_group("bench_vm");
+    for (name, source) in workloads {
+        let program = assemble(name, source).expect("workload assembles");
+        let mut host = BenchHost { writes: 0 };
+
+        let mut interp = Vm::new(program.clone(), Budget::default());
+        group.bench_function(format!("interpreter_{name}"), |b| {
+            b.iter(|| interp.run_slot(&mut host).expect("interpreter slot"));
+        });
+
+        let mut compiled =
+            CompiledVm::compile(program, Budget::default()).expect("workload compiles");
+        group.bench_function(format!("compiled_{name}"), |b| {
+            b.iter(|| compiled.run_slot(&mut host).expect("compiled slot"));
+        });
+        // A compiled datapoint without live superinstructions measures the
+        // wrong thing — fail the run rather than record it.
+        assert!(
+            compiled.fusion_counters().total() > 0,
+            "superinstructions must fire in the {name} workload"
+        );
+    }
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     fig3_signal_chain(c);
     e1_deployment(c);
     e2_mediation_overhead(c);
     e3_server_scalability(c);
     e6_port_multiplexing(c);
+    bench_vm(c);
     bench_fleet_tick(c);
 }
 

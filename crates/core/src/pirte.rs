@@ -264,6 +264,7 @@ impl Pirte {
             &package.binary,
             &package.context,
             self.config.plugin_budget(),
+            self.config.exec_mode(),
         )?;
         plugin.request(LifecycleRequest::Start)?;
         Ok(plugin)
@@ -797,7 +798,7 @@ impl Pirte {
             let outcome = {
                 // The plug-in id is borrowed for the host, not cloned — a
                 // slot grant must not allocate.
-                let (plugin_id, vm, ports) = self.plugins[index].split_for_run();
+                let (plugin_id, engine, ports) = self.plugins[index].split_for_run();
                 let mut host = PirteHost {
                     plugin: plugin_id,
                     ports,
@@ -809,7 +810,7 @@ impl Pirte {
                     stats: &mut self.stats,
                     now: self.now,
                 };
-                vm.run_slot(&mut host)
+                engine.run_slot(&mut host)
             };
             match outcome {
                 Ok(report) => {
@@ -833,6 +834,18 @@ impl Pirte {
             }
         }
         slots
+    }
+
+    /// Aggregated superinstruction execution counters across every
+    /// installed plug-in — the fast plane's proof that the peephole pass
+    /// fires on real workloads (always zero under
+    /// [`ExecMode::Interpreter`](dynar_vm::engine::ExecMode)).
+    pub fn fusion_counters(&self) -> dynar_vm::compiled::FusionCounters {
+        let mut total = dynar_vm::compiled::FusionCounters::default();
+        for plugin in &self.plugins {
+            total.merge(&plugin.engine().fusion_counters());
+        }
+        total
     }
 
     fn plugin_mut(&mut self, id: &PluginId) -> Result<&mut Plugin> {

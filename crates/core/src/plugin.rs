@@ -9,7 +9,7 @@ use dynar_foundation::error::Result;
 use dynar_foundation::ids::{AppId, PluginId, PluginPortId};
 use dynar_foundation::value::Value;
 use dynar_vm::budget::Budget;
-use dynar_vm::interpreter::Vm;
+use dynar_vm::engine::{Engine, ExecMode};
 use dynar_vm::program::Program;
 
 use crate::context::{ExternalConnectionContext, InstallationContext, LinkTarget};
@@ -113,7 +113,7 @@ impl PluginPort {
 pub struct Plugin {
     id: PluginId,
     app: AppId,
-    vm: Vm,
+    engine: Engine,
     state: PluginState,
     ports: Vec<PluginPort>,
     port_index: HashMap<PluginPortId, usize>,
@@ -134,6 +134,7 @@ impl Plugin {
         binary: &[u8],
         context: &InstallationContext,
         budget: Budget,
+        mode: ExecMode,
     ) -> Result<Self> {
         context.validate()?;
         let program = Program::from_bytes(binary)?;
@@ -152,7 +153,7 @@ impl Plugin {
         Ok(Plugin {
             id,
             app,
-            vm: Vm::new(program, budget),
+            engine: Engine::new(program, budget, mode)?,
             state: PluginState::Installed,
             ports,
             port_index,
@@ -204,9 +205,10 @@ impl Plugin {
         self.ports.get_mut(index)
     }
 
-    /// The virtual machine hosting the plug-in code.
-    pub fn vm(&self) -> &Vm {
-        &self.vm
+    /// The execution engine hosting the plug-in code (interpreter,
+    /// compiled fast plane, or lock-step shadow of both).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Applies a life-cycle transition, resetting the VM on restart.
@@ -217,7 +219,7 @@ impl Plugin {
     pub fn request(&mut self, request: LifecycleRequest) -> Result<PluginState> {
         let next = self.state.transition(self.id.name(), request)?;
         if request == LifecycleRequest::Restart {
-            self.vm.reset();
+            self.engine.reset();
         }
         self.state = next;
         Ok(next)
@@ -225,8 +227,8 @@ impl Plugin {
 
     /// Splits the plug-in into the parts needed to run one VM slot: the
     /// machine itself and the port table the host adapter works on.
-    pub(crate) fn split_for_run(&mut self) -> (&PluginId, &mut Vm, &mut [PluginPort]) {
-        (&self.id, &mut self.vm, &mut self.ports)
+    pub(crate) fn split_for_run(&mut self) -> (&PluginId, &mut Engine, &mut [PluginPort]) {
+        (&self.id, &mut self.engine, &mut self.ports)
     }
 
     /// Records that the VM faulted or finished, updating the life-cycle
@@ -280,6 +282,7 @@ mod tests {
             &simple_binary(),
             &simple_context(),
             Budget::default(),
+            ExecMode::default(),
         )
         .unwrap();
         assert_eq!(plugin.ports().len(), 2);
@@ -298,6 +301,7 @@ mod tests {
             &[1, 2, 3],
             &simple_context(),
             Budget::default(),
+            ExecMode::default(),
         )
         .is_err());
 
@@ -313,6 +317,7 @@ mod tests {
             &simple_binary(),
             &bad_context,
             Budget::default(),
+            ExecMode::default(),
         )
         .is_err());
     }
@@ -325,6 +330,7 @@ mod tests {
             &simple_binary(),
             &simple_context(),
             Budget::default(),
+            ExecMode::default(),
         )
         .unwrap();
         let port = plugin.port_mut(PluginPortId::new(0)).unwrap();
@@ -345,6 +351,7 @@ mod tests {
             &simple_binary(),
             &simple_context(),
             Budget::default(),
+            ExecMode::default(),
         )
         .unwrap();
         plugin.request(LifecycleRequest::Start).unwrap();
@@ -363,6 +370,7 @@ mod tests {
             &simple_binary(),
             &simple_context(),
             Budget::default(),
+            ExecMode::default(),
         )
         .unwrap();
         assert!(plugin.port(PluginPortId::new(42)).is_none());

@@ -19,6 +19,7 @@ use dynar_foundation::value::Value;
 use dynar_rte::component::{ComponentBehavior, RteContext, RunnableSpec, SwcDescriptor, Trigger};
 use dynar_rte::port::{PortDirection, PortSpec};
 use dynar_vm::budget::Budget;
+use dynar_vm::engine::ExecMode;
 
 use crate::pirte::Pirte;
 use crate::virtual_port::{PortDataDirection, VirtualPortSpec};
@@ -43,6 +44,7 @@ pub struct PluginSwcConfig {
     type_i_in: Option<String>,
     type_i_out: Option<String>,
     plugin_budget: Budget,
+    exec_mode: ExecMode,
 }
 
 impl PluginSwcConfig {
@@ -55,6 +57,7 @@ impl PluginSwcConfig {
             type_i_in: None,
             type_i_out: None,
             plugin_budget: Budget::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -117,9 +120,23 @@ impl PluginSwcConfig {
         self.type_i_in.as_deref() == Some(port)
     }
 
+    /// Selects the VM execution plane for every plug-in hosted by this
+    /// SW-C (compiled fast plane by default; `Shadow` runs both planes in
+    /// lock-step asserting equivalence).
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
     /// The budget granted to each plug-in hosted by this SW-C.
     pub fn plugin_budget(&self) -> Budget {
         self.plugin_budget
+    }
+
+    /// The VM execution plane plug-ins of this SW-C run on.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// The names of the SW-C ports on which data arrives for the PIRTE: the

@@ -1,0 +1,216 @@
+//! Operand and arithmetic helpers shared by both execution planes.
+//!
+//! The reference interpreter ([`crate::interpreter::Vm`]) and the compiled
+//! fast plane ([`crate::compiled::CompiledVm`]) must produce byte-identical
+//! observable behaviour — including every fault message.  The only way to
+//! keep that property maintainable is to have exactly one implementation of
+//! the value-level semantics: arithmetic (with its promotion, division-by-
+//! zero and overflow rules), comparisons, equality and negation all live
+//! here and are called from both engines.
+//!
+//! Moving the helpers out of the interpreter also surfaced (and fixed) a
+//! latent inconsistency: the old interpreter used `wrapping_*` integer
+//! arithmetic and a bare `-v` negation, so `i64::MIN` negation panicked in
+//! debug builds and silently wrapped in release builds.  Both planes now
+//! fault with a typed `VmFault("integer overflow in <op>")` instead.
+
+use dynar_foundation::error::{DynarError, Result};
+use dynar_foundation::value::Value;
+
+/// Control-flow outcome of executing one instruction.
+pub(crate) enum Flow {
+    /// Fall through to the next instruction.
+    Continue,
+    /// End the slot; resume at the next instruction next slot.
+    Yield,
+    /// End the program permanently.
+    Halt,
+}
+
+/// The five binary arithmetic operations, shared by both planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ArithOp {
+    /// `second + top`.
+    Add,
+    /// `second - top`.
+    Sub,
+    /// `second * top`.
+    Mul,
+    /// `second / top`.
+    Div,
+    /// `second % top`.
+    Rem,
+}
+
+impl ArithOp {
+    /// The assembler mnemonic, used in overflow fault messages.
+    pub(crate) fn mnemonic(self) -> &'static str {
+        match self {
+            ArithOp::Add => "add",
+            ArithOp::Sub => "sub",
+            ArithOp::Mul => "mul",
+            ArithOp::Div => "div",
+            ArithOp::Rem => "rem",
+        }
+    }
+}
+
+/// The four numeric ordering comparisons, shared by both planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpOp {
+    /// `second < top`.
+    Lt,
+    /// `second <= top`.
+    Le,
+    /// `second > top`.
+    Gt,
+    /// `second >= top`.
+    Ge,
+}
+
+pub(crate) fn type_fault(expected: &'static str) -> impl Fn() -> DynarError {
+    move || DynarError::VmFault(format!("expected a {expected} value on the stack"))
+}
+
+pub(crate) fn to_vm_fault(err: DynarError) -> DynarError {
+    DynarError::VmFault(err.to_string())
+}
+
+fn overflow_fault(op: ArithOp) -> DynarError {
+    DynarError::VmFault(format!("integer overflow in {}", op.mnemonic()))
+}
+
+fn division_by_zero() -> DynarError {
+    DynarError::VmFault("division by zero".into())
+}
+
+/// Equality over values, with numeric types compared by value (so
+/// `2 == 2.0`), everything else structurally.
+pub(crate) fn values_equal(left: &Value, right: &Value) -> bool {
+    match (left.as_f64(), right.as_f64()) {
+        (Some(a), Some(b)) => a == b,
+        _ => left == right,
+    }
+}
+
+/// Checked integer arithmetic: division/remainder by zero and overflow
+/// (including `i64::MIN / -1` and `i64::MIN % -1`) fault instead of
+/// wrapping.  Used directly by the fused fast paths, and through
+/// [`arithmetic`] by both single-step engines.
+pub(crate) fn int_arithmetic(op: ArithOp, a: i64, b: i64) -> Result<i64> {
+    let result = match op {
+        ArithOp::Add => a.checked_add(b),
+        ArithOp::Sub => a.checked_sub(b),
+        ArithOp::Mul => a.checked_mul(b),
+        ArithOp::Div => {
+            if b == 0 {
+                return Err(division_by_zero());
+            }
+            a.checked_div(b)
+        }
+        ArithOp::Rem => {
+            if b == 0 {
+                return Err(division_by_zero());
+            }
+            a.checked_rem(b)
+        }
+    };
+    result.ok_or_else(|| overflow_fault(op))
+}
+
+/// Binary arithmetic with float promotion: if either operand is `F64` the
+/// operation happens in floating point, otherwise in checked 64-bit integer
+/// arithmetic (booleans widen to integers, like everywhere else `as_i64`
+/// applies).
+pub(crate) fn arithmetic(op: ArithOp, left: &Value, right: &Value) -> Result<Value> {
+    let float = matches!(left, Value::F64(_)) || matches!(right, Value::F64(_));
+    if float {
+        let a = left.as_f64().ok_or_else(type_fault("number"))?;
+        let b = right.as_f64().ok_or_else(type_fault("number"))?;
+        let result = match op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if b == 0.0 {
+                    return Err(division_by_zero());
+                }
+                a / b
+            }
+            ArithOp::Rem => {
+                if b == 0.0 {
+                    return Err(division_by_zero());
+                }
+                a % b
+            }
+        };
+        Ok(Value::F64(result))
+    } else {
+        let a = left.as_i64().ok_or_else(type_fault("number"))?;
+        let b = right.as_i64().ok_or_else(type_fault("number"))?;
+        Ok(Value::I64(int_arithmetic(op, a, b)?))
+    }
+}
+
+/// Numeric ordering comparison as a bare boolean (both operands must be
+/// numbers).
+pub(crate) fn compare_bool(op: CmpOp, left: &Value, right: &Value) -> Result<bool> {
+    let a = left.as_f64().ok_or_else(type_fault("number"))?;
+    let b = right.as_f64().ok_or_else(type_fault("number"))?;
+    Ok(match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    })
+}
+
+/// Numeric ordering comparison as a stack value.
+pub(crate) fn compare(op: CmpOp, left: &Value, right: &Value) -> Result<Value> {
+    Ok(Value::Bool(compare_bool(op, left, right)?))
+}
+
+/// Numeric negation with a checked integer path (`-i64::MIN` faults).
+pub(crate) fn negate(value: Value) -> Result<Value> {
+    match value {
+        Value::I64(v) => v
+            .checked_neg()
+            .map(Value::I64)
+            .ok_or_else(|| DynarError::VmFault("integer overflow in neg".into())),
+        Value::F64(v) => Ok(Value::F64(-v)),
+        other => Err(DynarError::VmFault(format!(
+            "cannot negate a {} value",
+            other.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_overflow_faults_instead_of_wrapping() {
+        assert!(int_arithmetic(ArithOp::Add, i64::MAX, 1).is_err());
+        assert!(int_arithmetic(ArithOp::Sub, i64::MIN, 1).is_err());
+        assert!(int_arithmetic(ArithOp::Mul, i64::MAX, 2).is_err());
+        assert!(int_arithmetic(ArithOp::Div, i64::MIN, -1).is_err());
+        assert!(int_arithmetic(ArithOp::Rem, i64::MIN, -1).is_err());
+        assert_eq!(int_arithmetic(ArithOp::Add, 2, 3).unwrap(), 5);
+    }
+
+    #[test]
+    fn negation_of_min_faults() {
+        assert!(negate(Value::I64(i64::MIN)).is_err());
+        assert_eq!(negate(Value::I64(7)).unwrap(), Value::I64(-7));
+        assert_eq!(negate(Value::F64(2.5)).unwrap(), Value::F64(-2.5));
+        assert!(negate(Value::Text("x".into())).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_faults_in_both_domains() {
+        assert!(int_arithmetic(ArithOp::Div, 1, 0).is_err());
+        assert!(int_arithmetic(ArithOp::Rem, 1, 0).is_err());
+        assert!(arithmetic(ArithOp::Div, &Value::F64(1.0), &Value::F64(0.0)).is_err());
+    }
+}

@@ -8,6 +8,7 @@ use dynar_foundation::error::{DynarError, Result};
 use dynar_foundation::value::Value;
 
 use crate::budget::Budget;
+use crate::exec::{self, ArithOp, CmpOp, Flow};
 use crate::isa::Instruction;
 use crate::program::Program;
 
@@ -147,6 +148,26 @@ impl Vm {
         self.slots_run
     }
 
+    /// The current program counter (next instruction to execute).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// The current operand stack, bottom first.
+    pub fn stack(&self) -> &[Value] {
+        &self.stack
+    }
+
+    /// The current local variable slots.
+    pub fn locals(&self) -> &[Value] {
+        &self.locals
+    }
+
+    /// The current incremental memory footprint in bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
     /// Resets the machine to the start of its program, clearing stack and
     /// locals.  Used when a plug-in is restarted after an update.
     pub fn reset(&mut self) {
@@ -266,28 +287,25 @@ impl Vm {
             | Instruction::Mul
             | Instruction::Div
             | Instruction::Rem => {
+                let op = match instruction {
+                    Instruction::Add => ArithOp::Add,
+                    Instruction::Sub => ArithOp::Sub,
+                    Instruction::Mul => ArithOp::Mul,
+                    Instruction::Div => ArithOp::Div,
+                    _ => ArithOp::Rem,
+                };
                 let right = self.pop()?;
                 let left = self.pop()?;
-                self.push(arithmetic(instruction, &left, &right)?)?;
+                self.push(exec::arithmetic(op, &left, &right)?)?;
             }
             Instruction::Neg => {
                 let value = self.pop()?;
-                let negated = match value {
-                    Value::I64(v) => Value::I64(-v),
-                    Value::F64(v) => Value::F64(-v),
-                    other => {
-                        return Err(DynarError::VmFault(format!(
-                            "cannot negate a {} value",
-                            other.kind()
-                        )))
-                    }
-                };
-                self.push(negated)?;
+                self.push(exec::negate(value)?)?;
             }
             Instruction::Eq | Instruction::Ne => {
                 let right = self.pop()?;
                 let left = self.pop()?;
-                let equal = values_equal(&left, &right);
+                let equal = exec::values_equal(&left, &right);
                 self.push(Value::Bool(if matches!(instruction, Instruction::Eq) {
                     equal
                 } else {
@@ -295,13 +313,19 @@ impl Vm {
                 }))?;
             }
             Instruction::Lt | Instruction::Le | Instruction::Gt | Instruction::Ge => {
+                let op = match instruction {
+                    Instruction::Lt => CmpOp::Lt,
+                    Instruction::Le => CmpOp::Le,
+                    Instruction::Gt => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
                 let right = self.pop()?;
                 let left = self.pop()?;
-                self.push(compare(instruction, &left, &right)?)?;
+                self.push(exec::compare(op, &left, &right)?)?;
             }
             Instruction::And | Instruction::Or => {
-                let right = self.pop()?.as_bool().ok_or_else(type_fault("bool"))?;
-                let left = self.pop()?.as_bool().ok_or_else(type_fault("bool"))?;
+                let right = self.pop()?.as_bool().ok_or_else(exec::type_fault("bool"))?;
+                let left = self.pop()?.as_bool().ok_or_else(exec::type_fault("bool"))?;
                 let result = if matches!(instruction, Instruction::And) {
                     left && right
                 } else {
@@ -310,18 +334,18 @@ impl Vm {
                 self.push(Value::Bool(result))?;
             }
             Instruction::Not => {
-                let value = self.pop()?.as_bool().ok_or_else(type_fault("bool"))?;
+                let value = self.pop()?.as_bool().ok_or_else(exec::type_fault("bool"))?;
                 self.push(Value::Bool(!value))?;
             }
             Instruction::Jump(target) => self.jump(*target)?,
             Instruction::JumpIfFalse(target) => {
-                let condition = self.pop()?.as_bool().ok_or_else(type_fault("bool"))?;
+                let condition = self.pop()?.as_bool().ok_or_else(exec::type_fault("bool"))?;
                 if !condition {
                     self.jump(*target)?;
                 }
             }
             Instruction::JumpIfTrue(target) => {
-                let condition = self.pop()?.as_bool().ok_or_else(type_fault("bool"))?;
+                let condition = self.pop()?.as_bool().ok_or_else(exec::type_fault("bool"))?;
                 if condition {
                     self.jump(*target)?;
                 }
@@ -355,9 +379,9 @@ impl Vm {
                 self.push(Value::List(items))?;
             }
             Instruction::ListGet => {
-                let index = self.pop()?.expect_i64().map_err(to_vm_fault)?;
+                let index = self.pop()?.expect_i64().map_err(exec::to_vm_fault)?;
                 let list = self.pop()?;
-                let items = list.as_list().ok_or_else(type_fault("list"))?;
+                let items = list.as_list().ok_or_else(exec::type_fault("list"))?;
                 let item =
                     items
                         .get(usize::try_from(index).map_err(|_| {
@@ -374,7 +398,7 @@ impl Vm {
             }
             Instruction::ListLen => {
                 let list = self.pop()?;
-                let items = list.as_list().ok_or_else(type_fault("list"))?;
+                let items = list.as_list().ok_or_else(exec::type_fault("list"))?;
                 self.push(Value::I64(items.len() as i64))?;
             }
             Instruction::Log => {
@@ -442,89 +466,6 @@ impl Vm {
         }
         Ok(())
     }
-}
-
-enum Flow {
-    Continue,
-    Yield,
-    Halt,
-}
-
-fn type_fault(expected: &'static str) -> impl Fn() -> DynarError {
-    move || DynarError::VmFault(format!("expected a {expected} value on the stack"))
-}
-
-fn to_vm_fault(err: DynarError) -> DynarError {
-    DynarError::VmFault(err.to_string())
-}
-
-fn values_equal(left: &Value, right: &Value) -> bool {
-    match (left.as_f64(), right.as_f64()) {
-        (Some(a), Some(b)) => a == b,
-        _ => left == right,
-    }
-}
-
-fn arithmetic(op: &Instruction, left: &Value, right: &Value) -> Result<Value> {
-    let float = matches!(left, Value::F64(_)) || matches!(right, Value::F64(_));
-    if float {
-        let a = left.as_f64().ok_or_else(type_fault("number"))?;
-        let b = right.as_f64().ok_or_else(type_fault("number"))?;
-        let result = match op {
-            Instruction::Add => a + b,
-            Instruction::Sub => a - b,
-            Instruction::Mul => a * b,
-            Instruction::Div => {
-                if b == 0.0 {
-                    return Err(DynarError::VmFault("division by zero".into()));
-                }
-                a / b
-            }
-            Instruction::Rem => {
-                if b == 0.0 {
-                    return Err(DynarError::VmFault("division by zero".into()));
-                }
-                a % b
-            }
-            _ => unreachable!("arithmetic called with non-arithmetic instruction"),
-        };
-        Ok(Value::F64(result))
-    } else {
-        let a = left.as_i64().ok_or_else(type_fault("number"))?;
-        let b = right.as_i64().ok_or_else(type_fault("number"))?;
-        let result = match op {
-            Instruction::Add => a.wrapping_add(b),
-            Instruction::Sub => a.wrapping_sub(b),
-            Instruction::Mul => a.wrapping_mul(b),
-            Instruction::Div => {
-                if b == 0 {
-                    return Err(DynarError::VmFault("division by zero".into()));
-                }
-                a.wrapping_div(b)
-            }
-            Instruction::Rem => {
-                if b == 0 {
-                    return Err(DynarError::VmFault("division by zero".into()));
-                }
-                a.wrapping_rem(b)
-            }
-            _ => unreachable!("arithmetic called with non-arithmetic instruction"),
-        };
-        Ok(Value::I64(result))
-    }
-}
-
-fn compare(op: &Instruction, left: &Value, right: &Value) -> Result<Value> {
-    let a = left.as_f64().ok_or_else(type_fault("number"))?;
-    let b = right.as_f64().ok_or_else(type_fault("number"))?;
-    let result = match op {
-        Instruction::Lt => a < b,
-        Instruction::Le => a <= b,
-        Instruction::Gt => a > b,
-        Instruction::Ge => a >= b,
-        _ => unreachable!("compare called with non-comparison instruction"),
-    };
-    Ok(Value::Bool(result))
 }
 
 #[cfg(test)]

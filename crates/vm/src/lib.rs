@@ -15,8 +15,15 @@
 //!   can be written readably;
 //! * [`budget`] — per-slot instruction and memory budgets (the best-effort
 //!   scheme);
-//! * [`interpreter`] — the [`interpreter::Vm`] itself and the
-//!   [`interpreter::PortHost`] trait the PIRTE implements.
+//! * [`interpreter`] — the reference [`interpreter::Vm`] (the slow plane)
+//!   and the [`interpreter::PortHost`] trait the PIRTE implements;
+//! * [`compiled`] — the fast plane: install-time pre-decode into a dense
+//!   [`compiled::CompiledProgram`] with a superinstruction overlay,
+//!   executed by [`compiled::CompiledVm`];
+//! * [`shadow`] — lock-step shadow execution proving the two planes
+//!   observably identical on live traffic;
+//! * [`engine`] — [`engine::Engine`]/[`engine::ExecMode`], the per-plug-in
+//!   plane selection the PIRTE instantiates through.
 //!
 //! # Example
 //!
@@ -71,12 +78,19 @@
 
 pub mod assembler;
 pub mod budget;
+pub mod compiled;
+pub mod engine;
+mod exec;
 pub mod interpreter;
 pub mod isa;
 pub mod program;
+pub mod shadow;
 
 pub use assembler::{assemble, disassemble};
 pub use budget::Budget;
+pub use compiled::{CompiledProgram, CompiledVm, FusionCounters};
+pub use engine::{Engine, ExecMode};
 pub use interpreter::{PortHost, SlotReport, Vm, VmStatus};
 pub use isa::Instruction;
 pub use program::Program;
+pub use shadow::ShadowVm;

@@ -60,6 +60,9 @@ PINNED = [
     "bench_fleet_tick/lossy_tick/50",
     "bench_fleet_tick/tick_with_journal/50",
     "bench_fleet_tick/campaign_tick/50",
+    "bench_vm/interpreter_arith",
+    "bench_vm/interpreter_ports",
+    "bench_vm/interpreter_branch",
 ]
 
 
@@ -163,6 +166,19 @@ if overhead_pct > campaign_overhead:
     print(f"FAIL: campaign overhead {overhead_pct:+.1f}% exceeds "
           f"{campaign_overhead:.0f}%", file=sys.stderr)
     sys.exit(1)
+
+# The compiled execution plane, report-only: BENCH_VM_SPEEDUP is the fast
+# plane against the pinned interpreter baseline per workload shape within
+# the candidate snapshot.  Not gated — the interpreter datapoints above pin
+# the baseline itself, and the speedup is runner-dependent; the bench binary
+# already fails outright if superinstructions stop firing.
+for workload in ("arith", "ports", "branch"):
+    interp = cand.get(f"bench_vm/interpreter_{workload}")
+    compiled = cand.get(f"bench_vm/compiled_{workload}")
+    if interp and compiled:
+        print(f"BENCH_VM_SPEEDUP/{workload}: {interp / compiled:.2f}x "
+              f"(interpreter {interp:.0f} ns vs compiled {compiled:.0f} ns, "
+              "report-only)")
 
 # The sharded control plane, report-only: BENCH_PAR_SPEEDUP is the 8-shard
 # parallel tick against the serial tick at equal fleet size.  It is not

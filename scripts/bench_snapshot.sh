@@ -73,6 +73,14 @@ for required in ("bench_fleet_tick/tick/10000", "bench_fleet_tick/par_tick/500")
     if required not in benches:
         sys.exit(f"bench snapshot is missing the {required} datapoint")
 
+# ... and the compiled execution plane next to its interpreter baseline: a
+# snapshot without the bench_vm compiled datapoint would silently drop the
+# fast plane off the perf trajectory (BENCH_VM_SPEEDUP in
+# scripts/bench_compare.sh).
+for required in ("bench_vm/interpreter_arith", "bench_vm/compiled_arith"):
+    if required not in benches:
+        sys.exit(f"bench snapshot is missing the {required} datapoint")
+
 rev = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 ).stdout.strip()

@@ -6,7 +6,7 @@
 //! with a counting global allocator, so a stray `clone()`/`collect()` on the
 //! hot path fails CI instead of silently re-inflating the tick.
 //!
-//! Both levels are asserted from a single `#[test]`: the counting allocator
+//! All levels are asserted from a single `#[test]`: the counting allocator
 //! is process-global, and a second test thread (or the libtest harness
 //! reporting another test's result) would pollute the measurement window.
 //!
@@ -18,11 +18,17 @@
 //!   where its built-in periodic sensors are idle.  Sensor broadcast ticks
 //!   still allocate (value codec + frame segmentation), which bounds how
 //!   many of a window's ticks may touch the allocator at all.
+//! * **Compiled VM slot** — a warm [`CompiledVm`] executing an arith-heavy
+//!   loop (fused superinstructions on the fast plane) runs whole slots
+//!   without allocating: pre-decoded ops, pre-resolved constants and a
+//!   steady-state stack leave nothing to allocate per instruction.
 
 use dynar::fes::transport::{TransportConfig, TransportHub};
 use dynar::foundation::payload::Payload;
 use dynar::foundation::time::Tick;
+use dynar::foundation::value::Value;
 use dynar::sim::scenario::fleet::{FleetScenario, SENSOR_PERIOD};
+use dynar::vm::{assemble, Budget, CompiledVm, VmStatus};
 use dynar_bench::CountingAllocator;
 
 #[global_allocator]
@@ -101,8 +107,76 @@ fn quiescent_fleet_tick_is_allocation_free() {
     );
 }
 
+/// A [`PortHost`] whose every operation is allocation-free: integer reads,
+/// counted writes, dropped logs.
+struct NoAllocHost {
+    writes: u64,
+}
+
+impl dynar::vm::PortHost for NoAllocHost {
+    fn read_port(&mut self, _slot: u32) -> dynar::foundation::error::Result<Value> {
+        Ok(Value::I64(1))
+    }
+    fn take_port(&mut self, _slot: u32) -> dynar::foundation::error::Result<Value> {
+        Ok(Value::I64(1))
+    }
+    fn write_port(&mut self, _slot: u32, _value: Value) -> dynar::foundation::error::Result<()> {
+        self.writes += 1;
+        Ok(())
+    }
+    fn pending(&mut self, _slot: u32) -> dynar::foundation::error::Result<usize> {
+        Ok(1)
+    }
+    fn log(&mut self, _message: &str) {}
+}
+
+fn warm_compiled_slot_is_allocation_free() {
+    // The canonical arith-heavy workload: a counter loop whose body is one
+    // fused `load; push_int; add; store` superinstruction plus the back
+    // jump.  One slot executes the full per-slot budget and gets preempted.
+    let program = assemble(
+        "hot-loop",
+        r#"
+            push_int 0
+            store 0
+        loop:
+            load 0
+            push_int 1
+            add
+            store 0
+            jump loop
+        "#,
+    )
+    .expect("assembles");
+    let mut vm = CompiledVm::compile(program, Budget::new(4096)).expect("compiles");
+    let mut host = NoAllocHost { writes: 0 };
+
+    // Warm-up: first slots size the stack and locals to their steady state.
+    for _ in 0..4 {
+        vm.run_slot(&mut host).expect("warm slot");
+    }
+
+    let fused_before = vm.fusion_counters().load_arith_store;
+    let (allocations, ()) = CountingAllocator::count(|| {
+        for _ in 0..16 {
+            vm.run_slot(&mut host).expect("hot slot");
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "16 warm compiled slots must not allocate a single time"
+    );
+    // Prove the measurement covered the fused fast path, not a stalled VM.
+    assert!(
+        vm.fusion_counters().load_arith_store > fused_before,
+        "the measured slots must execute fused superinstructions"
+    );
+    assert_eq!(vm.status(), VmStatus::Preempted);
+}
+
 #[test]
 fn steady_state_hot_paths_are_allocation_free() {
     warm_transport_round_is_allocation_free();
     quiescent_fleet_tick_is_allocation_free();
+    warm_compiled_slot_is_allocation_free();
 }

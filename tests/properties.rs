@@ -12,6 +12,7 @@ use dynar::core::message::{Ack, AckStatus, InstallationPackage, ManagementMessag
 use dynar::core::plugin::PluginPortDirection;
 use dynar::ecm::protocol::{decode_downlink, decode_uplink, encode_downlink, encode_uplink};
 use dynar::foundation::codec::{decode_value, encode_value};
+use dynar::foundation::error::DynarError;
 use dynar::foundation::ids::{AppId, EcuId, PluginId, PluginPortId, VirtualPortId};
 use dynar::foundation::value::Value;
 use dynar::rte::com_mapping::{Reassembler, Segmenter};
@@ -20,6 +21,9 @@ use dynar::server::campaign::{
     VehicleSelector, WavePlan,
 };
 use dynar::vm::assembler::{assemble, disassemble};
+use dynar::vm::isa::Instruction;
+use dynar::vm::program::Program;
+use dynar::vm::{Budget, CompiledProgram, CompiledVm, PortHost, ShadowVm, Vm};
 use proptest::prelude::*;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -186,7 +190,6 @@ proptest! {
         id_overflow in 1u32..=0x7FFF_FFFF - CanId::MAX,
         oversize in 1usize..64,
     ) {
-        use dynar::foundation::error::DynarError;
         prop_assert!(matches!(
             CanId::new(CanId::MAX + id_overflow),
             Err(DynarError::InvalidConfiguration(_))
@@ -560,6 +563,260 @@ proptest! {
         }
         if let Ok(campaign) = Campaign::from_value(&value) {
             prop_assert_eq!(Campaign::from_value(&campaign.to_value()).unwrap(), campaign);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled execution plane properties.
+// ---------------------------------------------------------------------------
+
+/// A deterministic three-slot port host for the dual-plane runs.
+struct VmHost {
+    slots: Vec<Vec<Value>>,
+    written: Vec<(u32, Value)>,
+    logs: Vec<String>,
+}
+
+impl VmHost {
+    fn new(slot_count: usize) -> Self {
+        VmHost {
+            slots: vec![Vec::new(); slot_count],
+            written: Vec::new(),
+            logs: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, slot: u32) -> dynar::foundation::error::Result<&mut Vec<Value>> {
+        self.slots
+            .get_mut(slot as usize)
+            .ok_or_else(|| DynarError::not_found("port slot", slot))
+    }
+}
+
+impl PortHost for VmHost {
+    fn read_port(&mut self, slot: u32) -> dynar::foundation::error::Result<Value> {
+        Ok(self.slot(slot)?.first().cloned().unwrap_or_default())
+    }
+    fn take_port(&mut self, slot: u32) -> dynar::foundation::error::Result<Value> {
+        let queue = self.slot(slot)?;
+        Ok(if queue.is_empty() {
+            Value::Void
+        } else {
+            queue.remove(0)
+        })
+    }
+    fn write_port(&mut self, slot: u32, value: Value) -> dynar::foundation::error::Result<()> {
+        self.slot(slot)?;
+        self.written.push((slot, value));
+        Ok(())
+    }
+    fn pending(&mut self, slot: u32) -> dynar::foundation::error::Result<usize> {
+        Ok(self.slot(slot)?.len())
+    }
+    fn log(&mut self, message: &str) {
+        self.logs.push(message.to_owned());
+    }
+}
+
+/// Maps an arbitrary `(selector, operand)` pair onto an instruction with the
+/// operand used *unclamped* — jump targets and constant references may be
+/// wildly out of range.
+fn raw_instruction(sel: u8, operand: u64) -> Instruction {
+    match sel % 36 {
+        0 => Instruction::Nop,
+        1 => Instruction::PushConst(operand as u16),
+        2 => Instruction::PushInt(operand as i64),
+        3 => Instruction::Dup,
+        4 => Instruction::Pop,
+        5 => Instruction::Swap,
+        6 => Instruction::Load(operand as u8),
+        7 => Instruction::Store(operand as u8),
+        8 => Instruction::Add,
+        9 => Instruction::Sub,
+        10 => Instruction::Mul,
+        11 => Instruction::Div,
+        12 => Instruction::Rem,
+        13 => Instruction::Neg,
+        14 => Instruction::Eq,
+        15 => Instruction::Ne,
+        16 => Instruction::Lt,
+        17 => Instruction::Le,
+        18 => Instruction::Gt,
+        19 => Instruction::Ge,
+        20 => Instruction::And,
+        21 => Instruction::Or,
+        22 => Instruction::Not,
+        23 => Instruction::Jump(operand as u16),
+        24 => Instruction::JumpIfFalse(operand as u16),
+        25 => Instruction::JumpIfTrue(operand as u16),
+        26 => Instruction::ReadPort(operand as u32),
+        27 => Instruction::TakePort(operand as u32),
+        28 => Instruction::WritePort(operand as u32),
+        29 => Instruction::PortPending(operand as u32),
+        30 => Instruction::MakeList(operand as u8),
+        31 => Instruction::ListGet,
+        32 => Instruction::ListLen,
+        33 => Instruction::Log,
+        34 => Instruction::Yield,
+        _ => Instruction::Halt,
+    }
+}
+
+/// Like [`raw_instruction`] but with every static reference reduced into
+/// range, so [`Program::validate`] (and therefore compilation) succeeds.
+/// Ports reduce modulo 4 while the host only has 3 slots — the missing-port
+/// host-fault path stays reachable.
+fn valid_instruction(sel: u8, operand: u64, len: usize, pool: usize) -> Instruction {
+    match raw_instruction(sel, operand) {
+        Instruction::Jump(_) => Instruction::Jump((operand % len as u64) as u16),
+        Instruction::JumpIfFalse(_) => Instruction::JumpIfFalse((operand % len as u64) as u16),
+        Instruction::JumpIfTrue(_) => Instruction::JumpIfTrue((operand % len as u64) as u16),
+        Instruction::PushConst(_) => Instruction::PushConst((operand % pool as u64) as u16),
+        Instruction::Load(_) => Instruction::Load((operand % 6) as u8),
+        Instruction::Store(_) => Instruction::Store((operand % 6) as u8),
+        Instruction::ReadPort(_) => Instruction::ReadPort((operand % 4) as u32),
+        Instruction::TakePort(_) => Instruction::TakePort((operand % 4) as u32),
+        Instruction::WritePort(_) => Instruction::WritePort((operand % 4) as u32),
+        Instruction::PortPending(_) => Instruction::PortPending((operand % 4) as u32),
+        other => other,
+    }
+}
+
+/// Bitwise value identity: separates `NaN == NaN` (identical computation on
+/// both planes) from genuine divergence, which `PartialEq` on floats cannot.
+fn values_bitwise_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        (Value::List(xs), Value::List(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys.iter())
+                    .all(|(x, y)| values_bitwise_identical(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+fn slices_bitwise_identical(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| values_bitwise_identical(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Install-time compilation is total: any instruction sequence — in or
+    /// out of range references, any constant pool — either compiles or is
+    /// rejected with the typed configuration error.  Never a panic, and the
+    /// compiled form always stays 1:1 with the source code section.
+    #[test]
+    fn compiling_arbitrary_programs_never_panics(
+        raw in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..48),
+        constants in proptest::collection::vec(value_strategy(), 0..4),
+    ) {
+        let mut program = Program::new("arb");
+        for constant in constants {
+            program = program.with_constant(constant);
+        }
+        let program =
+            program.with_code(raw.into_iter().map(|(sel, op)| raw_instruction(sel, op)).collect());
+        match CompiledProgram::compile(program.clone()) {
+            Ok(compiled) => {
+                prop_assert!(program.validate().is_ok());
+                prop_assert_eq!(compiled.op_count(), program.code().len());
+            }
+            Err(DynarError::InvalidConfiguration(_)) => {
+                prop_assert!(program.validate().is_err());
+            }
+            Err(other) => {
+                prop_assert!(false, "unexpected compile error variant: {:?}", other);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The two execution planes are observably identical on generated
+    /// programs under generated port traffic: per-slot reports and faults,
+    /// final status, stacks, locals, memory accounting, fuel use, port
+    /// writes and log streams all match — with a [`ShadowVm`] running the
+    /// same traffic in lock-step as a third witness.
+    #[test]
+    fn random_programs_execute_identically_on_both_planes(
+        raw in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..40),
+        traffic in proptest::collection::vec((0u32..3, value_strategy()), 0..12),
+        slot_limit in 3u64..48,
+    ) {
+        let len = raw.len();
+        let code: Vec<Instruction> = raw
+            .into_iter()
+            .map(|(sel, op)| valid_instruction(sel, op, len, 3))
+            .collect();
+        let program = Program::new("gen")
+            .with_constant(Value::I64(9))
+            .with_constant(Value::Text("probe".into()))
+            .with_constant(Value::Bool(true))
+            .with_code(code);
+        prop_assert!(program.validate().is_ok());
+        let budget = Budget::new(slot_limit)
+            .with_max_stack(6)
+            .with_max_memory_bytes(256)
+            .with_locals(4);
+
+        let mut interp = Vm::new(program.clone(), budget);
+        let mut fast = CompiledVm::compile(program.clone(), budget).unwrap();
+        let mut shadow = ShadowVm::new(program, budget).unwrap();
+        let mut host_i = VmHost::new(3);
+        let mut host_f = VmHost::new(3);
+        let mut host_s = VmHost::new(3);
+
+        let per_slot = traffic.len() / 3 + 1;
+        let mut queued = traffic.iter();
+        for _ in 0..3 {
+            for _ in 0..per_slot {
+                if let Some((slot, value)) = queued.next() {
+                    host_i.slots[*slot as usize].push(value.clone());
+                    host_f.slots[*slot as usize].push(value.clone());
+                    host_s.slots[*slot as usize].push(value.clone());
+                }
+            }
+            let reference = interp.run_slot(&mut host_i);
+            let compiled = fast.run_slot(&mut host_f);
+            // ShadowVm panics internally on any divergence between its own
+            // two planes; its report must also match the standalone runs.
+            let shadowed = shadow.run_slot(&mut host_s);
+            prop_assert_eq!(&reference, &compiled, "slot outcome diverged");
+            prop_assert_eq!(&reference, &shadowed, "shadow outcome diverged");
+            if reference.is_err() {
+                break;
+            }
+        }
+
+        prop_assert_eq!(interp.status(), fast.status());
+        prop_assert_eq!(interp.total_instructions(), fast.total_instructions());
+        prop_assert_eq!(interp.used_bytes(), fast.used_bytes());
+        prop_assert!(
+            slices_bitwise_identical(interp.stack(), fast.stack()),
+            "stacks diverged: {:?} vs {:?}", interp.stack(), fast.stack()
+        );
+        prop_assert!(
+            slices_bitwise_identical(interp.locals(), fast.locals()),
+            "locals diverged: {:?} vs {:?}", interp.locals(), fast.locals()
+        );
+        prop_assert_eq!(&host_i.logs, &host_f.logs);
+        prop_assert_eq!(host_i.written.len(), host_f.written.len());
+        for ((slot_i, value_i), (slot_f, value_f)) in host_i.written.iter().zip(&host_f.written) {
+            prop_assert_eq!(slot_i, slot_f);
+            prop_assert!(
+                values_bitwise_identical(value_i, value_f),
+                "written values diverged: {:?} vs {:?}", value_i, value_f
+            );
         }
     }
 }
